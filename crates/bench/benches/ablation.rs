@@ -1,0 +1,48 @@
+//! E10 companion: ablation variants of Theorem 3 under Criterion timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use pram_sim::{Pram, WritePolicy};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let g = cc_graph::gen::clique_chain(32, 6);
+    let variants: Vec<(&str, FasterParams)> = vec![
+        ("default", FasterParams::default()),
+        (
+            "no_sampling",
+            FasterParams {
+                enable_sampling: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "single_maxlink",
+            FasterParams {
+                maxlink_iters: 1,
+                ..Default::default()
+            },
+        ),
+        (
+            "kappa_4",
+            FasterParams {
+                kappa: 4.0,
+                ..Default::default()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("e10_ablation_clique_chain_32x6");
+    group.sample_size(10);
+    for (name, params) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+                black_box(faster_cc(&mut pram, &g, 3, params))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E7 companion: simulated baseline algorithms on a fixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logdiam_cc::baselines::{awerbuch_shiloach, labelprop};
+use logdiam_cc::vanilla::vanilla;
+use pram_sim::{Pram, WritePolicy};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = cc_graph::gen::gnm(4000, 16_000, 11);
+    let mut group = c.benchmark_group("e7_baselines_simulated");
+    group.sample_size(10);
+    group.bench_function("awerbuch_shiloach", |b| {
+        b.iter(|| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+            black_box(awerbuch_shiloach(&mut pram, &g))
+        })
+    });
+    group.bench_function("vanilla_reif", |b| {
+        b.iter(|| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+            black_box(vanilla(&mut pram, &g, 2))
+        })
+    });
+    group.bench_function("labelprop_lt19", |b| {
+        b.iter(|| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+            black_box(labelprop(&mut pram, &g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E1 companion: end-to-end simulated Theorem-3 runs (wall-clock of the
+//! simulation; the round counts live in `experiments e1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use pram_sim::{Pram, WritePolicy};
+use std::hint::black_box;
+
+fn bench_faster(c: &mut Criterion) {
+    let params = FasterParams::default();
+    let graphs = [
+        ("clique_chain_32x6", cc_graph::gen::clique_chain(32, 6)),
+        ("gnm_2k_8k", cc_graph::gen::gnm(2000, 8000, 5)),
+        ("grid_24x32", cc_graph::gen::grid(24, 32)),
+    ];
+    let mut group = c.benchmark_group("e1_faster_cc_simulated");
+    group.sample_size(10);
+    for (name, g) in &graphs {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(9));
+                black_box(faster_cc(&mut pram, g, 9, &params))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faster);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulator throughput: how fast the PRAM substrate executes synchronous
+//! steps under each write-resolution policy. Not a paper figure, but the
+//! denominator behind every simulated experiment's wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pram_sim::{Pram, WritePolicy};
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let n = 1 << 20;
+    let mut group = c.benchmark_group("sim_steps_1M_procs");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("arbitrary_seeded", WritePolicy::ArbitrarySeeded(1)),
+        ("priority_min", WritePolicy::PriorityMin),
+        ("racy", WritePolicy::Racy),
+    ] {
+        group.bench_function(name, |b| {
+            let mut pram = Pram::new(policy);
+            let xs = pram.alloc(n);
+            let ys = pram.alloc(n);
+            b.iter(|| {
+                pram.step(n, |p, ctx| {
+                    let v = ctx.read(xs, p as usize);
+                    ctx.write(ys, (p as usize + 1) % n, v + 1);
+                });
+                black_box(pram.get(ys, 0))
+            });
+        });
+    }
+    // Heavy contention: all processors write one cell.
+    group.bench_function("contended_single_cell", |b| {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let xs = pram.alloc(1);
+        b.iter(|| {
+            pram.step(n, |p, ctx| ctx.write(xs, 0, p));
+            black_box(pram.get(xs, 0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E8 — wall-clock of the practical shared-memory CC implementations.
+//!
+//! Regenerates the E8 series with Criterion statistics: concurrent
+//! union–find (yardstick), label propagation, SV rounds, and the paper-
+//! flavoured alter-and-contract, on a low-diameter random graph, a grid,
+//! and a path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logdiam_par::{contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc};
+use std::hint::black_box;
+
+fn bench_wallclock(c: &mut Criterion) {
+    let graphs = [
+        ("gnm_50k_200k", cc_graph::gen::gnm(50_000, 200_000, 7)),
+        ("grid_200x150", cc_graph::gen::grid(200, 150)),
+        ("path_50k", cc_graph::gen::path(50_000)),
+    ];
+    for (name, g) in &graphs {
+        let mut group = c.benchmark_group(format!("e8_wallclock/{name}"));
+        group.sample_size(10);
+        group.bench_function("unionfind", |b| b.iter(|| black_box(unionfind_cc(g))));
+        group.bench_function("labelprop", |b| b.iter(|| black_box(labelprop_cc(g))));
+        group.bench_function("sv", |b| b.iter(|| black_box(sv_cc(g))));
+        group.bench_function("contract", |b| b.iter(|| black_box(contract_cc(g))));
+        group.bench_function("seq_dsu", |b| {
+            b.iter(|| black_box(cc_graph::seq::components(g)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_wallclock);
+criterion_main!(benches);

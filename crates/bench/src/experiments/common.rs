@@ -1,0 +1,107 @@
+//! Shared measurement helpers.
+
+use cc_graph::seq::{diameter_lower_bound, max_component_diameter_exact};
+use cc_graph::Graph;
+use logdiam_cc::metrics::RunReport;
+use logdiam_cc::theorem1::{self, Theorem1Params};
+use logdiam_cc::theorem3::{faster_cc, FasterParams, FasterReport};
+use logdiam_cc::verify::check_labels;
+use pram_sim::{Pram, WritePolicy};
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum component diameter: exact up to ~4000 vertices, double-sweep
+/// lower bound beyond (exact on the tree-like families used there).
+pub fn diameter_of(g: &Graph) -> u32 {
+    if g.n() <= 4000 {
+        max_component_diameter_exact(g)
+    } else {
+        diameter_lower_bound(g)
+    }
+}
+
+/// Run Theorem 3 over `seeds` seeds; labels verified against ground truth
+/// every time (an experiment aborts loudly on a wrong answer).
+pub fn faster_runs(
+    g: &Graph,
+    params: &FasterParams,
+    seeds: std::ops::Range<u64>,
+) -> Vec<FasterReport> {
+    seeds
+        .map(|seed| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let report = faster_cc(&mut pram, g, seed, params);
+            check_labels(g, &report.run.labels).expect("Theorem 3 produced wrong labels");
+            report
+        })
+        .collect()
+}
+
+/// Run Theorem 1 over `seeds` seeds, verified.
+pub fn theorem1_runs(
+    g: &Graph,
+    params: &Theorem1Params,
+    seeds: std::ops::Range<u64>,
+) -> Vec<RunReport> {
+    seeds
+        .map(|seed| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let report = theorem1::connected_components(&mut pram, g, seed, params);
+            check_labels(g, &report.labels).expect("Theorem 1 produced wrong labels");
+            report
+        })
+        .collect()
+}
+
+/// Least-squares slope of `y` against `x`.
+pub fn slope(x: &[f64], y: &[f64]) -> f64 {
+    let (mx, my) = (mean(x), mean(y));
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Wall-clock of `f` in milliseconds (median of `reps`).
+pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            drop(out);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_slope() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        let s = slope(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_dispatch() {
+        let g = cc_graph::gen::path(50);
+        assert_eq!(diameter_of(&g), 49);
+        let big = cc_graph::gen::path(5000);
+        assert_eq!(diameter_of(&big), 4999); // double sweep exact on paths
+    }
+}

@@ -1,0 +1,81 @@
+//! E1 — Theorem 3 headline: EXPAND-MAXLINK rounds grow like
+//! `O(log d + log log_{m/n} n)`.
+//!
+//! Workload: clique chains sweep the diameter `d` over two orders of
+//! magnitude at (roughly) fixed density; a hairy path repeats the sweep
+//! with low-degree shortest paths. Expected shape: rounds ≈
+//! `a·log₂ d + b` with a small constant slope `a`, *not* `Θ(log n)`.
+
+use super::common::{diameter_of, faster_runs, mean, slope};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem3::FasterParams;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = FasterParams::default();
+    let seeds = if cfg.full { 0..5u64 } else { 0..3u64 };
+    let ks: &[usize] = if cfg.full {
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128, 256]
+    };
+
+    let mut t = Table::new(
+        "E1 — Theorem 3: rounds vs diameter (clique chains, s = 8)",
+        "Paper: O(log d + log log_{m/n} n) rounds. Expect rounds ≈ a·log₂d + b \
+         with small slope a; the final column is the Theorem-1 postprocess phases \
+         (the additive log log term).",
+        &["k", "n", "m", "d", "log2 d", "rounds (mean)", "max level", "post phases"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &k in ks {
+        let g = gen::clique_chain(k, 8);
+        let d = diameter_of(&g);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let rounds: Vec<f64> = reports.iter().map(|r| r.run.rounds as f64).collect();
+        let lvl = reports.iter().map(|r| r.run.max_level()).max().unwrap_or(0);
+        let post = mean(&reports.iter().map(|r| r.post.rounds as f64).collect::<Vec<_>>());
+        let log2d = (d.max(1) as f64).log2();
+        xs.push(log2d);
+        ys.push(mean(&rounds));
+        t.row(vec![
+            k.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            d.to_string(),
+            f(log2d),
+            f(mean(&rounds)),
+            lvl.to_string(),
+            f(post),
+        ]);
+    }
+    let a = slope(&xs, &ys);
+    t.note = format!("{} Measured slope a = {:.2} rounds per doubling of d.", t.note, a);
+
+    let mut t2 = Table::new(
+        "E1b — same sweep on hairy paths (low-degree spine, w = 6)",
+        "Same shape expected when shortest paths run through low-degree vertices.",
+        &["len", "n", "m", "d", "rounds (mean)"],
+    );
+    let lens: &[usize] = if cfg.full {
+        &[4, 8, 16, 32, 64, 128, 256]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
+    for &len in lens {
+        let g = gen::hairy_clique_path(len, 6, cfg.seed);
+        let d = diameter_of(&g);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let rounds: Vec<f64> = reports.iter().map(|r| r.run.rounds as f64).collect();
+        t2.row(vec![
+            len.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            d.to_string(),
+            f(mean(&rounds)),
+        ]);
+    }
+    vec![t, t2]
+}

@@ -1,0 +1,70 @@
+//! E2 — Theorem 1: phases shrink double-exponentially with density.
+//!
+//! Workload: `G(n, m)` with `m/n ∈ {2..128}` at fixed `n`. Expected shape:
+//! phases fall like `log log_{m/n} n` as density grows, and the per-phase
+//! ongoing count of a single run decays double-exponentially.
+
+use super::common::{mean, theorem1_runs};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem1::Theorem1Params;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let n = if cfg.full { 8192 } else { 4096 };
+    let params = Theorem1Params::default();
+    let seeds = if cfg.full { 0..5u64 } else { 0..3u64 };
+
+    let mut t = Table::new(
+        format!("E2 — Theorem 1: phases vs density (G(n, m), n = {n})"),
+        "Paper: O(log log_{m/n} n) phases. Expect the phase count to *fall* \
+         as m/n grows, tracking log(log n / log(m/n)) + O(1).",
+        &["m/n", "m", "phases (mean)", "prepare", "total", "log log_{m/n} n"],
+    );
+    for &dens in &[2usize, 4, 8, 16, 32, 64, 128] {
+        let g = gen::gnm(n, n * dens, cfg.seed ^ dens as u64);
+        let reports = theorem1_runs(&g, &params, seeds.clone());
+        let phases = mean(&reports.iter().map(|r| r.rounds as f64).collect::<Vec<_>>());
+        let prep = mean(
+            &reports
+                .iter()
+                .map(|r| r.prepare_rounds as f64)
+                .collect::<Vec<_>>(),
+        );
+        let loglog = ((n as f64).ln() / (dens as f64).ln()).ln().max(0.0);
+        t.row(vec![
+            dens.to_string(),
+            (n * dens).to_string(),
+            f(phases),
+            f(prep),
+            f(phases + prep),
+            f(loglog),
+        ]);
+    }
+
+    // "Figure": double-exponential decay of n' within one dense run.
+    let mut t2 = Table::new(
+        "E2b — per-phase ongoing vertices (single run, m/n = 32)",
+        "Paper §A.1: leader contraction with degree-b guarantees shrinks n' by \
+         a b^Ω(1) factor per phase — the decay accelerates phase over phase \
+         (double-exponential progress).",
+        &["phase", "ongoing n'", "shrink factor"],
+    );
+    let g = gen::gnm(n, n * 32, cfg.seed);
+    let reports = theorem1_runs(&g, &params, 0..1);
+    let mut prev = n as f64;
+    for r in &reports[0].per_round {
+        let shrink = if r.ongoing > 0 {
+            prev / r.ongoing as f64
+        } else {
+            f64::INFINITY
+        };
+        t2.row(vec![
+            r.round.to_string(),
+            r.ongoing.to_string(),
+            if r.ongoing > 0 { f(shrink) } else { "∞".into() },
+        ]);
+        prev = r.ongoing.max(1) as f64;
+    }
+    vec![t, t2]
+}

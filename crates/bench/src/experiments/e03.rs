@@ -1,0 +1,74 @@
+//! E3 — Theorem 2: spanning forest validity, phase counts tracking
+//! Theorem 1, and TREE-LINK tree heights bounded by the diameter
+//! (Lemma C.8).
+
+use super::common::{diameter_of, mean};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use cc_graph::seq::{components, num_components};
+use logdiam_cc::theorem1::Theorem1Params;
+use logdiam_cc::theorem2::spanning_forest;
+use logdiam_cc::verify::{check_labels, check_spanning_forest};
+use pram_sim::{Pram, WritePolicy};
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = Theorem1Params::default();
+    let seeds: std::ops::Range<u64> = if cfg.full { 0..5 } else { 0..3 };
+
+    let mut t = Table::new(
+        "E3 — Theorem 2: spanning forest over workload shapes",
+        "Every run must produce a valid forest (n − #components edges, acyclic, \
+         edges ⊆ input); heights right after TREE-LINK must stay ≤ d (Lemma C.8).",
+        &[
+            "graph", "n", "m", "d", "#comp", "forest edges", "valid", "phases (mean)",
+            "max height ≤ d?",
+        ],
+    );
+    let n_scale = if cfg.full { 2 } else { 1 };
+    let graphs: Vec<(&str, cc_graph::Graph)> = vec![
+        ("gnm sparse", gen::gnm(1000 * n_scale, 2500 * n_scale, cfg.seed)),
+        ("gnm dense", gen::gnm(800 * n_scale, 12000 * n_scale, cfg.seed)),
+        ("grid", gen::grid(20, 30 * n_scale)),
+        ("cycle", gen::cycle(500 * n_scale)),
+        (
+            "mixture",
+            gen::union_all(&[
+                gen::path(120),
+                gen::star(80),
+                gen::complete(24),
+                gen::binary_tree(127),
+                gen::gnm(300, 900, cfg.seed ^ 5),
+            ]),
+        ),
+    ];
+    for (name, g) in &graphs {
+        let d = diameter_of(g);
+        let comps = num_components(g);
+        let mut phases = Vec::new();
+        let mut heights_ok = true;
+        let mut forest_len = 0;
+        for seed in seeds.clone() {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let report = spanning_forest(&mut pram, g, seed, &params);
+            check_spanning_forest(g, &report.forest_edges).expect("invalid forest");
+            check_labels(g, &report.labels).expect("wrong labels");
+            assert!(cc_graph::seq::same_partition(&report.labels, &components(g)));
+            phases.push(report.run.rounds as f64);
+            heights_ok &= report.max_height_observed <= d + 1;
+            forest_len = report.forest_edges.len();
+        }
+        t.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            d.to_string(),
+            comps.to_string(),
+            forest_len.to_string(),
+            "yes".into(),
+            f(mean(&phases)),
+            if heights_ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    vec![t]
+}

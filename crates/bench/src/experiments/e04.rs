@@ -1,0 +1,47 @@
+//! E4 — Lemma 3.10/D.13: total space stays `O(m)`.
+//!
+//! Workload: `G(n, 4n)` with `n` doubling. Measured: the peak live table
+//! words and the machine arena peak, both divided by `m`. Expected shape:
+//! both ratios flat (bounded by a constant) as `n` grows.
+
+use super::common::{faster_runs, mean};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem3::FasterParams;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = FasterParams::default();
+    let seeds = if cfg.full { 0..3u64 } else { 0..2u64 };
+    let ns: &[usize] = if cfg.full {
+        &[1000, 2000, 4000, 8000, 16000, 32000]
+    } else {
+        &[1000, 2000, 4000, 8000]
+    };
+
+    let mut t = Table::new(
+        "E4 — Theorem 3 space: peak table words / m (G(n, 4n))",
+        "Paper: O(m) processors/space over all rounds. Expect flat ratios as n \
+         doubles (constants absorb power-of-two rounding and the 2-table \
+         double-buffering).",
+        &["n", "m", "peak table words/m", "peak arena words/m"],
+    );
+    for &n in ns {
+        let g = gen::gnm(n, 4 * n, cfg.seed ^ n as u64);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let tw = mean(
+            &reports
+                .iter()
+                .map(|r| r.table_peak_words as f64 / g.m() as f64)
+                .collect::<Vec<_>>(),
+        );
+        let aw = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.stats.peak_words as f64 / g.m() as f64)
+                .collect::<Vec<_>>(),
+        );
+        t.row(vec![n.to_string(), g.m().to_string(), f(tw), f(aw)]);
+    }
+    vec![t]
+}

@@ -1,0 +1,54 @@
+//! E5 — Lemma 3.19/D.23: levels stay below `L = O(max(2, log log_{m/n} n))`.
+//!
+//! Workload: the E4 sweep plus a density sweep. Measured: the maximum
+//! level any vertex reaches. Expected shape: grows (at most) like
+//! `log log n`, far below the schedule cap.
+
+use super::common::{faster_runs, mean};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem3::FasterParams;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = FasterParams::default();
+    let seeds = if cfg.full { 0..5u64 } else { 0..3u64 };
+
+    let mut t = Table::new(
+        "E5 — Theorem 3 levels: max level vs n (G(n, 4n))",
+        "Paper: max level ≤ L = O(max(2, log log_{m/n} n)) whp. Expect the \
+         measured max level to move like log log n (i.e. barely).",
+        &["n", "max level (mean)", "max level (max)", "log2 log2 n"],
+    );
+    let ns: &[usize] = if cfg.full {
+        &[500, 1000, 2000, 4000, 8000, 16000, 32000]
+    } else {
+        &[500, 1000, 2000, 4000, 8000]
+    };
+    for &n in ns {
+        let g = gen::gnm(n, 4 * n, cfg.seed ^ n as u64);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let levels: Vec<f64> = reports.iter().map(|r| r.run.max_level() as f64).collect();
+        let lmax = levels.iter().cloned().fold(0.0, f64::max);
+        let loglog = (n as f64).log2().log2();
+        t.row(vec![
+            n.to_string(),
+            f(mean(&levels)),
+            f(lmax),
+            f(loglog),
+        ]);
+    }
+
+    let mut t2 = Table::new(
+        "E5b — max level vs density (n = 2000)",
+        "Denser graphs start with bigger budgets, so fewer levels are needed.",
+        &["m/n", "max level (mean)"],
+    );
+    for &dens in &[2usize, 8, 32, 128] {
+        let g = gen::gnm(2000, 2000 * dens, cfg.seed ^ dens as u64);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let levels: Vec<f64> = reports.iter().map(|r| r.run.max_level() as f64).collect();
+        t2.row(vec![dens.to_string(), f(mean(&levels))]);
+    }
+    vec![t, t2]
+}

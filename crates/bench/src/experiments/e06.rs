@@ -1,0 +1,75 @@
+//! E6 — "with good probability": empirical success over many seeds.
+//!
+//! Every algorithm run in this repository is verified against ground
+//! truth, so "failure" here can only mean (a) a wrong labeling — never
+//! observed, the harness would abort — or (b) hitting the safety round
+//! cap before the paper's break condition (the run then falls through to
+//! the always-correct postprocess). Expected: 0 wrong outputs, round-cap
+//! rate ~0.
+
+use crate::table::Table;
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::metrics::StopReason;
+use logdiam_cc::theorem1::{self, Theorem1Params};
+use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use logdiam_cc::verify::check_labels;
+use pram_sim::{Pram, WritePolicy};
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let trials = if cfg.full { 100 } else { 40 };
+    let mut t = Table::new(
+        format!("E6 — success probability over {trials} seeds per graph"),
+        "Wrong outputs abort the harness; 'cap hits' counts runs stopped by the \
+         safety round cap instead of the paper's break condition.",
+        &["graph", "algorithm", "trials", "wrong labels", "cap hits"],
+    );
+
+    let graphs: Vec<(&str, cc_graph::Graph)> = vec![
+        ("gnm(1000,3000)", gen::gnm(1000, 3000, cfg.seed)),
+        ("clique_chain(32,6)", gen::clique_chain(32, 6)),
+        ("grid(16,24)", gen::grid(16, 24)),
+        (
+            "mixture",
+            gen::union_all(&[gen::path(64), gen::star(40), gen::gnm(200, 500, 1)]),
+        ),
+    ];
+
+    for (name, g) in &graphs {
+        // Theorem 3.
+        let mut caps = 0;
+        for seed in 0..trials as u64 {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let r = faster_cc(&mut pram, g, seed, &FasterParams::default());
+            check_labels(g, &r.run.labels).expect("E6: wrong labels (Theorem 3)");
+            if r.run.stop == StopReason::RoundCap {
+                caps += 1;
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            "Theorem 3".into(),
+            trials.to_string(),
+            "0".into(),
+            caps.to_string(),
+        ]);
+        // Theorem 1.
+        let mut caps = 0;
+        for seed in 0..trials as u64 {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let r = theorem1::connected_components(&mut pram, g, seed, &Theorem1Params::default());
+            check_labels(g, &r.labels).expect("E6: wrong labels (Theorem 1)");
+            if r.stop == StopReason::RoundCap {
+                caps += 1;
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            "Theorem 1".into(),
+            trials.to_string(),
+            "0".into(),
+            caps.to_string(),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,83 @@
+//! E8 — wall-clock of the practical shared-memory ports.
+//!
+//! The paper's practicality claim (§A.3) is that hashing-based CC avoids
+//! sorting and "should be preferable in practice". Measured: median
+//! wall-clock of each `logdiam-par` implementation plus the sequential
+//! union–find yardstick. Criterion benches (`benches/wallclock.rs`) repeat
+//! this with statistical rigor.
+
+use super::common::time_ms;
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use cc_graph::seq::{components, same_partition};
+use logdiam_par::{contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc};
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let scale = if cfg.full { 4 } else { 1 };
+    let reps = if cfg.full { 5 } else { 3 };
+    let graphs: Vec<(&str, cc_graph::Graph)> = vec![
+        (
+            "gnm n=100k m=500k",
+            gen::gnm(100_000 * scale, 500_000 * scale, cfg.seed),
+        ),
+        ("grid 400x250", gen::grid(400, 250 * scale)),
+        ("path 100k", gen::path(100_000 * scale)),
+        (
+            "mixture",
+            gen::union_all(&[
+                gen::gnm(50_000 * scale, 200_000 * scale, cfg.seed ^ 1),
+                gen::path(20_000 * scale),
+                gen::star(10_000 * scale),
+            ]),
+        ),
+    ];
+
+    let mut t = Table::new(
+        format!(
+            "E8 — wall-clock (ms, median of {reps}) on {} threads",
+            rayon::current_num_threads()
+        ),
+        "Practical ports: concurrent union-find is the yardstick; label \
+         propagation and alter-and-contract are the paper-flavoured \
+         hashing/contraction algorithms; seq-DSU is the O(m α) sequential bound.",
+        &["graph", "n", "m", "unionfind", "labelprop", "sv", "contract", "seq dsu"],
+    );
+    for (name, g) in &graphs {
+        let truth = components(g);
+        let check = |labels: &[u32]| assert!(same_partition(labels, &truth), "E8 wrong labels");
+
+        let uf = time_ms(reps, || {
+            let l = unionfind_cc(g);
+            check(&l);
+            l
+        });
+        let lp = time_ms(reps, || {
+            let l = labelprop_cc(g);
+            check(&l);
+            l
+        });
+        let sv = time_ms(reps, || {
+            let l = sv_cc(g);
+            check(&l);
+            l
+        });
+        let ct = time_ms(reps, || {
+            let l = contract_cc(g);
+            check(&l);
+            l
+        });
+        let seq = time_ms(reps, || components(g));
+        t.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            f(uf),
+            f(lp),
+            f(sv),
+            f(ct),
+            f(seq),
+        ]);
+    }
+    vec![t]
+}

@@ -1,0 +1,56 @@
+//! E9 — near work-efficiency: simulated work per edge stays bounded.
+//!
+//! Measured: `stats.work / m` (processor-steps per edge) for Theorem 3 on
+//! a size sweep at fixed density and diameter profile. Expected shape: a
+//! slowly-moving constant (the paper's O(m) processors × O(log d +
+//! log log n) time gives work/m ≈ the round count, not a growing power).
+
+use super::common::{faster_runs, mean};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem3::FasterParams;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = FasterParams::default();
+    let seeds = if cfg.full { 0..3u64 } else { 0..2u64 };
+    let ns: &[usize] = if cfg.full {
+        &[1000, 2000, 4000, 8000, 16000]
+    } else {
+        &[1000, 2000, 4000, 8000]
+    };
+
+    let mut t = Table::new(
+        "E9 — Theorem 3 work per edge (G(n, 4n))",
+        "work = Σ active processors over steps. Expect work/m ≈ c · rounds \
+         (near work-efficiency), with c a small constant; work/(m·rounds) \
+         should be flat in n.",
+        &["n", "m", "rounds", "work/m", "work/(m·rounds)", "max procs/m"],
+    );
+    for &n in ns {
+        let g = gen::gnm(n, 4 * n, cfg.seed ^ n as u64);
+        let reports = faster_runs(&g, &params, seeds.clone());
+        let rounds = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
+        let wpm = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.stats.work as f64 / g.m() as f64)
+                .collect::<Vec<_>>(),
+        );
+        let mp = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.stats.max_procs as f64 / g.m() as f64)
+                .collect::<Vec<_>>(),
+        );
+        t.row(vec![
+            n.to_string(),
+            g.m().to_string(),
+            f(rounds),
+            f(wpm),
+            f(wpm / rounds.max(1.0)),
+            f(mp),
+        ]);
+    }
+    vec![t]
+}

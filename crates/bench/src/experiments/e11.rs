@@ -1,0 +1,50 @@
+//! E11 — Lemma B.8: the EXPAND inner loop runs `O(log d)` rounds.
+//!
+//! Workload: diameter sweep at generous table sizes so nothing goes
+//! dormant early. Measured: the maximum per-phase expansion round count of
+//! a Theorem-1 run. Expected: ≈ `log₂ d + O(1)`.
+
+use super::common::{diameter_of, mean, theorem1_runs};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem1::Theorem1Params;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = Theorem1Params::default();
+    let seeds = if cfg.full { 0..4u64 } else { 0..2u64 };
+    let mut t = Table::new(
+        "E11 — EXPAND inner rounds vs diameter (cycles)",
+        "Lemma B.7/B.8: after i clean rounds a table holds B(u, 2^i), so the \
+         loop runs ≈ log₂ d rounds. Measured: max expansion rounds over the \
+         phases of a Theorem-1 run.",
+        &["n", "d", "log2 d", "max expand rounds (mean)"],
+    );
+    let sizes: &[usize] = if cfg.full {
+        &[8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+    } else {
+        &[8, 32, 128, 512, 2048]
+    };
+    for &n in sizes {
+        let g = gen::cycle(n);
+        let d = diameter_of(&g);
+        let reports = theorem1_runs(&g, &params, seeds.clone());
+        let rounds: Vec<f64> = reports
+            .iter()
+            .map(|r| {
+                r.per_round
+                    .iter()
+                    .map(|p| p.expand_rounds)
+                    .max()
+                    .unwrap_or(0) as f64
+            })
+            .collect();
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            f((d.max(1) as f64).log2()),
+            f(mean(&rounds)),
+        ]);
+    }
+    vec![t]
+}

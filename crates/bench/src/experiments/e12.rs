@@ -1,0 +1,45 @@
+//! E12 — Lemma 3.13/D.16: once the diameter is ≤ 1, the loop winds down
+//! and breaks within `O(L + log L)` further rounds.
+//!
+//! Direct measurement: run Theorem 3 on graphs that *start* at diameter
+//! ≤ 2 (cliques, stars, dense G(n,m)) — the whole run is then the
+//! "tail"; its round count must be a small constant independent of n.
+
+use super::common::{faster_runs, mean};
+use crate::table::{f, Table};
+use crate::Config;
+use cc_graph::gen;
+use logdiam_cc::theorem3::FasterParams;
+
+pub(super) fn run(cfg: &Config) -> Vec<Table> {
+    let params = FasterParams::default();
+    let seeds = if cfg.full { 0..5u64 } else { 0..3u64 };
+    let mut t = Table::new(
+        "E12 — tail behaviour on diameter ≤ 2 inputs",
+        "With d = O(1) the whole run is the Lemma 3.13 wind-down: rounds must \
+         be a small constant, flat in n (the log log n term hides in the \
+         Theorem-1 postprocess column).",
+        &["graph", "n", "d", "rounds (mean)", "post phases (mean)"],
+    );
+    let scale = if cfg.full { 2 } else { 1 };
+    let graphs: Vec<(&str, cc_graph::Graph, u32)> = vec![
+        ("complete(64)", gen::complete(64), 1),
+        ("complete(256)", gen::complete(256), 1),
+        ("star(1000)", gen::star(1000 * scale), 2),
+        ("star(8000)", gen::star(8000 * scale), 2),
+        ("gnm(2000, 64n)", gen::gnm(2000 * scale, 128_000 * scale, cfg.seed), 2),
+    ];
+    for (name, g, d) in &graphs {
+        let reports = faster_runs(g, &params, seeds.clone());
+        let rounds = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
+        let post = mean(&reports.iter().map(|r| r.post.rounds as f64).collect::<Vec<_>>());
+        t.row(vec![
+            name.to_string(),
+            g.n().to_string(),
+            d.to_string(),
+            f(rounds),
+            f(post),
+        ]);
+    }
+    vec![t]
+}

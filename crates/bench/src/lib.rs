@@ -1,0 +1,34 @@
+//! # `logdiam-bench` — experiment harness
+//!
+//! One function per experiment in DESIGN.md §4 (E1–E12). Each returns
+//! [`table::Table`]s that the `experiments` binary prints as Markdown —
+//! these are the "tables and figures" of the reproduction, recorded in
+//! EXPERIMENTS.md. Criterion benches under `benches/` cover the wall-clock
+//! measurements (E8) and simulator throughput.
+//!
+//! Sizes are chosen so `experiments all` finishes in minutes on a laptop;
+//! `--full` enlarges the sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+/// Global experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Enlarged sweeps.
+    pub full: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            full: false,
+            seed: 0xC0FFEE,
+        }
+    }
+}

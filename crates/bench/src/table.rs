@@ -1,0 +1,110 @@
+//! Markdown table rendering for experiment output.
+
+/// A titled table with a free-text note (the shape being checked).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// e.g. "E1 — rounds vs diameter".
+    pub title: String,
+    /// The paper claim / expected shape this table checks.
+    pub note: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, note: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            note: note.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as Markdown.
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        if !self.note.is_empty() {
+            out.push_str(&format!("{}\n\n", self.note));
+        }
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format a float tersely.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("T", "note", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("| a  | bb |") || md.contains("| a | bb |"));
+        assert!(md.contains("| 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("T", "", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(42.4242), "42.42");
+        assert_eq!(f(0.1234), "0.123");
+    }
+}

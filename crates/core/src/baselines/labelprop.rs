@@ -1,0 +1,128 @@
+//! Liu–Tarjan '19-style label propagation: the "simple concurrent
+//! algorithm" family the paper cites as the practical `O(log n)` approach
+//! on COMBINING/ARBITRARY CRCW machines.
+//!
+//! Per phase: **minimum-parent link** (every vertex adopts the smallest
+//! parent among its neighbours' parents if smaller than its own), then
+//! SHORTCUT, then ALTER. Parent values only decrease and every adopted
+//! parent is strictly smaller than the adopter's current parent, so the
+//! labeled digraph stays acyclic for free.
+//!
+//! Note the min-link uses a COMBINING (min) write; on an ARBITRARY machine
+//! it would be emulated with the paper's level-array trick. We run it as a
+//! combining step and charge 1 — this only *helps* the baseline, making
+//! E7's comparison conservative.
+
+use crate::metrics::{RoundMetrics, RunReport, StopReason};
+use crate::state::CcState;
+use cc_graph::Graph;
+use pram_kit::ops::{alter, any_nonloop_arc, shortcut};
+use pram_sim::{CombineOp, Pram};
+
+/// Run min-label propagation on `g`.
+pub fn labelprop(pram: &mut Pram, g: &Graph) -> RunReport {
+    let st = CcState::init(pram, g);
+    let (parent, eu, ev) = (st.parent, st.eu, st.ev);
+    let cap = 64 + 8 * (st.n.max(2) as f64).log2().ceil() as u64;
+
+    let mut per_round = Vec::new();
+    let mut stop = StopReason::RoundCap;
+    let mut phase = 0;
+    while phase < cap {
+        phase += 1;
+        // Min-parent link over arcs (v, w): parent[v] becomes the smallest
+        // neighbouring parent that beats the incumbent. Only strictly
+        // smaller values are written, so the combined minimum is always an
+        // improvement and the digraph stays acyclic.
+        pram.step_combine(st.arcs, CombineOp::Min, |i, ctx| {
+            let i = i as usize;
+            let v = ctx.read(eu, i);
+            let w = ctx.read(ev, i);
+            if v == w {
+                return;
+            }
+            let pv = ctx.read(parent, v as usize);
+            let pw = ctx.read(parent, w as usize);
+            if pw < pv {
+                ctx.write(parent, v as usize, pw);
+            }
+        });
+        shortcut(pram, parent);
+        alter(pram, eu, ev, parent);
+        per_round.push(RoundMetrics {
+            round: phase,
+            roots: st.host_count_roots(pram),
+            ongoing: st.host_count_ongoing(pram),
+            ..Default::default()
+        });
+        if !any_nonloop_arc(pram, st.eu, st.ev) {
+            stop = StopReason::Converged;
+            break;
+        }
+    }
+
+    debug_assert!(
+        crate::verify::forest_heights(pram.slice(parent)).is_ok(),
+        "label propagation produced a cycle"
+    );
+    let labels = st.labels_rooted(pram);
+    let stats = pram.stats();
+    st.free(pram);
+    RunReport {
+        labels,
+        rounds: phase,
+        prepare_rounds: 0,
+        stop,
+        stats,
+        per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_labels;
+    use cc_graph::gen;
+    use pram_sim::WritePolicy;
+
+    #[test]
+    fn correct_on_shapes() {
+        for g in [
+            gen::path(40),
+            gen::cycle(25),
+            gen::grid(6, 6),
+            gen::union_all(&[gen::star(8), gen::path(12), gen::complete(5)]),
+        ] {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(6));
+            let report = labelprop(&mut pram, &g);
+            assert_eq!(report.stop, StopReason::Converged);
+            check_labels(&g, &report.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let g = gen::union_all(&[gen::cycle(5), gen::path(4)]);
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+        let report = labelprop(&mut pram, &g);
+        assert_eq!(&report.labels[0..5], &[0; 5]);
+        assert_eq!(&report.labels[5..9], &[5; 4]);
+    }
+
+    #[test]
+    fn converges_fast_on_low_diameter() {
+        let g = gen::gnm(2000, 12000, 3);
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(4));
+        let report = labelprop(&mut pram, &g);
+        check_labels(&g, &report.labels).unwrap();
+        assert!(report.rounds <= 20, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn correct_on_long_path() {
+        let g = gen::path(512);
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(8));
+        let report = labelprop(&mut pram, &g);
+        check_labels(&g, &report.labels).unwrap();
+    }
+}

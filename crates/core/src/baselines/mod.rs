@@ -1,0 +1,12 @@
+//! Classic `O(log n)` PRAM connectivity baselines.
+//!
+//! The paper's positioning (§1) is that Shiloach–Vishkin-style algorithms
+//! take `Θ(log n)` rounds regardless of the diameter; experiment E7 runs
+//! these against the Theorem-3 algorithm across a diameter sweep to show
+//! the crossover. [`crate::vanilla`] (Reif '84) is the third baseline.
+
+pub mod awerbuch_shiloach;
+pub mod labelprop;
+
+pub use awerbuch_shiloach::awerbuch_shiloach;
+pub use labelprop::labelprop;

@@ -1,0 +1,104 @@
+//! Per-run measurement records consumed by the experiment harness.
+
+use pram_sim::Stats;
+
+/// Why an iterative algorithm stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The paper's break condition held.
+    Converged,
+    /// The safety round cap was hit; the run then falls through to the
+    /// always-correct postprocess, so the *output* is still verified —
+    /// only the round count is censored. Counted by experiment E6.
+    RoundCap,
+}
+
+/// One round / phase snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundMetrics {
+    /// Round (Theorem 3) or phase (Theorem 1 / Vanilla) index, 1-based.
+    pub round: u64,
+    /// Roots in the labeled digraph at the end of the round.
+    pub roots: usize,
+    /// Roots that still have an incident non-loop edge ("ongoing").
+    pub ongoing: usize,
+    /// Maximum level (Theorem 3) — 0 where not applicable.
+    pub max_level: u64,
+    /// Vertices marked dormant this round (each dormancy is caused by a
+    /// hash collision, a lost block lottery, or propagation from one).
+    pub dormant: u64,
+    /// Live table words allocated at the end of the round.
+    pub table_words: u64,
+    /// Expansion inner rounds executed this phase (Theorem 1/2; the
+    /// `O(log d)` loop of §B.3 Step 5).
+    pub expand_rounds: u64,
+}
+
+/// Full report of one algorithm run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Component label per vertex.
+    pub labels: Vec<u32>,
+    /// Outer rounds / phases executed.
+    pub rounds: u64,
+    /// PREPARE phases (Theorem 1/2) or COMPACT phases (Theorem 3).
+    pub prepare_rounds: u64,
+    /// Why the main loop stopped.
+    pub stop: StopReason,
+    /// Machine accounting for the run.
+    pub stats: Stats,
+    /// Per-round snapshots.
+    pub per_round: Vec<RoundMetrics>,
+}
+
+impl RunReport {
+    /// Highest level any vertex reached (Theorem 3).
+    pub fn max_level(&self) -> u64 {
+        self.per_round.iter().map(|r| r.max_level).max().unwrap_or(0)
+    }
+
+    /// Total expansion inner rounds (Theorem 1/2).
+    pub fn total_expand_rounds(&self) -> u64 {
+        self.per_round.iter().map(|r| r.expand_rounds).sum()
+    }
+
+    /// Peak table words over the run.
+    pub fn peak_table_words(&self) -> u64 {
+        self.per_round.iter().map(|r| r.table_words).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let report = RunReport {
+            labels: vec![],
+            rounds: 2,
+            prepare_rounds: 0,
+            stop: StopReason::Converged,
+            stats: Stats::default(),
+            per_round: vec![
+                RoundMetrics {
+                    round: 1,
+                    max_level: 2,
+                    expand_rounds: 3,
+                    table_words: 10,
+                    ..Default::default()
+                },
+                RoundMetrics {
+                    round: 2,
+                    max_level: 3,
+                    expand_rounds: 4,
+                    table_words: 7,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(report.max_level(), 3);
+        assert_eq!(report.total_expand_rounds(), 7);
+        assert_eq!(report.peak_table_words(), 10);
+    }
+}

@@ -1,0 +1,370 @@
+//! **Theorem 2** — Spanning Forest in `O(log d · log log_{m/n} n)` (§C):
+//!
+//! ```text
+//! FOREST-PREPARE;
+//! repeat { EXPAND; VOTE; TREE-LINK; TREE-SHORTCUT; ALTER } until no non-loop edge
+//! ```
+//!
+//! The connected-components EXPAND adds edges that are not input edges, so
+//! its LINK cannot be recorded in a forest. Theorem 2 therefore:
+//!
+//! * snapshots the expansion tables per round (`H_j`),
+//! * replays them in [`treelink`] to compute exact distances `β` to the
+//!   nearest leader, and
+//! * links only along *current graph arcs* `(v, w)` with `β(v) = β(w)+1`,
+//!   marking each used arc's **original** input edge (`ê.f := 1`) — every
+//!   arc processor carries its original edge identity through all ALTERs.
+//!
+//! `FOREST-PREPARE` is **Vanilla-SF** (§C.1): random mating whose links
+//! also happen along current arcs and are recorded the same way.
+//!
+//! Outputs are validated by [`crate::verify::check_spanning_forest`]:
+//! acyclic, one tree per component, every edge an input edge.
+
+mod treelink;
+
+use crate::metrics::{RoundMetrics, RunReport, StopReason};
+use crate::state::CcState;
+use crate::theorem1::{expand, vote, DensityMode, ExpandParams, Theorem1Params};
+use crate::vanilla::phase_cap;
+use crate::verify;
+use cc_graph::Graph;
+use pram_kit::ops::{alter, any_nonloop_arc, shortcut_until_flat};
+use pram_sim::{CombineOp, Handle, Pram, NULL};
+use treelink::{tree_link, TreeLink};
+
+/// Report of a spanning-forest run.
+#[derive(Clone, Debug)]
+pub struct ForestReport {
+    /// Indices into `g.edges()` of the forest edges.
+    pub forest_edges: Vec<usize>,
+    /// Component labels (forest roots).
+    pub labels: Vec<u32>,
+    /// Run metrics (rounds = main-loop phases).
+    pub run: RunReport,
+    /// Largest tree height observed right after a TREE-LINK
+    /// (Lemma C.8: ≤ d).
+    pub max_height_observed: u32,
+}
+
+/// One Vanilla-SF phase (§C.1): RANDOM-VOTE; MARK-EDGE; LINK; SHORTCUT;
+/// ALTER, with forest marking on original arcs.
+fn vanilla_sf_phase(
+    pram: &mut Pram,
+    st: &CcState,
+    leader: Handle,
+    vearc: Handle,
+    forest: Handle,
+    seed: u64,
+) {
+    let n = st.n;
+    let (parent, eu, ev) = (st.parent, st.eu, st.ev);
+    pram.step(n, move |u, ctx| {
+        let l = ctx.coin(seed ^ 0x52_56_53, 0.5);
+        ctx.write(leader, u as usize, l as u64);
+    });
+    pram.fill_step(vearc, NULL);
+    // MARK-EDGE: remember which arc causes the link.
+    pram.step(st.arcs, move |i, ctx| {
+        let ai = i as usize;
+        let v = ctx.read(eu, ai);
+        let w = ctx.read(ev, ai);
+        if v == w {
+            return;
+        }
+        if ctx.read(leader, v as usize) == 0 && ctx.read(leader, w as usize) == 1 {
+            ctx.write(vearc, v as usize, i);
+        }
+    });
+    // LINK along the remembered arc; mark its original edge.
+    pram.step(n, move |u, ctx| {
+        let i = ctx.read(vearc, u as usize);
+        if i == NULL {
+            return;
+        }
+        let w = ctx.read(ev, i as usize);
+        ctx.write(parent, u as usize, w);
+        ctx.write(forest, i as usize, 1);
+    });
+    pram_kit::ops::shortcut(pram, parent);
+    alter(pram, eu, ev, parent);
+}
+
+/// Run Theorem 2's Spanning Forest algorithm on `g`.
+pub fn spanning_forest(
+    pram: &mut Pram,
+    g: &Graph,
+    seed: u64,
+    params: &Theorem1Params,
+) -> ForestReport {
+    let st = CcState::init(pram, g);
+    let n = st.n;
+    let m_eff = g.m().max(1) as f64;
+    let forest = pram.alloc_filled(st.arcs, 0);
+    let leader = pram.alloc(n);
+    let vearc = pram.alloc_filled(n, NULL);
+    let mut per_round = Vec::new();
+    let mut max_height_observed = 0u32;
+
+    // -------------------------------------------------- FOREST-PREPARE
+    let mut ntilde = n as f64;
+    let mut prepare_rounds = 0;
+    let prepare_cap = phase_cap(n);
+    let mut solved = false;
+    while m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap {
+        prepare_rounds += 1;
+        vanilla_sf_phase(pram, &st, leader, vearc, forest, seed.wrapping_add(prepare_rounds));
+        if !any_nonloop_arc(pram, st.eu, st.ev) {
+            solved = true;
+            break;
+        }
+        ntilde = match params.density {
+            DensityMode::Combining => combining_ongoing(pram, &st).max(1) as f64,
+            DensityMode::NTildeRule => ntilde * 0.95,
+        };
+    }
+
+    // ------------------------------------------------------- main loop
+    let max_phases = if params.max_phases > 0 {
+        params.max_phases
+    } else {
+        phase_cap(n)
+    };
+    let mut stop = if solved {
+        StopReason::Converged
+    } else {
+        StopReason::RoundCap
+    };
+    let mut phase = 0;
+    while !solved && phase < max_phases {
+        phase += 1;
+        let phase_seed = seed ^ phase.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5F;
+        let delta = (m_eff / ntilde).max(1.0);
+        let k = params.table_size(delta);
+        let nblocks = ((2.0 * ntilde) as usize)
+            .max(st.arcs / 2 / (k * k))
+            .max(8)
+            .next_power_of_two();
+        let exp_params = ExpandParams {
+            table_size: k,
+            nblocks,
+            snapshot: true, // TREE-LINK replays the rounds
+            round_cap: (n.max(2) as f64).log2().ceil() as u64 + 6,
+        };
+        let expansion = expand(pram, &st, &exp_params, phase_seed);
+        vote(pram, &st, &expansion, leader, params.leader_prob(k), phase_seed);
+        let tl = TreeLink::new(pram, n, nblocks * k);
+        tree_link(pram, &st, &expansion, &tl, leader, forest);
+        // Lemma C.8 measurement: heights after TREE-LINK, before
+        // flattening, must stay ≤ d.
+        let h = verify::forest_heights(pram.slice(st.parent))
+            .expect("TREE-LINK created a cycle")
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        max_height_observed = max_height_observed.max(h);
+        shortcut_until_flat(pram, st.parent); // TREE-SHORTCUT
+        alter(pram, st.eu, st.ev, st.parent);
+
+        per_round.push(RoundMetrics {
+            round: phase,
+            roots: st.host_count_roots(pram),
+            ongoing: st.host_count_ongoing(pram),
+            expand_rounds: expansion.rounds,
+            table_words: (expansion.nblocks * expansion.k * expansion.snapshots.len()) as u64,
+            ..Default::default()
+        });
+        tl.free(pram);
+        expansion.free(pram);
+
+        if !any_nonloop_arc(pram, st.eu, st.ev) {
+            stop = StopReason::Converged;
+            solved = true;
+            break;
+        }
+        ntilde = match params.density {
+            DensityMode::Combining => combining_ongoing(pram, &st).max(1) as f64,
+            DensityMode::NTildeRule => {
+                (ntilde / params.reduction(k)).max(1.0)
+            }
+        };
+    }
+
+    // Fallback: finish with Vanilla-SF (always correct, still marks the
+    // forest properly).
+    if !solved {
+        let cap = phase_cap(n);
+        let mut extra = 0;
+        while any_nonloop_arc(pram, st.eu, st.ev) && extra < cap {
+            extra += 1;
+            vanilla_sf_phase(pram, &st, leader, vearc, forest, seed ^ 0x00FA_115F ^ extra);
+        }
+    }
+
+    // ------------------------------------------------------- extraction
+    // Arcs were laid out as (2e, 2e+1) per input edge e by CcState::init.
+    let flags = pram.read_vec(forest);
+    let mut forest_edges: Vec<usize> = Vec::new();
+    for e in 0..g.m() {
+        if flags[2 * e] != 0 || flags[2 * e + 1] != 0 {
+            forest_edges.push(e);
+        }
+    }
+    debug_assert!(
+        verify::forest_heights(pram.slice(st.parent)).is_ok(),
+        "Theorem 2 produced a cyclic labeled digraph"
+    );
+    let labels = st.labels_rooted(pram);
+    let stats = pram.stats();
+    pram.free(forest);
+    pram.free(leader);
+    pram.free(vearc);
+    st.free(pram);
+
+    ForestReport {
+        forest_edges,
+        labels,
+        run: RunReport {
+            labels: Vec::new(),
+            rounds: phase,
+            prepare_rounds,
+            stop,
+            stats,
+            per_round,
+        },
+        max_height_observed,
+    }
+}
+
+/// COMBINING-mode exact ongoing count (same subroutine as Theorem 1).
+fn combining_ongoing(pram: &mut Pram, st: &CcState) -> usize {
+    let (eu, ev) = (st.eu, st.ev);
+    let n = st.n;
+    let ongoing = pram.alloc_filled(n, 0);
+    pram.step(st.arcs, move |i, ctx| {
+        let i = i as usize;
+        let a = ctx.read(eu, i);
+        let b = ctx.read(ev, i);
+        if a != b {
+            ctx.write(ongoing, a as usize, 1);
+            ctx.write(ongoing, b as usize, 1);
+        }
+    });
+    let cell = pram.alloc_filled(1, 0);
+    pram.step_combine(n, CombineOp::Sum, move |v, ctx| {
+        if ctx.read(ongoing, v as usize) != 0 {
+            ctx.write(cell, 0, 1);
+        }
+    });
+    let c = pram.get(cell, 0) as usize;
+    pram.free(cell);
+    pram.free(ongoing);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_spanning_forest;
+    use cc_graph::gen;
+    use cc_graph::seq::max_component_diameter_exact;
+    use pram_sim::WritePolicy;
+
+    fn run(g: &Graph, seed: u64) -> ForestReport {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+        spanning_forest(&mut pram, g, seed, &Theorem1Params::default())
+    }
+
+    #[test]
+    fn valid_forest_on_basic_shapes() {
+        for g in [
+            gen::path(40),
+            gen::cycle(25),
+            gen::star(30),
+            gen::complete(12),
+            gen::grid(5, 7),
+            gen::union_all(&[gen::path(9), gen::cycle(7), gen::complete(5)]),
+        ] {
+            let report = run(&g, 5);
+            check_spanning_forest(&g, &report.forest_edges)
+                .unwrap_or_else(|e| panic!("graph n={} m={}: {e}", g.n(), g.m()));
+        }
+    }
+
+    #[test]
+    fn valid_forest_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::gnm(250, 900, seed);
+            let report = run(&g, seed * 13 + 1);
+            check_spanning_forest(&g, &report.forest_edges).unwrap();
+            crate::verify::check_labels(&g, &report.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn valid_under_all_policies() {
+        let g = gen::gnm(200, 700, 9);
+        for policy in [
+            WritePolicy::ArbitrarySeeded(4),
+            WritePolicy::PriorityMin,
+            WritePolicy::PriorityMax,
+            WritePolicy::Racy,
+        ] {
+            let mut pram = Pram::new(policy);
+            let report = spanning_forest(&mut pram, &g, 11, &Theorem1Params::default());
+            check_spanning_forest(&g, &report.forest_edges).unwrap();
+        }
+    }
+
+    #[test]
+    fn tree_heights_bounded_by_diameter() {
+        // Lemma C.8: heights after TREE-LINK ≤ d (+1 slack for the
+        // height-0 convention).
+        let g = gen::grid(6, 10);
+        let d = max_component_diameter_exact(&g);
+        let report = run(&g, 17);
+        check_spanning_forest(&g, &report.forest_edges).unwrap();
+        assert!(
+            report.max_height_observed <= d + 1,
+            "height {} exceeds diameter {d}",
+            report.max_height_observed
+        );
+    }
+
+    #[test]
+    fn multi_component_forest_has_one_tree_per_component() {
+        let g = gen::union_all(&[gen::cycle(10), gen::path(7), gen::star(6), gen::complete(5)]);
+        let report = run(&g, 23);
+        check_spanning_forest(&g, &report.forest_edges).unwrap();
+        // n - #components = forest size; 4 components here.
+        assert_eq!(report.forest_edges.len(), g.n() - 4);
+    }
+
+    #[test]
+    fn deterministic_under_seeded_policy() {
+        let g = gen::gnm(150, 400, 3);
+        let a = run(&g, 77);
+        let b = run(&g, 77);
+        assert_eq!(a.forest_edges, b.forest_edges);
+    }
+
+    #[test]
+    fn edgeless_graph_empty_forest() {
+        let g = cc_graph::GraphBuilder::new(6).build();
+        let report = run(&g, 1);
+        assert!(report.forest_edges.is_empty());
+        check_spanning_forest(&g, &report.forest_edges).unwrap();
+    }
+
+    #[test]
+    fn ntilde_rule_also_valid() {
+        let g = gen::gnm(200, 800, 6);
+        let params = Theorem1Params {
+            density: DensityMode::NTildeRule,
+            ..Default::default()
+        };
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(8));
+        let report = spanning_forest(&mut pram, &g, 19, &params);
+        check_spanning_forest(&g, &report.forest_edges).unwrap();
+    }
+}

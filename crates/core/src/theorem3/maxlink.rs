@@ -1,0 +1,225 @@
+//! MAXLINK (§3.1/§D.1): every vertex re-hooks onto the highest-level
+//! parent in its closed neighbourhood, twice per invocation.
+//!
+//! Implementation follows §3.3: every edge-holder (arc processor or table
+//! cell) writes the neighbour's parent into a level-indexed candidate array
+//! of the target vertex (ARBITRARY win per level cell), then each vertex
+//! picks the highest occupied level in one charged step (the paper finds
+//! it in O(1) with `log³ n` processors doing pairwise comparisons; the
+//! scan over `L_max + 1 = O(log log n)` cells is charged 1 and shows up in
+//! the `max_ops_per_proc` audit).
+//!
+//! Tie handling: a vertex's own parent is always a candidate (`v ∈ N(v)`),
+//! and the update fires only when the best candidate's level *strictly*
+//! exceeds the current parent's — preferring the incumbent among
+//! equal-level candidates is a legal ARBITRARY choice and keeps the break
+//! condition's "no parent changed" test from flapping between tied
+//! parents.
+//!
+//! Invariant preserved (Lemma 3.2/D.4): a new parent always has level
+//! strictly above the old parent's (hence above the vertex's), so parent
+//! chains strictly increase in level and no cycle can form.
+
+use crate::state::CcState;
+use pram_kit::ops::Flag;
+use pram_sim::{Handle, Pram, NULL};
+
+/// Shared context for a MAXLINK invocation.
+pub(crate) struct MaxlinkCtx<'a> {
+    /// Candidate array, `n × (max_level + 1)` cells.
+    pub cand: Handle,
+    /// Level array.
+    pub level: Handle,
+    /// Max level (array stride is `max_level + 1`).
+    pub lmax: usize,
+    /// Persistent-table edge index: one entry per table cell, `(x, cell)`.
+    pub table_cells: &'a [(u32, u32)],
+    /// Per-vertex persistent table offsets (NULL = none).
+    pub eoff: Handle,
+    /// The table heap.
+    pub heap: Handle,
+}
+
+/// One MAXLINK iteration; raises `changed` if any parent moved.
+pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, changed: &Flag) {
+    let n = st.n;
+    let stride = mx.lmax + 1;
+    let (cand, level, eoff, heap) = (mx.cand, mx.level, mx.eoff, mx.heap);
+    let parent = st.parent;
+    let (eu, ev) = (st.eu, st.ev);
+
+    // Clear candidates.
+    pram.fill_step(cand, NULL);
+
+    // Self-candidate: v's own parent (v ∈ N(v)).
+    pram.step(n, move |v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let lp = ctx.read(level, p as usize) as usize;
+        ctx.write(cand, v as usize * stride + lp, p);
+    });
+
+    // Arc candidates: for arc (a, b), b's parent is a candidate for a.
+    pram.step(st.arcs, move |i, ctx| {
+        let i = i as usize;
+        let a = ctx.read(eu, i);
+        let b = ctx.read(ev, i);
+        if a == b {
+            return;
+        }
+        let pb = ctx.read(parent, b as usize);
+        let lpb = ctx.read(level, pb as usize) as usize;
+        ctx.write(cand, a as usize * stride + lpb, pb);
+    });
+
+    // Table-edge candidates, both directions per cell.
+    let table_cells = mx.table_cells;
+    pram.step(table_cells.len(), move |i, ctx| {
+        let (x, c) = table_cells[i as usize];
+        let off = ctx.read(eoff, x as usize);
+        if off == NULL {
+            return;
+        }
+        let w = ctx.read(heap, off as usize + c as usize);
+        if w == NULL || w == x as u64 {
+            return;
+        }
+        let pw = ctx.read(parent, w as usize);
+        let lpw = ctx.read(level, pw as usize) as usize;
+        ctx.write(cand, x as usize * stride + lpw, pw);
+        let px = ctx.read(parent, x as usize);
+        let lpx = ctx.read(level, px as usize) as usize;
+        ctx.write(cand, w as usize * stride + lpx, px);
+    });
+
+    // Selection: highest occupied level wins; update on strict improvement
+    // over the current parent's level. Charged one step (see module docs);
+    // the scan is L_max+1 local reads, visible in the audit counter.
+    pram.step(n, |v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let lp = ctx.read(level, p as usize) as usize;
+        for l in (lp + 1..stride).rev() {
+            let u = ctx.read(cand, v as usize * stride + l);
+            if u != NULL {
+                ctx.write(parent, v as usize, u);
+                changed.raise(ctx);
+                return;
+            }
+        }
+    });
+}
+
+/// Full MAXLINK: `iters` iterations (the paper uses 2).
+pub(crate) fn maxlink(
+    pram: &mut Pram,
+    st: &CcState,
+    mx: &MaxlinkCtx,
+    changed: &Flag,
+    iters: u32,
+) {
+    for _ in 0..iters {
+        maxlink_iter(pram, st, mx, changed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::gen;
+    use pram_sim::WritePolicy;
+
+    /// Build a machine with a path graph and hand-set levels.
+    fn setup(levels: &[u64]) -> (Pram, CcState, Handle, Handle) {
+        let g = gen::path(levels.len());
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(5));
+        let st = CcState::init(&mut pram, &g);
+        let level = pram.alloc(levels.len());
+        for (v, &l) in levels.iter().enumerate() {
+            pram.set(level, v, l);
+        }
+        let lmax = 8;
+        let cand = pram.alloc(levels.len() * (lmax + 1));
+        (pram, st, level, cand)
+    }
+
+    fn run_iter(pram: &mut Pram, st: &CcState, level: Handle, cand: Handle) -> bool {
+        let eoff = pram.alloc_filled(st.n, NULL);
+        let changed = Flag::new(pram);
+        let heap = pram.alloc_filled(1, NULL);
+        let mx = MaxlinkCtx {
+            cand,
+            level,
+            lmax: 8,
+            table_cells: &[],
+            eoff,
+            heap,
+        };
+        maxlink_iter(pram, st, &mx, &changed, );
+        let r = changed.read(pram);
+        changed.free(pram);
+        pram.free(eoff);
+        pram.free(heap);
+        r
+    }
+
+    #[test]
+    fn hooks_toward_highest_level_neighbor_parent() {
+        // Path 0-1-2; levels: 1, 1, 3. Vertices 0: neighbors {1}: parent 1
+        // level 1 — no move. Vertex 1: neighbor 2 has parent 2 at level 3 >
+        // own parent's level 1 → hook onto 2.
+        let (mut pram, st, level, cand) = setup(&[1, 1, 3]);
+        assert!(run_iter(&mut pram, &st, level, cand));
+        let p = pram.read_vec(st.parent);
+        assert_eq!(p, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn no_change_on_equal_levels() {
+        let (mut pram, st, level, cand) = setup(&[2, 2, 2, 2]);
+        assert!(!run_iter(&mut pram, &st, level, cand));
+        assert_eq!(pram.read_vec(st.parent), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_iterations_reach_distance_two() {
+        // Path 0-1-2 with level(2)=5: after one iteration 1 hooks on 2;
+        // after the second, 0 sees neighbor 1 whose parent is 2 (level 5)
+        // and hooks onto 2 as well — the "distance 2" effect MAXLINK
+        // exists for (Lemma 3.7 applied twice).
+        let (mut pram, st, level, cand) = setup(&[1, 1, 5]);
+        run_iter(&mut pram, &st, level, cand);
+        run_iter(&mut pram, &st, level, cand);
+        let p = pram.read_vec(st.parent);
+        assert_eq!(p, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_new_chains() {
+        // Random levels on a grid; after MAXLINK, every non-root's parent
+        // has strictly higher level (Lemma 3.2 / D.4).
+        let g = gen::grid(5, 5);
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(9));
+        let st = CcState::init(&mut pram, &g);
+        let level = pram.alloc(st.n);
+        for v in 0..st.n {
+            pram.set(level, v, (v as u64 * 7 + 3) % 5);
+        }
+        let lmax = 8;
+        let cand = pram.alloc(st.n * (lmax + 1));
+        run_iter(&mut pram, &st, level, cand);
+        run_iter(&mut pram, &st, level, cand);
+        let p = pram.read_vec(st.parent);
+        let l = pram.read_vec(level);
+        crate::verify::forest_heights(&p).expect("cycle created by MAXLINK");
+        for v in 0..st.n {
+            if p[v] != v as u64 {
+                assert!(
+                    l[p[v] as usize] > l[v],
+                    "non-root {v} level {} parent {} level {}",
+                    l[v],
+                    p[v],
+                    l[p[v] as usize]
+                );
+            }
+        }
+    }
+}

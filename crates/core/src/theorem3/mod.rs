@@ -1,0 +1,580 @@
+//! **Theorem 3** — Faster Connected Components in
+//! `O(log d + log log_{m/n} n)` (§3 / §D of the paper):
+//!
+//! ```text
+//! COMPACT;
+//! repeat { EXPAND-MAXLINK } until diameter ≤ 1 and all trees flat;
+//! run the Theorem-1 algorithm on the remaining graph.
+//! ```
+//!
+//! * `COMPACT` (§D): Vanilla phases shrink the ongoing-vertex count, then
+//!   approximate compaction renames the survivors so every one of them can
+//!   own a level-1 block of size `b₁` (Assumption 3.1).
+//! * Each round runs Steps (1)–(8) of [`round`] (EXPAND-MAXLINK): MAXLINK
+//!   toward higher levels, random and collision-triggered level raises,
+//!   same-budget table hashing, and table squaring. The level/budget
+//!   machinery (`b_ℓ = b₁^{κ^{ℓ-1}}`, non-roots frozen — Lemma 3.2/D.4) is
+//!   what turns the multiplicative `log d · log log n` of Theorem 1 into
+//!   the additive `log d + log log n`.
+//! * The break condition is the O(1) test of §3.3: no parent/level change
+//!   and transitively-closed tables; when it fires the root graph has
+//!   diameter ≤ 1 and the Theorem-1 postprocess finishes in
+//!   `O(log log_{m/n} n)`.
+//!
+//! The driver's output is verified against ground truth in every test; a
+//! safety round cap (counted by E6, never silently ignored) falls through
+//! to the always-correct postprocess.
+
+mod maxlink;
+mod round;
+mod tables;
+
+use crate::metrics::{RoundMetrics, RunReport, StopReason};
+use crate::state::CcState;
+use crate::theorem1::{self, Theorem1Params};
+use crate::vanilla::vanilla_phase;
+use crate::verify;
+use cc_graph::Graph;
+use pram_kit::compaction::{compact, CompactionMode};
+use pram_kit::ops::{alter, shortcut_until_flat};
+use pram_sim::{Pram, NULL};
+use round::{expand_maxlink_round, FasterState};
+use tables::TableHeap;
+
+/// Tunable parameters (paper values in brackets; see crate docs on
+/// parameter substitution).
+#[derive(Clone, Debug)]
+pub struct FasterParams {
+    /// Initial budget `b₁` (power of four; 0 = auto from post-COMPACT
+    /// density) [paper: `max(m/n, log^c n)/log² n`, `c = 200`].
+    pub b1: u64,
+    /// Budget growth exponent: `b_{ℓ+1} = b_ℓ^κ` [paper: κ = 1.01; default
+    /// 1.5 — fast enough for double-exponential progress at laptop scale,
+    /// gentle enough that a root's block never jumps from "small" straight
+    /// to the `~n²` ceiling, which is what keeps per-round work near `O(m)`
+    /// (E9). κ = 2 and 4 are exercised by the E10 ablation].
+    pub kappa: f64,
+    /// Budget ceiling (0 = auto) [paper: implicitly `poly(n)`].
+    pub max_budget: u64,
+    /// Step-2 sampling probability `min(sample_cap, sample_coeff /
+    /// b^sample_exp)` [paper: `10 log n / b^{0.1}`].
+    pub sample_coeff: f64,
+    /// Exponent in the sampling probability [paper: 0.1].
+    pub sample_exp: f64,
+    /// Cap on the sampling probability.
+    pub sample_cap: f64,
+    /// Disable Step 2 entirely (E10 ablation).
+    pub enable_sampling: bool,
+    /// MAXLINK iterations per invocation [paper: 2] (E10 ablation).
+    pub maxlink_iters: u32,
+    /// Density PREPARE inside COMPACT must reach (0 disables the Vanilla
+    /// prefix) [paper: `log^c n`].
+    pub compact_delta0: f64,
+    /// Round cap (0 = auto); hitting it is recorded, never hidden.
+    pub round_cap: u64,
+    /// Parameters of the Theorem-1 postprocess.
+    pub postprocess: Theorem1Params,
+}
+
+impl Default for FasterParams {
+    fn default() -> Self {
+        FasterParams {
+            b1: 0,
+            kappa: 1.5,
+            max_budget: 0,
+            sample_coeff: 1.0,
+            sample_exp: 0.3,
+            sample_cap: 0.15,
+            enable_sampling: true,
+            maxlink_iters: 2,
+            compact_delta0: 4.0,
+            round_cap: 0,
+            postprocess: Theorem1Params::default(),
+        }
+    }
+}
+
+/// Round a value up to a power of four.
+fn pow4_at_least(x: u64) -> u64 {
+    let mut b = 4u64;
+    while b < x {
+        b <<= 2;
+    }
+    b
+}
+
+impl FasterParams {
+    /// The budget schedule `budgets[ℓ]` (powers of four), `budgets[0] = 0`.
+    fn budget_schedule(&self, n: usize, m: usize, ongoing: usize) -> Vec<u64> {
+        let b1 = if self.b1 > 0 {
+            pow4_at_least(self.b1)
+        } else {
+            let density = (m.max(1) as u64 / ongoing.max(1) as u64).clamp(16, 256);
+            pow4_at_least(density)
+        };
+        let max_budget = if self.max_budget > 0 {
+            pow4_at_least(self.max_budget)
+        } else {
+            // Budget ceiling: the paper's design needs the top-level table
+            // `√b_L` to hold a whole component's root set (Lemma 3.19 gives
+            // `b_L ≥ n⁴`; here `b_L ≈ 4n²`, i.e. tables of ~2n cells),
+            // otherwise the §3.3 break condition can never fire on stubborn
+            // inputs. A hard memory lid of 4M words bounds the footprint on
+            // big inputs; if it ever binds the run falls through to the
+            // always-correct postprocess (counted by E6).
+            let cap = (4 * (n as u64) * (n as u64)).min(1 << 22);
+            pow4_at_least(cap.max(4 * b1))
+        };
+        let mut budgets = vec![0, b1];
+        loop {
+            let last = *budgets.last().unwrap();
+            if last >= max_budget {
+                break;
+            }
+            let next = pow4_at_least((last as f64).powf(self.kappa).min(max_budget as f64) as u64)
+                .min(max_budget)
+                .max(last << 2); // strictly increasing even for κ near 1
+            budgets.push(next);
+        }
+        budgets
+    }
+}
+
+/// Full report of a Theorem-3 run.
+#[derive(Clone, Debug)]
+pub struct FasterReport {
+    /// Main-loop report; `run.rounds` counts EXPAND-MAXLINK rounds and
+    /// `run.labels` is the final verified labeling.
+    pub run: RunReport,
+    /// The Theorem-1 postprocess report (labels empty).
+    pub post: RunReport,
+    /// Retry rounds the initial approximate compaction needed.
+    pub compaction_rounds: u64,
+    /// Peak table-heap words over the run — the E4 measurement.
+    pub table_peak_words: u64,
+}
+
+/// Run Theorem 3's Faster Connected Components on `g`.
+pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -> FasterReport {
+    let st = CcState::init(pram, g);
+    let n = st.n;
+    let m = g.m();
+    let mut per_round = Vec::new();
+
+    // ------------------------------------------------------------ COMPACT
+    // Vanilla prefix until the density target (the paper's PREPARE inside
+    // COMPACT), then approximate compaction renames the ongoing vertices
+    // (providing the distinct ids of Assumption 3.1).
+    let leader = pram.alloc(n);
+    let mut prepare_rounds = 0;
+    let prep_cap = 4 + 2 * ((n.max(4) as f64).log2().log2().ceil() as u64);
+    while params.compact_delta0 > 0.0 && prepare_rounds < prep_cap {
+        let ongoing = st.host_count_ongoing(pram);
+        if ongoing == 0 || (m as f64) / (ongoing as f64) >= params.compact_delta0 {
+            break;
+        }
+        prepare_rounds += 1;
+        vanilla_phase(pram, &st, leader, seed ^ 0xC0_4AC7 ^ prepare_rounds);
+    }
+    pram.free(leader);
+
+    let ongoing_now = st.host_count_ongoing(pram);
+    let compaction_rounds = {
+        // Rename ongoing vertices via approximate compaction (Lemma D.3).
+        let active = pram.alloc_filled(n, 0);
+        let eu = st.eu;
+        let ev = st.ev;
+        pram.step(st.arcs, |i, ctx| {
+            let i = i as usize;
+            let a = ctx.read(eu, i);
+            let b = ctx.read(ev, i);
+            if a != b {
+                ctx.write(active, a as usize, 1);
+                ctx.write(active, b as usize, 1);
+            }
+        });
+        let res = compact(pram, active, seed ^ 0xC0317AC7, CompactionMode::ChargedO1)
+            .expect("approximate compaction failed");
+        let rounds = res.rounds;
+        res.free(pram);
+        pram.free(active);
+        rounds
+    };
+
+    // ---------------------------------------------------- state init
+    let budgets = params.budget_schedule(n, m, ongoing_now.max(1));
+    let lmax = budgets.len() - 1;
+    let b1 = budgets[1];
+    let level = pram.alloc_filled(n, 0);
+    let budget = pram.alloc_filled(n, 0);
+    {
+        let eu = st.eu;
+        let ev = st.ev;
+        // Assumption 3.1: every ongoing vertex starts at level 1 with a
+        // b₁-sized block.
+        pram.step(st.arcs, move |i, ctx| {
+            let i = i as usize;
+            let a = ctx.read(eu, i);
+            let b = ctx.read(ev, i);
+            if a != b {
+                ctx.write(level, a as usize, 1);
+                ctx.write(level, b as usize, 1);
+                ctx.write(budget, a as usize, b1);
+                ctx.write(budget, b as usize, b1);
+            }
+        });
+    }
+    let heap = TableHeap::new(pram, (4 * m).max(1024));
+    let mut fs = FasterState {
+        st,
+        level,
+        budget,
+        eoff: pram.alloc_filled(n, NULL),
+        t3off: pram.alloc_filled(n, NULL),
+        t5off: pram.alloc_filled(n, NULL),
+        dormant: pram.alloc_filled(n, 0),
+        raised2: pram.alloc_filled(n, 0),
+        ongoing: pram.alloc_filled(n, 0),
+        cand: pram.alloc_filled(n * (lmax + 1), NULL),
+        heap,
+        lmax,
+        budgets,
+        host_tbl: vec![None; n],
+        table_cells: Vec::new(),
+    };
+
+    // ------------------------------------------------- EXPAND-MAXLINK loop
+    let round_cap = if params.round_cap > 0 {
+        params.round_cap
+    } else {
+        48 + 4 * (n.max(2) as f64).log2().ceil() as u64
+    };
+    let mut stop = StopReason::RoundCap;
+    let mut rounds = 0;
+    while rounds < round_cap {
+        rounds += 1;
+        let outcome = expand_maxlink_round(pram, &mut fs, params, seed, rounds);
+        per_round.push(RoundMetrics {
+            round: rounds,
+            roots: fs.st.host_count_roots(pram),
+            ongoing: fs.st.host_count_ongoing(pram),
+            max_level: outcome.max_level,
+            dormant: outcome.dormant,
+            table_words: outcome.table_live,
+            ..Default::default()
+        });
+        #[cfg(any(test, feature = "strict"))]
+        assert_invariants(pram, &fs);
+        if !outcome.changed && !outcome.ii_violated {
+            stop = StopReason::Converged;
+            break;
+        }
+    }
+
+    // ------------------------------------------------------- postprocess
+    // Flatten, move edges to roots, then hand the remaining graph (arcs +
+    // added table edges) to the Theorem-1 algorithm.
+    shortcut_until_flat(pram, fs.st.parent);
+    alter(pram, fs.st.eu, fs.st.ev, fs.st.parent);
+
+    let (eu2, ev2, arcs2, added_edges) = materialize_remaining_graph(pram, &fs);
+    let post_state = CcState {
+        n,
+        arcs: arcs2,
+        parent: fs.st.parent,
+        eu: eu2,
+        ev: ev2,
+    };
+    let post = theorem1::connected_components_on_state(
+        pram,
+        &post_state,
+        seed ^ 0x9057_9057,
+        &params.postprocess,
+        (arcs2 / 2).max(1),
+    );
+
+    debug_assert!(
+        verify::forest_heights(pram.slice(post_state.parent)).is_ok(),
+        "Theorem 3 produced a cyclic labeled digraph"
+    );
+    let labels = post_state.labels_rooted(pram);
+    let stats = pram.stats();
+    let table_peak_words = fs.heap.peak_words() as u64;
+
+    // Tear down. `post_state.parent` aliases `fs.st.parent` (handles are
+    // plain (base, len) pairs), so the parent array is freed exactly once.
+    let _ = added_edges;
+    let (p, e1, e2) = (fs.st.parent, fs.st.eu, fs.st.ev);
+    fs.free(pram); // levels/budgets/flags/heap; does not touch CcState handles
+    pram.free(e1);
+    pram.free(e2);
+    pram.free(p);
+    pram.free(eu2);
+    pram.free(ev2);
+
+    FasterReport {
+        run: RunReport {
+            labels,
+            rounds,
+            prepare_rounds,
+            stop,
+            stats,
+            per_round,
+        },
+        post,
+        compaction_rounds,
+        table_peak_words,
+    }
+}
+
+/// Copy arcs + added table edges into fresh arc arrays for the
+/// postprocess (one parallel copy step).
+fn materialize_remaining_graph(
+    pram: &mut Pram,
+    fs: &FasterState,
+) -> (pram_sim::Handle, pram_sim::Handle, usize, usize) {
+    let eu_host = pram.read_vec(fs.st.eu);
+    let ev_host = pram.read_vec(fs.st.ev);
+    let parents = pram.read_vec(fs.st.parent);
+    let heap_handle = fs.heap.handle();
+    let mut pairs: Vec<(u64, u64)> = eu_host.into_iter().zip(ev_host).collect();
+    let mut added = 0;
+    for (v, t) in fs.host_tbl.iter().enumerate() {
+        if let Some((off, sqb)) = t {
+            for c in 0..*sqb as usize {
+                let w = pram.get(heap_handle, *off as usize + c);
+                if w != NULL && w != v as u64 {
+                    // Edges live on current parents after the final ALTER.
+                    let a = parents[v];
+                    let b = parents[w as usize];
+                    pairs.push((a, b));
+                    pairs.push((b, a));
+                    added += 2;
+                }
+            }
+        }
+    }
+    let arcs2 = pairs.len().max(1);
+    let eu2 = pram.alloc_filled(arcs2, 0);
+    let ev2 = pram.alloc_filled(arcs2, 0);
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        pram.set(eu2, i, *a);
+        pram.set(ev2, i, *b);
+    }
+    pram.charge(arcs2, 1); // the materialization copy is one parallel step
+    (eu2, ev2, arcs2, added)
+}
+
+/// Lemma 3.2 / D.4 and digraph sanity, asserted per round in tests and
+/// under the `strict` feature.
+#[cfg(any(test, feature = "strict"))]
+fn assert_invariants(pram: &Pram, fs: &FasterState) {
+    let parents = pram.slice(fs.st.parent);
+    let levels = pram.slice(fs.level);
+    verify::forest_heights(parents).expect("labeled digraph contains a cycle");
+    for (v, (&p, &l)) in parents.iter().zip(levels).enumerate() {
+        // §D.1: vertices of components finished during COMPACT (parent
+        // level 0) are ignored — their trees are inert.
+        if p != v as u64 && levels[p as usize] > 0 {
+            assert!(
+                levels[p as usize] > l,
+                "Lemma 3.2 violated: non-root {v} level {l} parent {p} level {}",
+                levels[p as usize]
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_labels;
+    use cc_graph::gen;
+    use pram_sim::WritePolicy;
+
+    fn run(g: &Graph, seed: u64, params: &FasterParams) -> FasterReport {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+        faster_cc(&mut pram, g, seed, params)
+    }
+
+    #[test]
+    fn correct_on_basic_shapes() {
+        let params = FasterParams::default();
+        for g in [
+            gen::path(50),
+            gen::cycle(33),
+            gen::star(40),
+            gen::complete(16),
+            gen::grid(6, 8),
+            gen::union_all(&[gen::path(11), gen::cycle(8), gen::complete(5)]),
+        ] {
+            let report = run(&g, 7, &params);
+            check_labels(&g, &report.run.labels)
+                .unwrap_or_else(|e| panic!("graph n={} m={}: {e}", g.n(), g.m()));
+        }
+    }
+
+    #[test]
+    fn correct_on_random_graphs_multiple_seeds() {
+        let params = FasterParams::default();
+        for seed in 0..5 {
+            let g = gen::gnm(300, 1200, seed);
+            let report = run(&g, seed * 17 + 3, &params);
+            check_labels(&g, &report.run.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn correct_under_all_policies() {
+        let g = gen::gnm(250, 900, 5);
+        let params = FasterParams::default();
+        for policy in [
+            WritePolicy::ArbitrarySeeded(11),
+            WritePolicy::PriorityMin,
+            WritePolicy::PriorityMax,
+            WritePolicy::Racy,
+        ] {
+            let mut pram = Pram::new(policy);
+            let report = faster_cc(&mut pram, &g, 13, &params);
+            check_labels(&g, &report.run.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn converges_and_rounds_scale_with_log_diameter() {
+        let params = FasterParams::default();
+        let short = run(&gen::clique_chain(4, 8), 3, &params);
+        let long = run(&gen::clique_chain(128, 4), 3, &params);
+        check_labels(&gen::clique_chain(4, 8), &short.run.labels).unwrap();
+        check_labels(&gen::clique_chain(128, 4), &long.run.labels).unwrap();
+        assert_eq!(short.run.stop, StopReason::Converged);
+        assert!(
+            long.run.rounds > short.run.rounds,
+            "short={} long={}",
+            short.run.rounds,
+            long.run.rounds
+        );
+        // log2(diam≈380) ≈ 8.6; generous constant.
+        assert!(long.run.rounds <= 60, "rounds={}", long.run.rounds);
+    }
+
+    #[test]
+    fn multi_component_mixture() {
+        let g = gen::union_all(&[
+            gen::gnm(150, 450, 2),
+            gen::path(40),
+            gen::star(25),
+            gen::binary_tree(31),
+        ]);
+        let report = run(&g, 29, &FasterParams::default());
+        check_labels(&g, &report.run.labels).unwrap();
+    }
+
+    #[test]
+    fn levels_stay_below_schedule_and_budgets_track() {
+        let g = gen::gnm(400, 1600, 9);
+        let report = run(&g, 31, &FasterParams::default());
+        check_labels(&g, &report.run.labels).unwrap();
+        let max_level = report.run.max_level();
+        assert!(max_level >= 1);
+        // L_max for n=400: schedule 16,256,65536,... capped — small.
+        assert!(max_level <= 8, "max level {max_level}");
+    }
+
+    #[test]
+    fn table_space_stays_linear() {
+        let g = gen::gnm(500, 2000, 4);
+        let report = run(&g, 37, &FasterParams::default());
+        check_labels(&g, &report.run.labels).unwrap();
+        let ratio = report.table_peak_words as f64 / (2000.0);
+        assert!(ratio < 32.0, "table peak / m = {ratio}");
+    }
+
+    #[test]
+    fn ablation_no_sampling_still_correct() {
+        let params = FasterParams {
+            enable_sampling: false,
+            ..Default::default()
+        };
+        let g = gen::gnm(200, 700, 6);
+        let report = run(&g, 41, &params);
+        check_labels(&g, &report.run.labels).unwrap();
+    }
+
+    #[test]
+    fn ablation_single_maxlink_iteration_still_correct() {
+        let params = FasterParams {
+            maxlink_iters: 1,
+            ..Default::default()
+        };
+        let g = gen::gnm(200, 700, 8);
+        let report = run(&g, 43, &params);
+        check_labels(&g, &report.run.labels).unwrap();
+    }
+
+    #[test]
+    fn edgeless_and_tiny_graphs() {
+        let params = FasterParams::default();
+        let g0 = cc_graph::GraphBuilder::new(5).build();
+        let report = run(&g0, 1, &params);
+        check_labels(&g0, &report.run.labels).unwrap();
+        let g1 = gen::path(2);
+        let report = run(&g1, 1, &params);
+        check_labels(&g1, &report.run.labels).unwrap();
+    }
+
+    #[test]
+    fn deterministic_under_seeded_policy() {
+        let g = gen::gnm(300, 1000, 2);
+        let params = FasterParams::default();
+        let a = run(&g, 55, &params);
+        let b = run(&g, 55, &params);
+        assert_eq!(a.run.labels, b.run.labels);
+        assert_eq!(a.run.rounds, b.run.rounds);
+    }
+
+    #[test]
+    fn budget_schedule_properties() {
+        let params = FasterParams::default();
+        let budgets = params.budget_schedule(10_000, 40_000, 5_000);
+        assert_eq!(budgets[0], 0);
+        for w in budgets[1..].windows(2) {
+            assert!(w[1] > w[0], "schedule not strictly increasing: {budgets:?}");
+            assert!(w[1] >= w[0] << 2, "growth below 4x: {budgets:?}");
+        }
+        for &b in &budgets[1..] {
+            assert!(b.is_power_of_two() && b.trailing_zeros() % 2 == 0,
+                "budget {b} is not a power of four");
+        }
+        // The paper's L = O(log log n): the schedule is short.
+        assert!(budgets.len() <= 12, "schedule too long: {budgets:?}");
+    }
+
+    #[test]
+    fn budget_schedule_respects_overrides() {
+        let params = FasterParams {
+            b1: 64,
+            max_budget: 4096,
+            kappa: 2.0,
+            ..Default::default()
+        };
+        let budgets = params.budget_schedule(1000, 4000, 500);
+        assert_eq!(budgets[1], 64);
+        assert_eq!(*budgets.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn crew_checked_run_reports_conflicts() {
+        // The algorithm leans on concurrent writes; under the CREW checker
+        // it must still be correct *and* must report conflicts (i.e. it is
+        // not secretly an EREW algorithm — §1's lower-bound discussion).
+        let g = gen::gnm(200, 800, 3);
+        let mut pram = Pram::new(WritePolicy::CrewChecked(7));
+        let report = faster_cc(&mut pram, &g, 7, &FasterParams::default());
+        check_labels(&g, &report.run.labels).unwrap();
+        assert!(
+            report.run.stats.write_conflicts > 0,
+            "expected concurrent writes on a CRCW algorithm"
+        );
+    }
+}

@@ -1,0 +1,543 @@
+//! One round of EXPAND-MAXLINK (§3.1/§D.1, Steps (1)–(8)).
+//!
+//! Per-round dataflow (table lifetimes):
+//!
+//! ```text
+//!   persistent tables (added edges of prev round, per vertex)
+//!     │ Step 1: MAXLINK over arcs+tables; ALTER arcs+tables
+//!     │ Step 2: random level raises on ongoing roots
+//!     │ alloc:  every ongoing root gets work tables H3,H5 of √b cells
+//!     │ Step 3: H3(v) ← same-budget neighbour roots (arcs + table edges)
+//!     │ Step 4: collision ⇒ dormant; dormant table-members ⇒ dormant
+//!     │ Step 5: H5(v) ← ∪ H3(w), w ∈ H3(v)  (squaring; collision ⇒ dormant)
+//!     │ swap:   persistent ← H5 (old persistent and H3 freed)
+//!     │ Step 6: MAXLINK; SHORTCUT; ALTER (arcs + new tables)
+//!     │ Step 7: dormant roots that didn't raise in Step 2 raise now
+//!     │ Step 8: roots get budget b_{ℓ(v)} (compaction-charged)
+//!     ▼
+//!   persistent tables (added edges for next round)
+//! ```
+//!
+//! The break condition (§3.3) is evaluated from two flags filled here:
+//! `changed` (any parent or level moved — Steps 1/2/6/7) and `ii_violated`
+//! (Step 5 found a pair at distance 2 not already in the table).
+
+use crate::state::CcState;
+use crate::theorem3::maxlink::{maxlink, MaxlinkCtx};
+use crate::theorem3::tables::TableHeap;
+use crate::theorem3::FasterParams;
+use pram_kit::ops::{alter, shortcut_flagged, Flag};
+use pram_kit::PairwiseHash;
+use pram_sim::{Handle, Pram, NULL};
+
+/// Square root of a power-of-four budget.
+#[inline]
+pub(crate) fn sqb_of(b: u64) -> u64 {
+    debug_assert!(b.is_power_of_two() && b.trailing_zeros().is_multiple_of(2));
+    1 << (b.trailing_zeros() / 2)
+}
+
+/// All run-long machine state of the Theorem-3 driver.
+pub(crate) struct FasterState {
+    pub st: CcState,
+    /// Level array (`ℓ(v)`; 0 = never-ongoing or pre-COMPACT non-root).
+    pub level: Handle,
+    /// Budget array (`b(v)`; block size owned; 0 = none).
+    pub budget: Handle,
+    /// Persistent ("added edges") table offset per vertex (NULL = none).
+    pub eoff: Handle,
+    /// Work-table offsets for the current round (NULL when not building).
+    pub t3off: Handle,
+    /// Second work table (Step 5 target).
+    pub t5off: Handle,
+    /// Dormant flags (cleared per round).
+    pub dormant: Handle,
+    /// "Raised level in Step 2" flags (cleared per round).
+    pub raised2: Handle,
+    /// Ongoing flags (recomputed per round).
+    pub ongoing: Handle,
+    /// MAXLINK candidate array (`n × (lmax+1)`).
+    pub cand: Handle,
+    /// The table heap.
+    pub heap: TableHeap,
+    /// Maximum level (budget schedule length - 1).
+    pub lmax: usize,
+    /// `budgets[ℓ]` = block size at level `ℓ` (powers of four).
+    pub budgets: Vec<u64>,
+    /// Host mirror of persistent tables: `(offset, √b)` per vertex.
+    pub host_tbl: Vec<Option<(u64, u32)>>,
+    /// Flat index of persistent table cells, rebuilt after swaps.
+    pub table_cells: Vec<(u32, u32)>,
+}
+
+impl FasterState {
+    /// Rebuild the flat (vertex, cell) index of persistent tables.
+    pub(crate) fn rebuild_table_cells(&mut self) {
+        self.table_cells.clear();
+        for (v, t) in self.host_tbl.iter().enumerate() {
+            if let Some((_, sqb)) = t {
+                for c in 0..*sqb {
+                    self.table_cells.push((v as u32, c));
+                }
+            }
+        }
+    }
+
+    /// Release everything (except the `CcState`, which the driver owns).
+    pub(crate) fn free(self, pram: &mut Pram) {
+        pram.free(self.level);
+        pram.free(self.budget);
+        pram.free(self.eoff);
+        pram.free(self.t3off);
+        pram.free(self.t5off);
+        pram.free(self.dormant);
+        pram.free(self.raised2);
+        pram.free(self.ongoing);
+        pram.free(self.cand);
+        self.heap.free_all(pram);
+    }
+}
+
+/// Per-round outcome for the break test and metrics.
+pub(crate) struct RoundOutcome {
+    pub changed: bool,
+    pub ii_violated: bool,
+    pub dormant: u64,
+    pub max_level: u64,
+    pub table_live: u64,
+}
+
+/// Execute one EXPAND-MAXLINK round.
+pub(crate) fn expand_maxlink_round(
+    pram: &mut Pram,
+    fs: &mut FasterState,
+    params: &FasterParams,
+    seed: u64,
+    round: u64,
+) -> RoundOutcome {
+    let n = fs.st.n;
+    let round_seed = seed ^ round.wrapping_mul(0xA076_1D64_78BD_642F);
+    let hv = PairwiseHash::new(round_seed ^ 0x7AB1_E000, 1 << 30);
+    let changed = Flag::new(pram);
+    let ii_flag = Flag::new(pram);
+
+    let (parent, eu, ev) = (fs.st.parent, fs.st.eu, fs.st.ev);
+    let (level, budget) = (fs.level, fs.budget);
+    let (eoff, t3off, t5off) = (fs.eoff, fs.t3off, fs.t5off);
+    let (dormant, raised2, ongoing) = (fs.dormant, fs.raised2, fs.ongoing);
+    let heap = fs.heap.handle();
+
+    // ---- Step 0 (bookkeeping): ongoing flags over arcs + table edges.
+    pram.fill_step(ongoing, 0);
+    pram.step(fs.st.arcs, |i, ctx| {
+        let i = i as usize;
+        let a = ctx.read(eu, i);
+        let b = ctx.read(ev, i);
+        if a != b {
+            ctx.write(ongoing, a as usize, 1);
+            ctx.write(ongoing, b as usize, 1);
+        }
+    });
+    {
+        let cells = &fs.table_cells;
+        pram.step(cells.len(), |i, ctx| {
+            let (x, c) = cells[i as usize];
+            let off = ctx.read(eoff, x as usize);
+            if off == NULL {
+                return;
+            }
+            let w = ctx.read(heap, off as usize + c as usize);
+            if w != NULL && w != x as u64 {
+                ctx.write(ongoing, x as usize, 1);
+                ctx.write(ongoing, w as usize, 1);
+            }
+        });
+    }
+
+    // ---- Step 1: MAXLINK; ALTER (arcs and tables).
+    {
+        let mx = MaxlinkCtx {
+            cand: fs.cand,
+            level,
+            lmax: fs.lmax,
+            table_cells: &fs.table_cells,
+            eoff,
+            heap,
+        };
+        maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
+    }
+    alter(pram, eu, ev, parent);
+    alter_tables(pram, &fs.table_cells, eoff, heap, parent);
+
+    // ---- Step 2: random level raises on ongoing roots.
+    pram.fill_step(raised2, 0);
+    pram.fill_step(dormant, 0);
+    if params.enable_sampling {
+        let (coeff, exp, cap) = (params.sample_coeff, params.sample_exp, params.sample_cap);
+        let lmax = fs.lmax as u64;
+        pram.step(n, move |v, ctx| {
+            if ctx.read(ongoing, v as usize) != 1 || ctx.read(parent, v as usize) != v {
+                return;
+            }
+            let l = ctx.read(level, v as usize);
+            if l >= lmax {
+                return;
+            }
+            let b = ctx.read(budget, v as usize).max(4) as f64;
+            let p_up = (coeff / b.powf(exp)).min(cap);
+            if ctx.coin(0x5A_3B ^ seed, p_up) {
+                ctx.write(level, v as usize, l + 1);
+                ctx.write(raised2, v as usize, 1);
+                changed.raise(ctx);
+            }
+        });
+    }
+
+    // ---- Work-table allocation for every ongoing root (the processor
+    // blocks of Assumption 3.1 / Step 8; compaction-charged per Lemma D.2).
+    pram.host_fill(t3off, NULL);
+    pram.host_fill(t5off, NULL);
+    let mut builders: Vec<(u32, u32)> = Vec::new(); // (vertex, √b)
+    {
+        let parents = pram.read_vec(parent);
+        let ongo = pram.read_vec(ongoing);
+        let buds = pram.read_vec(budget);
+        for v in 0..n {
+            if ongo[v] == 1 && parents[v] == v as u64 && buds[v] >= 4 {
+                let sqb = sqb_of(buds[v]) as u32;
+                builders.push((v as u32, sqb));
+            }
+        }
+    }
+    for &(v, sqb) in &builders {
+        let o3 = fs.heap.alloc(pram, sqb as usize);
+        let o5 = fs.heap.alloc(pram, sqb as usize);
+        pram.set(t3off, v as usize, o3);
+        pram.set(t5off, v as usize, o5);
+    }
+    pram.charge(n, 4);
+    let heap = fs.heap.handle(); // may have grown
+
+    // ---- Step 3: H3(v) ← same-budget root neighbours.
+    pram.step(n, |v, ctx| {
+        let o3 = ctx.read(t3off, v as usize);
+        if o3 == NULL {
+            return;
+        }
+        let sqb = sqb_of(ctx.read(budget, v as usize));
+        ctx.write(heap, o3 as usize + hv.eval_range(v, sqb) as usize, v);
+    });
+    pram.step(fs.st.arcs, |i, ctx| {
+        let i = i as usize;
+        let a = ctx.read(eu, i);
+        let b = ctx.read(ev, i);
+        if a == b {
+            return;
+        }
+        step3_insert(ctx, a, b, parent, budget, t3off, heap, &hv);
+    });
+    {
+        let cells = &fs.table_cells;
+        pram.step(cells.len(), |i, ctx| {
+            let (x, c) = cells[i as usize];
+            let off = ctx.read(eoff, x as usize);
+            if off == NULL {
+                return;
+            }
+            let w = ctx.read(heap, off as usize + c as usize);
+            if w == NULL || w == x as u64 {
+                return;
+            }
+            step3_insert(ctx, x as u64, w, parent, budget, t3off, heap, &hv);
+            step3_insert(ctx, w, x as u64, parent, budget, t3off, heap, &hv);
+        });
+    }
+
+    // ---- Step 4: collision ⇒ dormant; dormant members ⇒ dormant owner.
+    pram.step(n, |v, ctx| {
+        let o3 = ctx.read(t3off, v as usize);
+        if o3 == NULL {
+            return;
+        }
+        let sqb = sqb_of(ctx.read(budget, v as usize));
+        if ctx.read(heap, o3 as usize + hv.eval_range(v, sqb) as usize) != v {
+            ctx.write(dormant, v as usize, 1);
+        }
+    });
+    pram.step(fs.st.arcs, |i, ctx| {
+        let i = i as usize;
+        let a = ctx.read(eu, i);
+        let b = ctx.read(ev, i);
+        if a == b {
+            return;
+        }
+        step4_verify(ctx, a, b, parent, budget, t3off, heap, &hv, dormant);
+    });
+    {
+        let cells = &fs.table_cells;
+        pram.step(cells.len(), |i, ctx| {
+            let (x, c) = cells[i as usize];
+            let off = ctx.read(eoff, x as usize);
+            if off == NULL {
+                return;
+            }
+            let w = ctx.read(heap, off as usize + c as usize);
+            if w == NULL || w == x as u64 {
+                return;
+            }
+            step4_verify(ctx, x as u64, w, parent, budget, t3off, heap, &hv, dormant);
+            step4_verify(ctx, w, x as u64, parent, budget, t3off, heap, &hv, dormant);
+        });
+    }
+    // Dormancy propagation through table membership (Step 4 sentence 2).
+    {
+        let h3_cells: Vec<(u32, u32)> = builders
+            .iter()
+            .flat_map(|&(v, sqb)| (0..sqb).map(move |c| (v, c)))
+            .collect();
+        pram.step(h3_cells.len(), |i, ctx| {
+            let (v, c) = h3_cells[i as usize];
+            let o3 = ctx.read(t3off, v as usize);
+            let w = ctx.read(heap, o3 as usize + c as usize);
+            if w != NULL && ctx.read(dormant, w as usize) == 1 {
+                ctx.write(dormant, v as usize, 1);
+            }
+        });
+    }
+
+    // ---- Step 5: squaring H5(v) ← ∪_{w ∈ H3(v)} H3(w).
+    // Roots whose H3 holds nothing but themselves (typical right after a
+    // level raise: no same-budget neighbours yet) would square to {v};
+    // their b(v) processors do no useful work, so they are skipped and
+    // neither charged nor executed. This keeps the measured per-round work
+    // near O(m) (E9) without changing any table content.
+    let squarers: Vec<(u32, u32)> = {
+        let heap_words = pram.slice(heap);
+        let t3 = pram.slice(t3off);
+        builders
+            .iter()
+            .copied()
+            .filter(|&(v, sqb)| {
+                let o3 = t3[v as usize];
+                o3 != NULL
+                    && (0..sqb as usize).any(|c| {
+                        let w = heap_words[o3 as usize + c];
+                        w != NULL && w != v as u64
+                    })
+            })
+            .collect()
+    };
+    let s5_index: Vec<(u32, u32)> = squarers
+        .iter()
+        .flat_map(|&(v, sqb)| (0..sqb * sqb).map(move |i| (v, i)))
+        .collect();
+    pram.step(s5_index.len(), |i, ctx| {
+        let (v, within) = s5_index[i as usize];
+        let sqb = sqb_of(ctx.read(budget, v as usize));
+        let (p, q) = (within as u64 / sqb, within as u64 % sqb);
+        let o3 = ctx.read(t3off, v as usize);
+        let w = ctx.read(heap, o3 as usize + p as usize);
+        if w == NULL {
+            return;
+        }
+        let o3w = ctx.read(t3off, w as usize);
+        if o3w == NULL {
+            return;
+        }
+        let u = ctx.read(heap, o3w as usize + q as usize);
+        if u == NULL {
+            return;
+        }
+        let slot = hv.eval_range(u, sqb) as usize;
+        // Break-condition (ii): was u already present in H3(v)?
+        if ctx.read(heap, o3 as usize + slot) != u {
+            ii_flag.raise(ctx);
+        }
+        let o5 = ctx.read(t5off, v as usize);
+        ctx.write(heap, o5 as usize + slot, u);
+    });
+    pram.step(s5_index.len(), |i, ctx| {
+        let (v, within) = s5_index[i as usize];
+        let sqb = sqb_of(ctx.read(budget, v as usize));
+        let (p, q) = (within as u64 / sqb, within as u64 % sqb);
+        let o3 = ctx.read(t3off, v as usize);
+        let w = ctx.read(heap, o3 as usize + p as usize);
+        if w == NULL {
+            return;
+        }
+        let o3w = ctx.read(t3off, w as usize);
+        if o3w == NULL {
+            return;
+        }
+        let u = ctx.read(heap, o3w as usize + q as usize);
+        if u == NULL {
+            return;
+        }
+        let o5 = ctx.read(t5off, v as usize);
+        if ctx.read(heap, o5 as usize + hv.eval_range(u, sqb) as usize) != u {
+            ctx.write(dormant, v as usize, 1);
+        }
+    });
+
+    // ---- Swap: persistent ← H5; free H3 and old persistent blocks.
+    for &(v, sqb) in &builders {
+        let v = v as usize;
+        if let Some((old_off, old_sqb)) = fs.host_tbl[v] {
+            fs.heap.dealloc(old_off, old_sqb as usize);
+        }
+        let o3 = pram.get(t3off, v);
+        let o5 = pram.get(t5off, v);
+        fs.heap.dealloc(o3, sqb as usize);
+        fs.host_tbl[v] = Some((o5, sqb));
+        pram.set(eoff, v, o5);
+    }
+    fs.rebuild_table_cells();
+    pram.charge(n, 1); // table-pointer swap is one parallel step
+
+    // ---- Step 6: MAXLINK; SHORTCUT; ALTER (arcs + new tables).
+    {
+        let mx = MaxlinkCtx {
+            cand: fs.cand,
+            level,
+            lmax: fs.lmax,
+            table_cells: &fs.table_cells,
+            eoff,
+            heap,
+        };
+        maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
+    }
+    shortcut_flagged(pram, parent, &changed);
+    alter(pram, eu, ev, parent);
+    alter_tables(pram, &fs.table_cells, eoff, heap, parent);
+
+    // ---- Step 7: dormant roots that did not raise in Step 2 raise now.
+    {
+        let lmax = fs.lmax as u64;
+        pram.step(n, |v, ctx| {
+            if ctx.read(dormant, v as usize) == 1
+                && ctx.read(raised2, v as usize) == 0
+                && ctx.read(parent, v as usize) == v
+            {
+                let l = ctx.read(level, v as usize);
+                if l < lmax {
+                    ctx.write(level, v as usize, l + 1);
+                    changed.raise(ctx);
+                }
+            }
+        });
+    }
+
+    // ---- Step 8: roots get the budget of their level (zones +
+    // approximate compaction; charged per Lemma D.2).
+    {
+        let budgets = fs.budgets.clone();
+        pram.step(n, move |v, ctx| {
+            if ctx.read(parent, v as usize) == v {
+                let l = ctx.read(level, v as usize) as usize;
+                let b = budgets[l.min(budgets.len() - 1)];
+                if b > 0 && ctx.read(budget, v as usize) != b {
+                    ctx.write(budget, v as usize, b);
+                }
+            }
+        });
+        pram.charge(n, 4);
+    }
+
+    let outcome = RoundOutcome {
+        changed: changed.read(pram),
+        ii_violated: ii_flag.read(pram),
+        dormant: pram.slice(dormant).iter().filter(|&&x| x == 1).count() as u64,
+        max_level: pram.slice(level).iter().copied().max().unwrap_or(0),
+        table_live: fs.heap.live_words() as u64,
+    };
+    changed.free(pram);
+    ii_flag.free(pram);
+    outcome
+}
+
+/// ALTER on persistent table entries: replace each stored endpoint by its
+/// parent (one processor per cell).
+fn alter_tables(
+    pram: &mut Pram,
+    cells: &[(u32, u32)],
+    eoff: Handle,
+    heap: Handle,
+    parent: Handle,
+) {
+    pram.step(cells.len(), |i, ctx| {
+        let (x, c) = cells[i as usize];
+        let off = ctx.read(eoff, x as usize);
+        if off == NULL {
+            return;
+        }
+        let w = ctx.read(heap, off as usize + c as usize);
+        if w == NULL {
+            return;
+        }
+        let pw = ctx.read(parent, w as usize);
+        if pw != w {
+            ctx.write(heap, off as usize + c as usize, pw);
+        }
+    });
+}
+
+/// Step 3 insert: hash root-neighbour `b` into `H3(a)` when both are roots
+/// of equal budget and `a` has a work table.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn step3_insert(
+    ctx: &mut pram_sim::Ctx,
+    a: u64,
+    b: u64,
+    parent: Handle,
+    budget: Handle,
+    t3off: Handle,
+    heap: Handle,
+    hv: &PairwiseHash,
+) {
+    let o3 = ctx.read(t3off, a as usize);
+    if o3 == NULL {
+        return;
+    }
+    if ctx.read(parent, b as usize) != b {
+        return;
+    }
+    let ba = ctx.read(budget, a as usize);
+    if ctx.read(budget, b as usize) != ba {
+        return;
+    }
+    let sqb = sqb_of(ba);
+    ctx.write(heap, o3 as usize + hv.eval_range(b, sqb) as usize, b);
+}
+
+/// Step 4 verify: the write of [`step3_insert`] either stuck or its owner
+/// goes dormant.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn step4_verify(
+    ctx: &mut pram_sim::Ctx,
+    a: u64,
+    b: u64,
+    parent: Handle,
+    budget: Handle,
+    t3off: Handle,
+    heap: Handle,
+    hv: &PairwiseHash,
+    dormant: Handle,
+) {
+    let o3 = ctx.read(t3off, a as usize);
+    if o3 == NULL {
+        return;
+    }
+    if ctx.read(parent, b as usize) != b {
+        return;
+    }
+    let ba = ctx.read(budget, a as usize);
+    if ctx.read(budget, b as usize) != ba {
+        return;
+    }
+    let sqb = sqb_of(ba);
+    if ctx.read(heap, o3 as usize + hv.eval_range(b, sqb) as usize) != b {
+        ctx.write(dormant, a as usize, 1);
+    }
+}

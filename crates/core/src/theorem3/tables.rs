@@ -1,0 +1,160 @@
+//! The table heap: one shared-memory pool holding every vertex's block
+//! tables, addressed by *offsets* stored in per-vertex shared arrays.
+//!
+//! The paper's processor/space story (§3.3 step 8, §3.4) allocates a block
+//! of size `b_ℓ(v)` per root from per-(round, level) zones, with
+//! approximate compaction handing out distinct indices. Simulated
+//! processors must be able to find `H(w)` for a *runtime* vertex `w`, so
+//! blocks live in a single growable heap handle and a shared array maps
+//! vertex → offset — exactly the zone + index scheme, flattened.
+//!
+//! Size-class free lists make the live-word count (and its peak, E4's
+//! measurement) track the paper's `O(m)` space argument: freed blocks are
+//! reused, and the only overhead is power-of-two rounding.
+
+use pram_sim::{Handle, Pram, NULL};
+
+/// Growable table pool with size-class reuse and live/peak accounting.
+pub(crate) struct TableHeap {
+    heap: Handle,
+    cap: usize,
+    brk: usize,
+    free: Vec<Vec<u64>>, // offsets per power-of-two class
+    live: usize,
+    peak: usize,
+}
+
+const MAX_CLASS: usize = 40;
+
+#[inline]
+fn class_of(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+impl TableHeap {
+    pub(crate) fn new(pram: &mut Pram, initial_cap: usize) -> Self {
+        let cap = initial_cap.next_power_of_two().max(1024);
+        let heap = pram.alloc_filled(cap, NULL);
+        TableHeap {
+            heap,
+            cap,
+            brk: 0,
+            free: (0..=MAX_CLASS).map(|_| Vec::new()).collect(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// The handle simulated steps index with heap-relative offsets.
+    #[inline]
+    pub(crate) fn handle(&self) -> Handle {
+        self.heap
+    }
+
+    /// Allocate `len` cells, NULL-filled; returns the offset.
+    pub(crate) fn alloc(&mut self, pram: &mut Pram, len: usize) -> u64 {
+        assert!(len > 0);
+        let class = class_of(len);
+        let size = 1usize << class;
+        let off = if let Some(off) = self.free[class].pop() {
+            off
+        } else {
+            if self.brk + size > self.cap {
+                self.grow(pram, self.brk + size);
+            }
+            let off = self.brk as u64;
+            self.brk += size;
+            off
+        };
+        // NULL-fill the block (fresh heap memory is already NULL; reused
+        // blocks need clearing).
+        for i in 0..size {
+            pram.set(self.heap, off as usize + i, NULL);
+        }
+        self.live += size;
+        self.peak = self.peak.max(self.live);
+        off
+    }
+
+    /// Return a block to its size class.
+    pub(crate) fn dealloc(&mut self, off: u64, len: usize) {
+        let class = class_of(len);
+        self.free[class].push(off);
+        self.live -= 1usize << class;
+    }
+
+    /// Live cells (counting rounding) — the E4 measurement.
+    pub(crate) fn live_words(&self) -> usize {
+        self.live
+    }
+
+    /// Peak of [`TableHeap::live_words`].
+    pub(crate) fn peak_words(&self) -> usize {
+        self.peak
+    }
+
+    fn grow(&mut self, pram: &mut Pram, need: usize) {
+        let new_cap = need.next_power_of_two().max(self.cap * 2);
+        let new_heap = pram.alloc_filled(new_cap, NULL);
+        pram.host_copy(self.heap, new_heap);
+        pram.free(self.heap);
+        self.heap = new_heap;
+        self.cap = new_cap;
+    }
+
+    /// Release the whole pool.
+    pub(crate) fn free_all(self, pram: &mut Pram) {
+        pram.free(self.heap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_sim::WritePolicy;
+
+    #[test]
+    fn alloc_free_reuse_and_accounting() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let mut heap = TableHeap::new(&mut pram, 64);
+        let a = heap.alloc(&mut pram, 16);
+        let b = heap.alloc(&mut pram, 16);
+        assert_ne!(a, b);
+        assert_eq!(heap.live_words(), 32);
+        heap.dealloc(a, 16);
+        assert_eq!(heap.live_words(), 16);
+        let c = heap.alloc(&mut pram, 10); // class 16; reuses a
+        assert_eq!(c, a);
+        assert_eq!(heap.peak_words(), 32);
+        heap.free_all(&mut pram);
+    }
+
+    #[test]
+    fn reused_blocks_are_null_filled() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let mut heap = TableHeap::new(&mut pram, 64);
+        let a = heap.alloc(&mut pram, 8);
+        for i in 0..8 {
+            pram.set(heap.handle(), a as usize + i, 7);
+        }
+        heap.dealloc(a, 8);
+        let b = heap.alloc(&mut pram, 8);
+        assert_eq!(b, a);
+        for i in 0..8 {
+            assert_eq!(pram.get(heap.handle(), b as usize + i), NULL);
+        }
+        heap.free_all(&mut pram);
+    }
+
+    #[test]
+    fn grow_preserves_contents_and_offsets() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let mut heap = TableHeap::new(&mut pram, 8); // min-clamped to 1024
+        let a = heap.alloc(&mut pram, 512);
+        pram.set(heap.handle(), a as usize + 3, 99);
+        // Force growth beyond 1024.
+        let _b = heap.alloc(&mut pram, 2048);
+        assert_eq!(pram.get(heap.handle(), a as usize + 3), 99);
+        heap.free_all(&mut pram);
+    }
+}

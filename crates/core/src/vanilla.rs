@@ -1,0 +1,171 @@
+//! The **Vanilla algorithm** (§B.1) — Reif '84 random mating in the
+//! paper's framework:
+//!
+//! ```text
+//! repeat { RANDOM-VOTE; LINK; SHORTCUT; ALTER } until no non-loop edge
+//! ```
+//!
+//! Each phase is O(1) simulated steps; `O(log n)` phases finish whp
+//! (Lemma B.3 / Corollary B.4 give per-phase ongoing-vertex decay `≤ 7/8`).
+//! Used standalone as the randomized `O(log n)` baseline and as the
+//! `PREPARE` subroutine of Theorems 1–3.
+
+use crate::metrics::{RoundMetrics, RunReport, StopReason};
+use crate::state::CcState;
+use crate::verify;
+use cc_graph::Graph;
+use pram_kit::ops::{alter, any_nonloop_arc, shortcut};
+use pram_sim::{Handle, Pram};
+
+/// One Vanilla phase over existing state. `leader` is an `n`-cell scratch
+/// array owned by the caller (reused across phases).
+pub fn vanilla_phase(pram: &mut Pram, st: &CcState, leader: Handle, seed: u64) {
+    let n = st.n;
+    let (parent, eu, ev) = (st.parent, st.eu, st.ev);
+
+    // RANDOM-VOTE: coin per vertex.
+    pram.step(n, move |u, ctx| {
+        let l = ctx.coin(seed ^ 0x52_56, 0.5);
+        ctx.write(leader, u as usize, l as u64);
+    });
+
+    // LINK: for each graph arc (v, w): if v.l = 0 and w.l = 1, update v.p
+    // to w. (Endpoints are roots at phase start — Lemma B.2.)
+    pram.step(st.arcs, move |i, ctx| {
+        let i = i as usize;
+        let v = ctx.read(eu, i);
+        let w = ctx.read(ev, i);
+        if v == w {
+            return;
+        }
+        if ctx.read(leader, v as usize) == 0 && ctx.read(leader, w as usize) == 1 {
+            ctx.write(parent, v as usize, w);
+        }
+    });
+
+    shortcut(pram, parent);
+    alter(pram, eu, ev, parent);
+}
+
+/// Run Vanilla to completion on `g` and report.
+pub fn vanilla(pram: &mut Pram, g: &Graph, seed: u64) -> RunReport {
+    let st = CcState::init(pram, g);
+    let leader = pram.alloc(st.n);
+    let cap = phase_cap(st.n);
+    let mut per_round = Vec::new();
+    let mut stop = StopReason::RoundCap;
+    let mut phase = 0;
+    while phase < cap {
+        phase += 1;
+        vanilla_phase(pram, &st, leader, seed.wrapping_add(phase));
+        per_round.push(RoundMetrics {
+            round: phase,
+            roots: st.host_count_roots(pram),
+            ongoing: st.host_count_ongoing(pram),
+            ..Default::default()
+        });
+        if !any_nonloop_arc(pram, st.eu, st.ev) {
+            stop = StopReason::Converged;
+            break;
+        }
+    }
+    debug_assert!(
+        verify::forest_heights(pram.slice(st.parent)).is_ok(),
+        "Vanilla produced a cyclic labeled digraph"
+    );
+    let labels = st.labels_rooted(pram);
+    let stats = pram.stats();
+    pram.free(leader);
+    st.free(pram);
+    RunReport {
+        labels,
+        rounds: phase,
+        prepare_rounds: 0,
+        stop,
+        stats,
+        per_round,
+    }
+}
+
+/// Safety cap: `O(log n)` phases finish whp; allow a generous multiple.
+pub(crate) fn phase_cap(n: usize) -> u64 {
+    32 + 6 * (n.max(2) as f64).log2().ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_labels;
+    use cc_graph::gen;
+    use pram_sim::WritePolicy;
+
+    fn run(g: &Graph, policy: WritePolicy, seed: u64) -> RunReport {
+        let mut pram = Pram::new(policy);
+        vanilla(&mut pram, g, seed)
+    }
+
+    #[test]
+    fn vanilla_correct_on_shapes() {
+        for g in [
+            gen::path(50),
+            gen::cycle(33),
+            gen::star(40),
+            gen::complete(16),
+            gen::union_all(&[gen::path(10), gen::cycle(7), gen::star(9)]),
+        ] {
+            let report = run(&g, WritePolicy::ArbitrarySeeded(7), 3);
+            assert_eq!(report.stop, StopReason::Converged);
+            check_labels(&g, &report.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn vanilla_correct_under_all_policies() {
+        let g = gen::gnm(200, 400, 5);
+        for policy in [
+            WritePolicy::ArbitrarySeeded(1),
+            WritePolicy::PriorityMin,
+            WritePolicy::PriorityMax,
+            WritePolicy::Racy,
+        ] {
+            let report = run(&g, policy, 11);
+            check_labels(&g, &report.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn vanilla_phases_logarithmic() {
+        let g = gen::gnm(2000, 4000, 2);
+        let report = run(&g, WritePolicy::ArbitrarySeeded(5), 9);
+        assert_eq!(report.stop, StopReason::Converged);
+        // log2(2000) ≈ 11; random mating needs ~2-4x that.
+        assert!(report.rounds <= 60, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn ongoing_count_decays() {
+        let g = gen::gnm(1000, 3000, 8);
+        let report = run(&g, WritePolicy::ArbitrarySeeded(2), 4);
+        let first = report.per_round.first().unwrap().ongoing;
+        let mid = report.per_round[report.per_round.len() / 2].ongoing;
+        assert!(mid < first, "no decay: {first} -> {mid}");
+        assert_eq!(report.per_round.last().unwrap().ongoing, 0);
+    }
+
+    #[test]
+    fn vanilla_on_edgeless_graph_is_instant() {
+        let g = cc_graph::GraphBuilder::new(5).build();
+        let report = run(&g, WritePolicy::ArbitrarySeeded(1), 1);
+        assert_eq!(report.rounds, 1);
+        check_labels(&g, &report.labels).unwrap();
+    }
+
+    #[test]
+    fn deterministic_under_seeded_policy() {
+        let g = gen::gnm(300, 500, 1);
+        let a = run(&g, WritePolicy::ArbitrarySeeded(42), 7);
+        let b = run(&g, WritePolicy::ArbitrarySeeded(42), 7);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

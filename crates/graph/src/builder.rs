@@ -1,0 +1,92 @@
+//! Graph construction with deduplication and self-loop removal.
+
+use crate::csr::Graph;
+
+/// Accumulates edges and produces a canonical [`Graph`].
+///
+/// Self-loops are dropped and parallel edges collapsed, so the resulting
+/// graph is simple — the setting of the paper (self-loops would only add
+/// trivial arcs, and the algorithms treat multi-edges identically to single
+/// edges).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Start a graph on vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count too large");
+        GraphBuilder {
+            n: n as u32,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Reserve capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Add an undirected edge (self-loops silently dropped).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
+        if u == v {
+            return;
+        }
+        self.edges.push((u.min(v), u.max(v)));
+    }
+
+    /// Current number of (not yet deduplicated) edges.
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish: sort, deduplicate, build CSR.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_canonical_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate in other direction
+        b.add_edge(1, 1); // self loop
+        b.add_edge(1, 2);
+        b.add_edge(1, 2); // duplicate
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(5).build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+}

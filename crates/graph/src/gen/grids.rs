@@ -1,0 +1,97 @@
+//! Mesh-like families: moderate diameter `Θ(√n)`, the paper's motivating
+//! contrast to "internet-like" low-diameter graphs (E7 crossover).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// `rows × cols` grid; diameter `rows + cols - 2`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (grid with wraparound); diameter
+/// `⌊rows/2⌋ + ⌊cols/2⌋`.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs sides ≥ 3");
+    let n = rows * cols;
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// `dim`-dimensional hypercube: `n = 2^dim`, diameter `dim = log₂ n`.
+pub fn hypercube(dim: usize) -> Graph {
+    assert!(dim <= 24, "hypercube dimension too large");
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::with_capacity(n, n * dim / 2);
+    for v in 0..n {
+        for bit in 0..dim {
+            let w = v ^ (1 << bit);
+            if w > v {
+                b.add_edge(v as u32, w as u32);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{diameter_exact, num_components};
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 3 * 5); // horizontal + vertical
+        assert_eq!(diameter_exact(&g), 7);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn grid_single_row_is_path() {
+        let g = grid(1, 6);
+        assert_eq!(g.m(), 5);
+        assert_eq!(diameter_exact(&g), 5);
+    }
+
+    #[test]
+    fn torus_counts_and_diameter() {
+        let g = torus(4, 6);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 2 * 24);
+        assert_eq!(diameter_exact(&g), 2 + 3);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert_eq!(diameter_exact(&g), 4);
+        for v in 0..16u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+}

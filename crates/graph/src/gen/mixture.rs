@@ -1,0 +1,48 @@
+//! Multi-component mixtures: the algorithms must label *every* component,
+//! not just a giant one, and the spanning-forest output must contain one
+//! tree per component.
+
+use crate::csr::Graph;
+
+/// `k` disjoint copies of `g`, relabeled consecutively.
+pub fn disjoint_copies(g: &Graph, k: usize) -> Graph {
+    assert!(k >= 1);
+    let mut out = g.clone();
+    for _ in 1..k {
+        out = out.disjoint_union(g);
+    }
+    out
+}
+
+/// Disjoint union of an arbitrary list of graphs.
+pub fn union_all(graphs: &[Graph]) -> Graph {
+    assert!(!graphs.is_empty());
+    let mut out = graphs[0].clone();
+    for g in &graphs[1..] {
+        out = out.disjoint_union(g);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{complete, cycle, path, star};
+    use crate::seq::num_components;
+
+    #[test]
+    fn disjoint_copies_multiply_components() {
+        let g = cycle(10);
+        let h = disjoint_copies(&g, 5);
+        assert_eq!(h.n(), 50);
+        assert_eq!(h.m(), 50);
+        assert_eq!(num_components(&h), 5);
+    }
+
+    #[test]
+    fn union_all_mixes_shapes() {
+        let h = union_all(&[path(10), star(20), complete(6), cycle(5)]);
+        assert_eq!(h.n(), 41);
+        assert_eq!(num_components(&h), 4);
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic workload generators.
+//!
+//! The paper's time bounds are functions of three workload parameters —
+//! vertex count `n`, edge count `m`, and maximum component diameter `d` —
+//! so the families here are chosen to sweep each one while pinning the
+//! others:
+//!
+//! | family | sweeps | pins |
+//! |---|---|---|
+//! | [`path`], [`cycle`], [`grid`], [`torus`] | `d` | `m/n ≈ 1..2` |
+//! | [`clique_chain`] | `d` and `m/n` independently | — |
+//! | [`caterpillar`], [`broom`] | `n` at fixed `d` contribution | sparse |
+//! | [`gnm`], [`gnp`] | `m/n` | `d = O(log n)` whp |
+//! | [`random_regular`] | degree | expander-like, tiny `d` |
+//! | [`binary_tree`], [`random_tree`], [`spider`] | tree shapes | `m = n-1` |
+//! | [`lollipop`], [`barbell`], [`hypercube`] | classic stress shapes | — |
+//! | [`disjoint_copies`], [`union_all`] | component count | — |
+//!
+//! All randomized generators are deterministic in their `seed` argument.
+
+mod cliques;
+mod grids;
+mod mixture;
+mod paths;
+mod powerlaw;
+mod random;
+mod trees;
+
+pub use cliques::{clique_chain, hairy_clique_path};
+pub use grids::{grid, hypercube, torus};
+pub use mixture::{disjoint_copies, union_all};
+pub use paths::{barbell, broom, caterpillar, complete, cycle, lollipop, path, star};
+pub use powerlaw::{complete_bipartite, preferential_attachment, wheel};
+pub use random::{add_random_edges, gnm, gnp, random_regular, scramble};
+pub use trees::{binary_tree, random_tree, spider};

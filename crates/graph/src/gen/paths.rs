@@ -1,0 +1,205 @@
+//! Path-like and dense-core families: the diameter drivers.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// Path on `n` vertices (`0-1-2-…`); diameter `n-1`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` vertices; diameter `⌊n/2⌋`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.add_edge(n as u32 - 1, 0);
+    b.build()
+}
+
+/// Star: center `0` joined to `n-1` leaves; diameter 2.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`; diameter 1, density `(n-1)/2`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. `n = spine·(1+legs)`, `d = spine+1` — lets `n` (and `m`) grow
+/// while the diameter stays put.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1);
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for s in 1..spine as u32 {
+        b.add_edge(s - 1, s);
+    }
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs {
+            b.add_edge(s, next);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Broom: a path of length `handle` whose far end fans out into `bristles`
+/// leaves. Diameter `max(handle + 1, 2)` (path end to a bristle).
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    assert!(handle >= 1);
+    let n = handle + 1 + bristles;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 1..=handle as u32 {
+        b.add_edge(v - 1, v);
+    }
+    let tip = handle as u32;
+    for i in 0..bristles as u32 {
+        b.add_edge(tip, handle as u32 + 1 + i);
+    }
+    b.build()
+}
+
+/// Lollipop: `K_clique` with a path of `tail` extra vertices attached.
+/// The classic "dense core + long appendage" stress shape.
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 1);
+    let n = clique + tail;
+    let mut b = GraphBuilder::with_capacity(n, clique * clique / 2 + tail);
+    for u in 0..clique as u32 {
+        for v in (u + 1)..clique as u32 {
+            b.add_edge(u, v);
+        }
+    }
+    let mut prev = 0u32; // attach tail to vertex 0 of the clique
+    for i in 0..tail as u32 {
+        let v = clique as u32 + i;
+        b.add_edge(prev, v);
+        prev = v;
+    }
+    b.build()
+}
+
+/// Barbell: two `K_clique`s joined by a path of `bridge` intermediate
+/// vertices.
+pub fn barbell(clique: usize, bridge: usize) -> Graph {
+    assert!(clique >= 1);
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::with_capacity(n, clique * clique + bridge + 1);
+    for side in 0..2u32 {
+        let base = side * clique as u32;
+        for u in 0..clique as u32 {
+            for v in (u + 1)..clique as u32 {
+                b.add_edge(base + u, base + v);
+            }
+        }
+    }
+    // Path from vertex 0 (left clique) through bridge vertices to vertex
+    // `clique` (right clique).
+    let mut prev = 0u32;
+    for i in 0..bridge as u32 {
+        let v = 2 * clique as u32 + i;
+        b.add_edge(prev, v);
+        prev = v;
+    }
+    b.add_edge(prev, clique as u32);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{components, diameter_exact, num_components};
+
+    #[test]
+    fn path_shape() {
+        let g = path(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 9);
+        assert_eq!(diameter_exact(&g), 9);
+        assert_eq!(num_components(&g), 1);
+    }
+
+    #[test]
+    fn path_degenerate_sizes() {
+        assert_eq!(path(1).m(), 0);
+        assert_eq!(path(2).m(), 1);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(9);
+        assert_eq!(g.m(), 9);
+        assert_eq!(diameter_exact(&g), 4);
+        assert!(g.neighbors(0).contains(&8));
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let g = star(50);
+        assert_eq!(g.m(), 49);
+        assert_eq!(diameter_exact(&g), 2);
+        assert_eq!(g.degree(0), 49);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(8);
+        assert_eq!(g.m(), 28);
+        assert_eq!(diameter_exact(&g), 1);
+    }
+
+    #[test]
+    fn caterpillar_counts_and_diameter() {
+        let g = caterpillar(6, 3);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 23);
+        assert_eq!(num_components(&g), 1);
+        // leaf - spine(6 long) - leaf
+        assert_eq!(diameter_exact(&g), 7);
+    }
+
+    #[test]
+    fn broom_diameter() {
+        let g = broom(5, 4);
+        assert_eq!(g.n(), 10);
+        assert_eq!(diameter_exact(&g), 6);
+    }
+
+    #[test]
+    fn lollipop_connected() {
+        let g = lollipop(6, 5);
+        assert_eq!(g.n(), 11);
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(diameter_exact(&g), 6); // across clique (1) + tail (5)
+    }
+
+    #[test]
+    fn barbell_connected_single_component() {
+        let g = barbell(5, 3);
+        assert_eq!(g.n(), 13);
+        let labels = components(&g);
+        assert!(labels.iter().all(|&l| l == labels[0]));
+        assert_eq!(diameter_exact(&g), 6); // 1 + 4 hops bridge + 1
+    }
+}

@@ -1,0 +1,104 @@
+//! Skewed-degree families: the "internet-scale graphs" of the paper's
+//! introduction have heavy-tailed degrees and tiny diameters.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::rng::Rng;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree. Produces a
+/// connected graph with a power-law-ish degree tail and diameter
+/// `O(log n)`.
+pub fn preferential_attachment(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(n >= 2 && attach >= 1);
+    let mut rng = Rng::new(seed ^ 0xBABA);
+    let mut b = GraphBuilder::with_capacity(n, n * attach);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<u32> = vec![0, 1];
+    b.add_edge(0, 1);
+    for v in 2..n as u32 {
+        let mut targets = Vec::with_capacity(attach);
+        for _ in 0..attach.min(v as usize) {
+            let t = endpoints[rng.below_usize(endpoints.len())];
+            targets.push(t);
+        }
+        for &t in &targets {
+            if t != v {
+                b.add_edge(v, t);
+                endpoints.push(t);
+                endpoints.push(v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`: diameter 2, density `ab/(a+b)` —
+/// an extreme "hub layer" shape.
+pub fn complete_bipartite(a: usize, b_count: usize) -> Graph {
+    let n = a + b_count;
+    let mut b = GraphBuilder::with_capacity(n, a * b_count);
+    for u in 0..a as u32 {
+        for v in 0..b_count as u32 {
+            b.add_edge(u, a as u32 + v);
+        }
+    }
+    b.build()
+}
+
+/// Wheel: a cycle of `n-1` vertices all joined to a hub; diameter 2.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4);
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    for v in 1..(n - 1) as u32 {
+        b.add_edge(v, v + 1);
+    }
+    b.add_edge(n as u32 - 1, 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{diameter_exact, num_components};
+
+    #[test]
+    fn preferential_attachment_connected_and_skewed() {
+        let g = preferential_attachment(2000, 2, 7);
+        assert_eq!(num_components(&g), 1);
+        let max_deg = (0..g.n() as u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.m() as f64 / g.n() as f64;
+        assert!(
+            max_deg as f64 > 8.0 * avg,
+            "expected a heavy tail: max {max_deg} vs avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_deterministic() {
+        assert_eq!(
+            preferential_attachment(300, 2, 9).edges(),
+            preferential_attachment(300, 2, 9).edges()
+        );
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(3, 5);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 15);
+        assert_eq!(diameter_exact(&g), 2);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = wheel(10);
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 9 + 9);
+        assert_eq!(diameter_exact(&g), 2);
+        assert_eq!(g.degree(0), 9);
+    }
+}

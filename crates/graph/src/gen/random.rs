@@ -1,0 +1,223 @@
+//! Random graph families and randomization utilities.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::rng::Rng;
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct uniform edges.
+///
+/// For `m/n ≫ 1` the giant component has diameter `O(log n / log(m/n))`
+/// whp — the "internet-like" low-diameter regime the paper targets.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "gnm needs n ≥ 2");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "too many edges requested: {m} > {max_m}");
+    let mut rng = Rng::new(seed ^ 0x676E_6D00);
+    let mut b = GraphBuilder::with_capacity(n, m + m / 8);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u == v {
+            continue;
+        }
+        let key = ((u.min(v) as u64) << 32) | u.max(v) as u64;
+        if seen.insert(key) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` via geometric skipping (O(m) expected time).
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    let mut rng = Rng::new(seed ^ 0x676E_7000);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Iterate over the implicit index of pairs (u,v), u<v, skipping
+    // geometrically distributed gaps.
+    let log1mp = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut idx = 0usize;
+    loop {
+        let r = rng.f64().max(1e-300);
+        let skip = (r.ln() / log1mp).floor() as usize;
+        idx += skip;
+        if idx >= total {
+            break;
+        }
+        let (u, v) = pair_of_index(idx, n);
+        b.add_edge(u as u32, v as u32);
+        idx += 1;
+    }
+    b.build()
+}
+
+/// Inverse of the row-major enumeration of pairs `(u, v)` with `u < v`:
+/// row `u` holds pairs `(u, u+1)..(u, n-1)` and starts at index
+/// `u(n-1) - u(u-1)/2`.
+fn pair_of_index(idx: usize, n: usize) -> (usize, usize) {
+    // O(1) quadratic-formula guess, corrected by a guard loop against
+    // floating-point error.
+    let idxf = idx as f64;
+    let nf = n as f64;
+    let disc = ((2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * idxf).max(0.0);
+    let guess = ((2.0 * nf - 1.0 - disc.sqrt()) / 2.0).floor();
+    let mut u = (guess.max(0.0) as usize).min(n - 2);
+    let row_start = |u: usize| u * (n - 1) - u * u.saturating_sub(1) / 2;
+    loop {
+        let start = row_start(u);
+        let row_len = n - u - 1;
+        if idx < start {
+            u = u.checked_sub(1).expect("pair_of_index guess underflow");
+        } else if idx >= start + row_len {
+            u += 1;
+        } else {
+            return (u, u + 1 + (idx - start));
+        }
+    }
+}
+
+/// Approximately `deg`-regular graph: the union of `deg` random perfect
+/// matchings (self-loops and duplicates dropped, so degrees are ≤ `deg`).
+/// Expander-like: diameter `O(log n)` whp for `deg ≥ 3`.
+pub fn random_regular(n: usize, deg: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = Rng::new(seed ^ 0x7265_6775);
+    let mut b = GraphBuilder::with_capacity(n, n * deg / 2);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..deg {
+        rng.shuffle(&mut perm);
+        for pair in perm.chunks_exact(2) {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.build()
+}
+
+/// Add `extra` random edges to `g` (deduplicated against existing ones).
+/// Densifies while only ever *shrinking* distances.
+pub fn add_random_edges(g: &Graph, extra: usize, seed: u64) -> Graph {
+    let n = g.n();
+    assert!(n >= 2);
+    let mut rng = Rng::new(seed ^ 0xADD0_ED6E);
+    let mut b = GraphBuilder::with_capacity(n, g.m() + extra);
+    for &(u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    let mut added = 0;
+    let mut guard = 0;
+    while added < extra && guard < extra * 20 + 1000 {
+        guard += 1;
+        let u = rng.below(n as u64) as u32;
+        let v = rng.below(n as u64) as u32;
+        if u != v {
+            b.add_edge(u, v);
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Randomly relabel the vertices of `g` — destroys generator locality so
+/// algorithms cannot accidentally benefit from vertex-id structure.
+pub fn scramble(g: &Graph, seed: u64) -> Graph {
+    let mut rng = Rng::new(seed ^ 0x5C2A_3B1E);
+    let mut perm: Vec<u32> = (0..g.n() as u32).collect();
+    rng.shuffle(&mut perm);
+    g.relabel(&perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{diameter_exact, num_components};
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = gnm(100, 350, 4);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 350);
+    }
+
+    #[test]
+    fn gnm_deterministic_in_seed() {
+        assert_eq!(gnm(80, 200, 5).edges(), gnm(80, 200, 5).edges());
+        assert_ne!(gnm(80, 200, 5).edges(), gnm(80, 200, 6).edges());
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 11);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let m = g.m() as f64;
+        assert!(
+            (m - expect).abs() < 4.0 * expect.sqrt() + 20.0,
+            "m={m} expect≈{expect}"
+        );
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn pair_of_index_roundtrip() {
+        let n = 23;
+        let mut idx = 0;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert_eq!(pair_of_index(idx, n), (u, v), "idx={idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees_bounded_and_connected() {
+        let g = random_regular(200, 4, 3);
+        for v in 0..200u32 {
+            assert!(g.degree(v) <= 4);
+        }
+        // Union of 4 matchings on 200 vertices is connected whp.
+        assert_eq!(num_components(&g), 1);
+        assert!(diameter_exact(&g) <= 16);
+    }
+
+    #[test]
+    fn add_random_edges_only_shrinks_diameter() {
+        let base = crate::gen::path(60);
+        let dense = add_random_edges(&base, 40, 7);
+        assert!(dense.m() > base.m());
+        assert!(diameter_exact(&dense) <= diameter_exact(&base));
+        // All original edges still present.
+        for e in base.edges() {
+            assert!(dense.edges().binary_search(e).is_ok());
+        }
+    }
+
+    #[test]
+    fn scramble_preserves_shape() {
+        let g = crate::gen::grid(6, 7);
+        let s = scramble(&g, 13);
+        assert_eq!(s.n(), g.n());
+        assert_eq!(s.m(), g.m());
+        assert_eq!(diameter_exact(&s), diameter_exact(&g));
+        assert_eq!(num_components(&s), 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Tree families (`m = n - 1`): the sparsest connected inputs, and the
+//! regime where the paper's `log log_{m/n} n` term is largest.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::rng::Rng;
+
+/// Complete-ish binary tree on `n` vertices (heap numbering); diameter
+/// `≈ 2 log₂ n`.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge((v - 1) / 2, v);
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree: vertex `v` attaches to a uniform earlier
+/// vertex. Expected diameter `Θ(log n)`.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = Rng::new(seed ^ 0x0072_6563_7472_6565);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        let parent = rng.below(v as u64) as u32;
+        b.add_edge(parent, v);
+    }
+    b.build()
+}
+
+/// Spider: `legs` paths of length `leg_len` sharing a common center.
+/// `n = 1 + legs·leg_len`, diameter `2·leg_len`.
+pub fn spider(legs: usize, leg_len: usize) -> Graph {
+    assert!(legs >= 1 && leg_len >= 1);
+    let n = 1 + legs * leg_len;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    let mut next = 1u32;
+    for _ in 0..legs {
+        let mut prev = 0u32;
+        for _ in 0..leg_len {
+            b.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{diameter_exact, num_components};
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(num_components(&g), 1);
+        assert_eq!(diameter_exact(&g), 6); // leaf..root..leaf in depth-3 tree
+    }
+
+    #[test]
+    fn random_tree_is_spanning_and_connected() {
+        for seed in 0..5 {
+            let g = random_tree(200, seed);
+            assert_eq!(g.m(), 199);
+            assert_eq!(num_components(&g), 1);
+        }
+    }
+
+    #[test]
+    fn random_tree_deterministic_in_seed() {
+        assert_eq!(random_tree(64, 9).edges(), random_tree(64, 9).edges());
+        assert_ne!(random_tree(64, 9).edges(), random_tree(64, 10).edges());
+    }
+
+    #[test]
+    fn spider_diameter() {
+        let g = spider(5, 7);
+        assert_eq!(g.n(), 36);
+        assert_eq!(g.m(), 35);
+        assert_eq!(diameter_exact(&g), 14);
+        assert_eq!(g.degree(0), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format: optional comment lines starting with `#` or `%`, then one
+//! `u v` pair per line (whitespace separated). Vertex count is
+//! `max id + 1` unless a `# nodes: N` header raises it. This covers the
+//! common SNAP/Konect-style exports, so real-world graphs can be fed to
+//! the experiments.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Unparsable line (1-based line number and content).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, s) => write!(f, "line {line}: cannot parse {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse an edge list from a reader.
+pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut n_hint = 0usize;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(v) = rest.trim().strip_prefix("nodes:") {
+                n_hint = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| IoError::Parse(i + 1, line.clone()))?;
+            }
+            continue;
+        }
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => {
+                let u = a.parse().map_err(|_| IoError::Parse(i + 1, line.clone()))?;
+                let v = b.parse().map_err(|_| IoError::Parse(i + 1, line.clone()))?;
+                (u, v)
+            }
+            _ => return Err(IoError::Parse(i + 1, line.clone())),
+        };
+        edges.push((u, v));
+    }
+    let n = edges
+        .iter()
+        .map(|&(u, v)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(n_hint);
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Read an edge-list file.
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(std::io::BufReader::new(file))
+}
+
+/// Write a graph as an edge list (with a `# nodes:` header so isolated
+/// trailing vertices round-trip).
+pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# nodes: {}", g.n())?;
+    writeln!(w, "# edges: {}", g.m())?;
+    for &(u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parse_basic_with_comments() {
+        let text = "# a comment\n% another\n0 1\n1 2\n\n2 0\n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn nodes_header_preserves_isolated_vertices() {
+        let text = "# nodes: 10\n0 1\n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "0 1\nnot numbers\n";
+        match parse_edge_list(text.as_bytes()) {
+            Err(IoError::Parse(2, _)) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = gen::union_all(&[gen::gnm(50, 120, 3), gen::path(5)]);
+        let dir = std::env::temp_dir().join("logdiam_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edge_list(&g, &path).unwrap();
+        let h = read_edge_list(&path).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_lines_are_cleaned() {
+        let text = "0 1\n1 0\n2 2\n1 2\n";
+        let g = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+}

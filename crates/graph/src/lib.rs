@@ -1,0 +1,33 @@
+//! # `cc-graph` — graph substrate for the logdiam reproduction
+//!
+//! Provides everything the experiments need on the input side:
+//!
+//! * [`Graph`]: a compact undirected simple graph (CSR adjacency + canonical
+//!   edge list), built through [`GraphBuilder`] which deduplicates parallel
+//!   edges and drops self-loops.
+//! * [`gen`]: synthetic workload families with *controlled* parameters. The
+//!   paper's bounds are functions of `(n, m, d)` — number of vertices,
+//!   edges, and maximum component diameter — so the generators sweep those
+//!   three quantities independently: paths/cycles/grids/trees (diameter
+//!   drivers), `G(n, m)` (density driver), path-of-cliques and hairy paths
+//!   (high density at chosen diameter), mixtures (multi-component).
+//! * [`seq`]: sequential ground truth — BFS, union–find components, exact
+//!   and double-sweep diameter — used by every verifier in the workspace.
+//! * [`rng`]: a small deterministic RNG (splitmix64-seeded xoshiro256++) so
+//!   workloads are reproducible across platforms without external deps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod rng;
+pub mod seq;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use rng::Rng;
+pub use stats::GraphStats;

@@ -1,0 +1,67 @@
+//! Breadth-first search.
+
+use crate::csr::Graph;
+use std::collections::VecDeque;
+
+/// Distance label for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS distances from `src` (`UNREACHED` where not reachable).
+pub fn bfs(g: &Graph, src: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHED; g.n()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == UNREACHED {
+                dist[w as usize] = dv + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The farthest reachable vertex from `src` and its distance
+/// (ties broken toward the smallest vertex id).
+pub fn bfs_farthest(g: &Graph, src: u32) -> (u32, u32) {
+    let dist = bfs(g, src);
+    let mut best = (src, 0u32);
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHED && d > best.1 {
+            best = (v as u32, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path, union_all};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(6);
+        let d = bfs(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let g = union_all(&[path(3), path(3)]);
+        let d = bfs(&g, 0);
+        assert_eq!(&d[0..3], &[0, 1, 2]);
+        assert!(d[3..].iter().all(|&x| x == UNREACHED));
+    }
+
+    #[test]
+    fn farthest_on_cycle() {
+        let g = cycle(8);
+        let (v, d) = bfs_farthest(&g, 0);
+        assert_eq!(d, 4);
+        assert_eq!(v, 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Ground-truth connected components and label-partition comparison.
+
+use crate::csr::Graph;
+use crate::seq::bfs::UNREACHED;
+use crate::seq::dsu::Dsu;
+use std::collections::VecDeque;
+
+/// Component labels via union–find; the label of a vertex is the smallest
+/// vertex id in its component (canonical form).
+pub fn components(g: &Graph) -> Vec<u32> {
+    let mut dsu = Dsu::new(g.n());
+    for &(u, v) in g.edges() {
+        dsu.union(u, v);
+    }
+    // Canonicalize to min-vertex-per-component.
+    let mut min_of_root = vec![u32::MAX; g.n()];
+    for v in 0..g.n() as u32 {
+        let r = dsu.find(v) as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..g.n() as u32)
+        .map(|v| {
+            let r = dsu.find(v) as usize;
+            min_of_root[r]
+        })
+        .collect()
+}
+
+/// Component labels via BFS (independent implementation used to cross-check
+/// [`components`]).
+pub fn components_bfs(g: &Graph) -> Vec<u32> {
+    let mut label = vec![UNREACHED; g.n()];
+    let mut q = VecDeque::new();
+    for s in 0..g.n() as u32 {
+        if label[s as usize] != UNREACHED {
+            continue;
+        }
+        label[s as usize] = s;
+        q.push_back(s);
+        while let Some(v) = q.pop_front() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == UNREACHED {
+                    label[w as usize] = s;
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Graph) -> usize {
+    let labels = components(g);
+    let mut distinct: Vec<u32> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    distinct.len()
+}
+
+/// Canonicalize an arbitrary component labeling: every vertex gets the
+/// smallest vertex id that shares its label. Two labelings describe the
+/// same partition iff their canonical forms are equal.
+pub fn canonical_labels(labels: &[u32]) -> Vec<u32> {
+    let n = labels.len();
+    let mut min_of_label: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        let e = min_of_label.entry(l).or_insert(v as u32);
+        *e = (*e).min(v as u32);
+    }
+    (0..n).map(|v| min_of_label[&labels[v]]).collect()
+}
+
+/// Whether two labelings induce the same partition of the vertices.
+pub fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    a.len() == b.len() && canonical_labels(a) == canonical_labels(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{cycle, path, star, union_all};
+    use crate::gen::{gnm, scramble};
+
+    #[test]
+    fn components_of_union() {
+        let g = union_all(&[path(4), cycle(3), star(5)]);
+        let labels = components(&g);
+        assert_eq!(labels[0..4], [0, 0, 0, 0]);
+        assert_eq!(labels[4..7], [4, 4, 4]);
+        assert_eq!(labels[7..12], [7, 7, 7, 7, 7]);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn bfs_and_dsu_components_agree() {
+        for seed in 0..10 {
+            let g = gnm(300, 320, seed);
+            assert_eq!(components(&g), components_bfs(&g));
+        }
+    }
+
+    #[test]
+    fn canonicalization_recognizes_equivalent_labelings() {
+        // Same partition with different label values.
+        let a = vec![5, 5, 9, 9, 5];
+        let b = vec![0, 0, 2, 2, 0];
+        assert!(same_partition(&a, &b));
+        let c = vec![0, 0, 2, 2, 2];
+        assert!(!same_partition(&a, &c));
+    }
+
+    #[test]
+    fn scrambled_graph_same_component_count() {
+        let g = gnm(500, 700, 3);
+        let s = scramble(&g, 8);
+        assert_eq!(num_components(&g), num_components(&s));
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = crate::GraphBuilder::new(4).build();
+        assert_eq!(components(&g), vec![0, 1, 2, 3]);
+        assert_eq!(num_components(&g), 4);
+    }
+}

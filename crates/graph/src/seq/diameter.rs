@@ -1,0 +1,102 @@
+//! Diameter computation. The paper's `d` is the **maximum diameter over
+//! components**; experiments need it exactly for small inputs (to plot
+//! rounds against true `d`) and cheaply bounded for large ones.
+
+use crate::csr::Graph;
+use crate::seq::bfs::{bfs, bfs_farthest, UNREACHED};
+
+/// Exact diameter of a *connected* graph by all-pairs BFS (`O(nm)`;
+/// intended for `n` up to a few tens of thousands on sparse graphs).
+/// Panics if the graph is disconnected — use
+/// [`max_component_diameter_exact`] for that.
+pub fn diameter_exact(g: &Graph) -> u32 {
+    let mut best = 0;
+    for s in 0..g.n() as u32 {
+        let dist = bfs(g, s);
+        for &d in &dist {
+            assert!(d != UNREACHED, "diameter_exact on disconnected graph");
+            best = best.max(d);
+        }
+    }
+    best
+}
+
+/// Exact maximum component diameter (all-pairs BFS per component).
+pub fn max_component_diameter_exact(g: &Graph) -> u32 {
+    let mut best = 0;
+    for s in 0..g.n() as u32 {
+        let dist = bfs(g, s);
+        for &d in &dist {
+            if d != UNREACHED {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+/// Double-sweep lower bound on the maximum component diameter:
+/// for each component, BFS from its smallest vertex, then BFS again from
+/// the farthest vertex found. Exact on trees; a lower bound in general.
+/// `O(m)` per component.
+pub fn diameter_lower_bound(g: &Graph) -> u32 {
+    let mut seen = vec![false; g.n()];
+    let mut best = 0;
+    for s in 0..g.n() as u32 {
+        if seen[s as usize] {
+            continue;
+        }
+        let dist = bfs(g, s);
+        for (v, &d) in dist.iter().enumerate() {
+            if d != UNREACHED {
+                seen[v] = true;
+            }
+        }
+        let (far, _) = bfs_farthest(g, s);
+        let (_, d2) = bfs_farthest(g, far);
+        best = best.max(d2);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{binary_tree, cycle, grid, path, union_all};
+
+    #[test]
+    fn exact_matches_known_shapes() {
+        assert_eq!(diameter_exact(&path(17)), 16);
+        assert_eq!(diameter_exact(&cycle(10)), 5);
+        assert_eq!(diameter_exact(&grid(3, 9)), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn exact_panics_on_disconnected() {
+        let g = union_all(&[path(2), path(2)]);
+        let _ = diameter_exact(&g);
+    }
+
+    #[test]
+    fn max_component_diameter_over_mixture() {
+        let g = union_all(&[path(5), path(11), cycle(6)]);
+        assert_eq!(max_component_diameter_exact(&g), 10);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        for n in [7usize, 15, 31, 100] {
+            let g = binary_tree(n);
+            assert_eq!(diameter_lower_bound(&g), diameter_exact(&g));
+        }
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound() {
+        for seed in 0..5 {
+            let g = crate::gen::gnm(200, 260, seed);
+            assert!(diameter_lower_bound(&g) <= max_component_diameter_exact(&g));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Disjoint-set union (union by size + path halving) — the sequential
+//! `O(m α(n))` baseline (Tarjan–van Leeuwen '84, cited by the paper for
+//! path splitting).
+
+/// Union–find over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `v`'s set (path halving).
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        while self.parent[v as usize] != v {
+            let gp = self.parent[self.parent[v as usize] as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+        v
+    }
+
+    /// Merge the sets of `u` and `v`; returns true if they were distinct.
+    pub fn union(&mut self, u: u32, v: u32) -> bool {
+        let (mut ru, mut rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        if self.size[ru as usize] < self.size[rv as usize] {
+            std::mem::swap(&mut ru, &mut rv);
+        }
+        self.parent[rv as usize] = ru;
+        self.size[ru as usize] += self.size[rv as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `u` and `v` are in the same set.
+    pub fn same(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Current number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `v`'s set.
+    pub fn size_of(&mut self, v: u32) -> usize {
+        let r = self.find(v);
+        self.size[r as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = Dsu::new(6);
+        assert_eq!(d.components(), 6);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert!(d.union(1, 3));
+        assert_eq!(d.components(), 3);
+        assert!(d.same(0, 2));
+        assert!(!d.same(0, 4));
+        assert_eq!(d.size_of(3), 4);
+    }
+
+    #[test]
+    fn find_is_idempotent_and_flat_after_ops() {
+        let mut d = Dsu::new(100);
+        for i in 0..99 {
+            d.union(i, i + 1);
+        }
+        let r = d.find(0);
+        for v in 0..100 {
+            assert_eq!(d.find(v), r);
+        }
+        assert_eq!(d.components(), 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Sequential ground truth: BFS, union–find components, diameters, and
+//! label-partition comparison. These are the yardsticks every parallel
+//! algorithm in the workspace is verified against.
+
+mod bfs;
+mod components;
+mod diameter;
+mod dsu;
+
+pub use bfs::{bfs, bfs_farthest};
+pub use components::{canonical_labels, components, components_bfs, num_components, same_partition};
+pub use diameter::{diameter_exact, diameter_lower_bound, max_component_diameter_exact};
+pub use dsu::Dsu;

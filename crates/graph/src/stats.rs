@@ -1,0 +1,110 @@
+//! Workload characterization: the quantities the paper's bounds are
+//! parameterized by, in one summary.
+
+use crate::csr::Graph;
+use crate::seq::{components, diameter_lower_bound};
+
+/// Summary statistics of a workload graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// `m/n` — the paper's density parameter.
+    pub density: f64,
+    /// Connected components.
+    pub components: usize,
+    /// Isolated vertices.
+    pub isolated: usize,
+    /// Max degree.
+    pub max_degree: usize,
+    /// Lower bound on the maximum component diameter (double sweep; exact
+    /// on trees) — the paper's `d`.
+    pub diameter_lb: u32,
+    /// `log₂ d` and `log log_{m/n} n`, the two terms of Theorem 3's bound
+    /// (0 when undefined).
+    pub log2_d: f64,
+    /// See `log2_d`.
+    pub loglog_density_n: f64,
+}
+
+impl GraphStats {
+    /// Compute the summary (runs BFS per component; linear-ish).
+    pub fn of(g: &Graph) -> GraphStats {
+        let labels = components(g);
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let isolated = (0..g.n() as u32).filter(|&v| g.degree(v) == 0).count();
+        let max_degree = (0..g.n() as u32).map(|v| g.degree(v)).max().unwrap_or(0);
+        let d = diameter_lower_bound(g);
+        let density = g.density();
+        let loglog = if density > 1.0 && g.n() > 2 {
+            ((g.n() as f64).ln() / density.ln()).max(1.0).ln().max(0.0)
+        } else {
+            0.0
+        };
+        GraphStats {
+            n: g.n(),
+            m: g.m(),
+            density,
+            components: distinct.len(),
+            isolated,
+            max_degree,
+            diameter_lb: d,
+            log2_d: (d.max(1) as f64).log2(),
+            loglog_density_n: loglog,
+        }
+    }
+
+    /// One-line rendering for logs and examples.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} m={} m/n={:.2} comps={} isolated={} maxdeg={} d≥{} (log2 d={:.1}, loglog={:.2})",
+            self.n,
+            self.m,
+            self.density,
+            self.components,
+            self.isolated,
+            self.max_degree,
+            self.diameter_lb,
+            self.log2_d,
+            self.loglog_density_n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_path() {
+        let s = GraphStats::of(&gen::path(10));
+        assert_eq!(s.n, 10);
+        assert_eq!(s.m, 9);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.diameter_lb, 9);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn stats_of_mixture_counts_isolated() {
+        let mut b = crate::GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.components, 4); // {0,1,2} + 3 isolated
+        assert_eq!(s.isolated, 3);
+    }
+
+    #[test]
+    fn summary_contains_key_fields() {
+        let s = GraphStats::of(&gen::cycle(8));
+        let line = s.summary();
+        assert!(line.contains("n=8") && line.contains("d≥4"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests for the graph substrate: structural invariants of the
+//! canonical representation and the generators.
+
+use cc_graph::seq::{components, num_components};
+use cc_graph::{gen, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// The canonical-representation invariants every `Graph` must satisfy.
+fn assert_canonical(g: &Graph) {
+    // Edge list canonical: (u < v), strictly sorted (deduped).
+    for w in g.edges().windows(2) {
+        assert!(w[0] < w[1], "edges not strictly sorted");
+    }
+    for &(u, v) in g.edges() {
+        assert!(u < v, "edge ({u},{v}) not canonical");
+        assert!((v as usize) < g.n());
+    }
+    // CSR symmetric and consistent with the edge list.
+    let degree_sum: usize = (0..g.n() as u32).map(|v| g.degree(v)).sum();
+    assert_eq!(degree_sum, 2 * g.m());
+    for v in 0..g.n() as u32 {
+        for &w in g.neighbors(v) {
+            assert!(g.neighbors(w).contains(&v), "asymmetric adjacency {v}-{w}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn builder_output_is_canonical(
+        n in 1usize..120,
+        pairs in proptest::collection::vec((0u32..120, 0u32..120), 0..300),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in pairs {
+            if (u as usize) < n && (v as usize) < n {
+                b.add_edge(u, v);
+            }
+        }
+        assert_canonical(&b.build());
+    }
+
+    #[test]
+    fn gnm_canonical_and_exact(n in 2usize..150, seed in any::<u64>()) {
+        let max_m = n * (n - 1) / 2;
+        let m = max_m.min(3 * n);
+        let g = gen::gnm(n, m, seed);
+        assert_canonical(&g);
+        prop_assert_eq!(g.m(), m);
+    }
+
+    #[test]
+    fn scramble_preserves_degree_multiset_and_components(
+        n in 2usize..100,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::gnm(n, (2 * n).min(n * (n - 1) / 2), seed);
+        let s = gen::scramble(&g, seed ^ 0xFF);
+        assert_canonical(&s);
+        let mut dg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+        let mut ds: Vec<usize> = (0..n as u32).map(|v| s.degree(v)).collect();
+        dg.sort_unstable();
+        ds.sort_unstable();
+        prop_assert_eq!(dg, ds);
+        prop_assert_eq!(num_components(&g), num_components(&s));
+    }
+
+    #[test]
+    fn disjoint_union_adds_components(k in 1usize..6, n in 3usize..30) {
+        let g = gen::cycle(n);
+        let u = gen::disjoint_copies(&g, k);
+        assert_canonical(&u);
+        prop_assert_eq!(u.n(), k * n);
+        prop_assert_eq!(num_components(&u), k);
+    }
+
+    #[test]
+    fn trees_have_n_minus_1_edges_and_one_component(
+        n in 2usize..200,
+        seed in any::<u64>(),
+    ) {
+        for g in [gen::random_tree(n, seed), gen::binary_tree(n)] {
+            assert_canonical(&g);
+            prop_assert_eq!(g.m(), n - 1);
+            prop_assert_eq!(num_components(&g), 1);
+        }
+    }
+
+    #[test]
+    fn io_roundtrip(n in 1usize..80, seed in any::<u64>()) {
+        let nv = n.max(2);
+        let g = gen::gnm(nv, n.min(nv * (nv - 1) / 2), seed);
+        let mut buf = Vec::new();
+        {
+            use std::io::Write;
+            writeln!(buf, "# nodes: {}", g.n()).unwrap();
+            for &(u, v) in g.edges() {
+                writeln!(buf, "{u} {v}").unwrap();
+            }
+        }
+        let h = cc_graph::io::parse_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.n(), h.n());
+        prop_assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn component_labels_are_class_minima(n in 2usize..120, seed in any::<u64>()) {
+        let g = gen::gnm(n, n.min(n * (n - 1) / 2), seed);
+        let labels = components(&g);
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l as usize <= v, "label above vertex id");
+            prop_assert_eq!(labels[l as usize], l, "representative not self-labeled");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Approximate compaction (Lemma D.2 / Goodrich '91).
+//!
+//! Given an array with `k` *distinguished* cells, map each distinguished
+//! cell one-to-one into an array of length `O(k)`. The paper uses this to
+//! (a) rename ongoing vertices into `[2m/ log^c n]` in COMPACT and (b)
+//! index the roots of each level in Step 8 of EXPAND-MAXLINK so they can
+//! be assigned pre-determined processor blocks.
+//!
+//! Our implementation is hash-with-retry: each unplaced distinguished item
+//! hashes into the output array with a fresh pairwise-independent function,
+//! concurrent writers are resolved by the ARBITRARY write rule, winners
+//! claim their slot, losers retry. With load factor ≤ 1/2 a constant
+//! fraction places per round, so `O(log k)` rounds suffice whp (measured in
+//! [`CompactionResult::rounds`]; typically < 10).
+//!
+//! [`CompactionMode::ChargedO1`] runs the same protocol but charges the
+//! constant time bound of Lemma D.2 — the paper's setting guarantees
+//! `n log n` processors per compaction, under which Goodrich's algorithm is
+//! O(1)-time, and our experiments inherit that accounting (DESIGN.md §1.2).
+
+use crate::hashing::PairwiseHash;
+use crate::ops::{host_count, Flag};
+use pram_sim::{Handle, Pram, NULL};
+
+/// Accounting mode for [`compact`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionMode {
+    /// Charge the real retry rounds (each round = 2 steps).
+    Measured,
+    /// Charge the Lemma D.2 bound: O(1) steps (we charge 4) at the caller's
+    /// processor count; the retry rounds still execute but at charge 0.
+    ChargedO1,
+}
+
+/// Output of [`compact`].
+#[derive(Debug)]
+pub struct CompactionResult {
+    /// `index[v] = slot` for distinguished `v`, `NULL` otherwise;
+    /// slots are unique and `< cap`.
+    pub index: Handle,
+    /// `slots[j] = v` if distinguished `v` was placed at `j`, else `NULL`.
+    pub slots: Handle,
+    /// Length of `slots` (a power of two, ≥ 2k).
+    pub cap: usize,
+    /// Retry rounds actually executed.
+    pub rounds: u64,
+}
+
+impl CompactionResult {
+    /// Release the result arrays.
+    pub fn free(self, pram: &mut Pram) {
+        pram.free(self.index);
+        pram.free(self.slots);
+    }
+}
+
+/// Errors from [`compact`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum CompactionError {
+    /// The retry loop failed to place every item within the round budget
+    /// (astronomically unlikely with healthy hashing; surfaced rather than
+    /// looping forever so tests can exercise adversarial seeds).
+    RoundBudgetExceeded {
+        /// Items still unplaced when the budget ran out.
+        unplaced: usize,
+    },
+}
+
+/// Maximum retry rounds before giving up.
+const MAX_ROUNDS: u64 = 64;
+
+/// Approximate compaction over the distinguished cells of `active`
+/// (`active[v] != 0` marks `v` distinguished).
+///
+/// Returns per-item slot indices that are unique within `[0, cap)` with
+/// `cap ≤ max(4, 4k)`. See module docs for the protocol and accounting.
+pub fn compact(
+    pram: &mut Pram,
+    active: Handle,
+    seed: u64,
+    mode: CompactionMode,
+) -> Result<CompactionResult, CompactionError> {
+    let n = active.len();
+    let k = host_count(pram, active, |x| x != 0);
+    let cap = (2 * k).next_power_of_two().max(4);
+    let index = pram.alloc_filled(n, NULL);
+    let slots = pram.alloc_filled(cap, NULL);
+    let taken = pram.alloc_filled(cap, 0);
+    let unplaced_flag = Flag::new(pram);
+
+    let charge = match mode {
+        CompactionMode::Measured => 1,
+        CompactionMode::ChargedO1 => 0,
+    };
+
+    let mut rounds = 0;
+    let mut done = k == 0;
+    while !done {
+        if rounds >= MAX_ROUNDS {
+            let unplaced = host_count(pram, index, |x| x == NULL)
+                - host_count(pram, active, |x| x == 0);
+            pram.free(taken);
+            unplaced_flag.free(pram);
+            return Err(CompactionError::RoundBudgetExceeded { unplaced });
+        }
+        let h = PairwiseHash::new(seed ^ (rounds.wrapping_mul(0x9E37_79B9)), cap as u64);
+        // Step A: every unplaced distinguished item bids for a free slot.
+        pram.step_charged(n, charge, |v, ctx| {
+            if ctx.read(active, v as usize) == 0 || ctx.read(index, v as usize) != NULL {
+                return;
+            }
+            let slot = h.eval(v) as usize;
+            if ctx.read(taken, slot) == 0 {
+                ctx.write(slots, slot, v);
+            }
+        });
+        // Step B: winners claim; losers raise the retry flag.
+        unplaced_flag.clear(pram);
+        pram.step_charged(n, charge, |v, ctx| {
+            if ctx.read(active, v as usize) == 0 || ctx.read(index, v as usize) != NULL {
+                return;
+            }
+            let slot = h.eval(v) as usize;
+            if ctx.read(taken, slot) == 0 && ctx.read(slots, slot) == v {
+                ctx.write(index, v as usize, slot as u64);
+                ctx.write(taken, slot, 1);
+            } else {
+                unplaced_flag.raise(ctx);
+            }
+        });
+        rounds += 1;
+        done = !unplaced_flag.read(pram);
+    }
+
+    if mode == CompactionMode::ChargedO1 {
+        // Lemma D.2: O(1) time with n log n processors; charge 4 steps.
+        pram.charge(n, 4);
+    }
+
+    pram.free(taken);
+    unplaced_flag.free(pram);
+    Ok(CompactionResult {
+        index,
+        slots,
+        cap,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_sim::WritePolicy;
+    use std::collections::HashSet;
+
+    fn run_compaction(
+        n: usize,
+        distinguished: &[usize],
+        policy: WritePolicy,
+        seed: u64,
+        mode: CompactionMode,
+    ) -> (Pram, CompactionResult) {
+        let mut pram = Pram::new(policy);
+        let active = pram.alloc_filled(n, 0);
+        for &v in distinguished {
+            pram.set(active, v, 1);
+        }
+        let res = compact(&mut pram, active, seed, mode).expect("compaction");
+        (pram, res)
+    }
+
+    fn check_valid(pram: &Pram, res: &CompactionResult, distinguished: &HashSet<usize>) {
+        let index = pram.read_vec(res.index);
+        let mut used = HashSet::new();
+        for (v, &slot) in index.iter().enumerate() {
+            if distinguished.contains(&v) {
+                assert_ne!(slot, NULL, "vertex {v} unplaced");
+                assert!((slot as usize) < res.cap);
+                assert!(used.insert(slot), "slot {slot} assigned twice");
+                assert_eq!(pram.get(res.slots, slot as usize), v as u64);
+            } else {
+                assert_eq!(index[v], NULL, "non-distinguished {v} got a slot");
+            }
+        }
+    }
+
+    #[test]
+    fn compacts_sparse_set_uniquely() {
+        let n = 1000;
+        let distinguished: Vec<usize> = (0..n).step_by(17).collect();
+        let set: HashSet<usize> = distinguished.iter().copied().collect();
+        let (pram, res) = run_compaction(
+            n,
+            &distinguished,
+            WritePolicy::ArbitrarySeeded(1),
+            9,
+            CompactionMode::Measured,
+        );
+        assert!(res.cap <= 4 * distinguished.len());
+        check_valid(&pram, &res, &set);
+    }
+
+    #[test]
+    fn works_under_all_policies() {
+        let n = 500;
+        let distinguished: Vec<usize> = (0..n).filter(|v| v % 3 == 0).collect();
+        let set: HashSet<usize> = distinguished.iter().copied().collect();
+        for policy in [
+            WritePolicy::ArbitrarySeeded(7),
+            WritePolicy::PriorityMin,
+            WritePolicy::PriorityMax,
+            WritePolicy::Racy,
+        ] {
+            let (pram, res) =
+                run_compaction(n, &distinguished, policy, 3, CompactionMode::Measured);
+            check_valid(&pram, &res, &set);
+        }
+    }
+
+    #[test]
+    fn rounds_stay_small_across_seeds() {
+        let n = 4000;
+        let distinguished: Vec<usize> = (0..n).filter(|v| v % 2 == 0).collect();
+        for seed in 0..10 {
+            let (_, res) = run_compaction(
+                n,
+                &distinguished,
+                WritePolicy::ArbitrarySeeded(seed),
+                seed,
+                CompactionMode::Measured,
+            );
+            assert!(res.rounds <= 16, "seed {seed}: rounds {}", res.rounds);
+        }
+    }
+
+    #[test]
+    fn empty_set_is_trivial() {
+        let (pram, res) = run_compaction(
+            64,
+            &[],
+            WritePolicy::ArbitrarySeeded(1),
+            1,
+            CompactionMode::Measured,
+        );
+        assert_eq!(res.rounds, 0);
+        assert!(pram.read_vec(res.index).iter().all(|&x| x == NULL));
+    }
+
+    #[test]
+    fn all_distinguished_still_unique() {
+        let n = 256;
+        let distinguished: Vec<usize> = (0..n).collect();
+        let set: HashSet<usize> = distinguished.iter().copied().collect();
+        let (pram, res) = run_compaction(
+            n,
+            &distinguished,
+            WritePolicy::ArbitrarySeeded(5),
+            11,
+            CompactionMode::Measured,
+        );
+        check_valid(&pram, &res, &set);
+    }
+
+    #[test]
+    fn charged_mode_accounts_constant_steps() {
+        let n = 2048;
+        let distinguished: Vec<usize> = (0..n).step_by(4).collect();
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+        let active = pram.alloc_filled(n, 0);
+        for &v in &distinguished {
+            pram.set(active, v, 1);
+        }
+        pram.reset_stats();
+        let res = compact(&mut pram, active, 7, CompactionMode::ChargedO1).unwrap();
+        // 4 charged steps plus the host-free protocol steps at charge 0;
+        // flag clears are host-side.
+        assert_eq!(pram.stats().steps, 4);
+        assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn deterministic_under_seeded_policy() {
+        let n = 300;
+        let distinguished: Vec<usize> = (0..n).step_by(3).collect();
+        let (p1, r1) = run_compaction(
+            n,
+            &distinguished,
+            WritePolicy::ArbitrarySeeded(42),
+            13,
+            CompactionMode::Measured,
+        );
+        let (p2, r2) = run_compaction(
+            n,
+            &distinguished,
+            WritePolicy::ArbitrarySeeded(42),
+            13,
+            CompactionMode::Measured,
+        );
+        assert_eq!(p1.read_vec(r1.index), p2.read_vec(r2.index));
+    }
+}

@@ -1,0 +1,242 @@
+//! The classic building blocks of §2.2 as reusable PRAM routines:
+//! SHORTCUT, ALTER, flag-OR termination tests, and host-side helpers.
+//!
+//! Conventions shared by all algorithm crates:
+//!
+//! * vertex ids are `u64` values stored in shared-memory cells
+//!   (`NULL = u64::MAX` means "empty"),
+//! * a *parent array* is a handle with one cell per vertex,
+//! * an *arc list* is a pair of equal-length handles `(eu, ev)`; arc `i`
+//!   is the directed edge `eu[i] → ev[i]`.
+
+use pram_sim::{Ctx, Handle, Pram};
+
+/// One SHORTCUT round: `v.p := v.p.p` for every vertex, in one step.
+///
+/// (A processor reads its parent and its grandparent — two dependent reads,
+/// still O(1) per processor.)
+pub fn shortcut(pram: &mut Pram, parent: Handle) {
+    let n = parent.len();
+    pram.step(n, move |v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let gp = ctx.read(parent, p as usize);
+        if gp != p {
+            ctx.write(parent, v as usize, gp);
+        }
+    });
+}
+
+/// One SHORTCUT round that raises `flag` iff any parent actually changed.
+/// Used by algorithms whose termination test is "no parent changed this
+/// round" (e.g. the break condition of EXPAND-MAXLINK, §3.3).
+pub fn shortcut_flagged(pram: &mut Pram, parent: Handle, flag: &Flag) {
+    let n = parent.len();
+    pram.step(n, move |v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let gp = ctx.read(parent, p as usize);
+        if gp != p {
+            ctx.write(parent, v as usize, gp);
+            flag.raise(ctx);
+        }
+    });
+}
+
+/// Repeat SHORTCUT until no parent changes; returns the number of rounds.
+///
+/// `O(log h)` rounds for maximum tree height `h` (Hirschberg et al. '79).
+pub fn shortcut_until_flat(pram: &mut Pram, parent: Handle) -> u64 {
+    let n = parent.len();
+    let flag = Flag::new(pram);
+    let mut rounds = 0;
+    loop {
+        flag.clear(pram);
+        pram.step(n, |v, ctx| {
+            let p = ctx.read(parent, v as usize);
+            let gp = ctx.read(parent, p as usize);
+            if gp != p {
+                ctx.write(parent, v as usize, gp);
+                flag.raise(ctx);
+            }
+        });
+        rounds += 1;
+        if !flag.read(pram) {
+            break;
+        }
+    }
+    flag.free(pram);
+    rounds
+}
+
+/// ALTER: replace every arc `(u, v)` by `(u.p, v.p)`, in one step
+/// (one processor per arc).
+pub fn alter(pram: &mut Pram, eu: Handle, ev: Handle, parent: Handle) {
+    let arcs = eu.len();
+    assert_eq!(arcs, ev.len(), "arc arrays must have equal length");
+    pram.step(arcs, move |i, ctx| {
+        let i = i as usize;
+        let u = ctx.read(eu, i);
+        let v = ctx.read(ev, i);
+        let pu = ctx.read(parent, u as usize);
+        let pv = ctx.read(parent, v as usize);
+        if pu != u {
+            ctx.write(eu, i, pu);
+        }
+        if pv != v {
+            ctx.write(ev, i, pv);
+        }
+    });
+}
+
+/// Whether any arc is a non-loop (`eu[i] != ev[i]`): the paper's repeat-loop
+/// termination test, one flag-OR step.
+pub fn any_nonloop_arc(pram: &mut Pram, eu: Handle, ev: Handle) -> bool {
+    let arcs = eu.len();
+    let flag = Flag::new(pram);
+    pram.step(arcs, |i, ctx| {
+        let i = i as usize;
+        if ctx.read(eu, i) != ctx.read(ev, i) {
+            flag.raise(ctx);
+        }
+    });
+    let r = flag.read(pram);
+    flag.free(pram);
+    r
+}
+
+/// A single-cell OR flag: any processor may raise it during a step; the
+/// host reads it between steps. Concurrent raises are concurrent writes of
+/// the same value — legal on any CRCW variant.
+#[derive(Clone, Copy, Debug)]
+pub struct Flag {
+    cell: Handle,
+}
+
+impl Flag {
+    /// Allocate a cleared flag.
+    pub fn new(pram: &mut Pram) -> Self {
+        let cell = pram.alloc_filled(1, 0);
+        Flag { cell }
+    }
+
+    /// Clear (host-side, between steps).
+    pub fn clear(&self, pram: &mut Pram) {
+        pram.set(self.cell, 0, 0);
+    }
+
+    /// Raise from inside a step.
+    #[inline]
+    pub fn raise(&self, ctx: &mut Ctx) {
+        ctx.write(self.cell, 0, 1);
+    }
+
+    /// Host read.
+    pub fn read(&self, pram: &Pram) -> bool {
+        pram.get(self.cell, 0) != 0
+    }
+
+    /// Release the cell.
+    pub fn free(self, pram: &mut Pram) {
+        pram.free(self.cell);
+    }
+}
+
+/// Host-side count of cells satisfying `pred` (controller bookkeeping,
+/// no simulated time charged).
+pub fn host_count(pram: &Pram, h: Handle, pred: impl Fn(u64) -> bool) -> usize {
+    pram.slice(h).iter().filter(|&&x| pred(x)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_sim::WritePolicy;
+
+    fn machine() -> Pram {
+        Pram::new(WritePolicy::ArbitrarySeeded(404))
+    }
+
+    /// Parent array forming one path 0 <- 1 <- 2 <- ... <- n-1.
+    fn chain_parents(pram: &mut Pram, n: usize) -> Handle {
+        let parent = pram.alloc(n);
+        for v in 0..n {
+            pram.set(parent, v, v.saturating_sub(1) as u64);
+        }
+        parent
+    }
+
+    #[test]
+    fn one_shortcut_halves_depth() {
+        let mut pram = machine();
+        let parent = chain_parents(&mut pram, 8);
+        shortcut(&mut pram, parent);
+        let p = pram.read_vec(parent);
+        // v's parent should now be v-2 (clamped at root 0).
+        assert_eq!(p, vec![0, 0, 0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn shortcut_until_flat_rounds_logarithmic() {
+        let mut pram = machine();
+        let n = 1 << 10;
+        let parent = chain_parents(&mut pram, n);
+        let rounds = shortcut_until_flat(&mut pram, parent);
+        let p = pram.read_vec(parent);
+        assert!(p.iter().all(|&x| x == 0));
+        // depth n-1 needs ceil(log2) + 1-ish rounds
+        assert!(rounds <= 12, "rounds={rounds}");
+    }
+
+    #[test]
+    fn alter_moves_arcs_to_parents() {
+        let mut pram = machine();
+        let parent = pram.alloc(4);
+        for (v, p) in [(0u64, 0u64), (1, 0), (2, 2), (3, 2)] {
+            pram.set(parent, v as usize, p);
+        }
+        let eu = pram.alloc(2);
+        let ev = pram.alloc(2);
+        // arcs (1,3) and (2,0)
+        pram.set(eu, 0, 1);
+        pram.set(ev, 0, 3);
+        pram.set(eu, 1, 2);
+        pram.set(ev, 1, 0);
+        alter(&mut pram, eu, ev, parent);
+        assert_eq!(pram.read_vec(eu), vec![0, 2]);
+        assert_eq!(pram.read_vec(ev), vec![2, 0]);
+    }
+
+    #[test]
+    fn nonloop_detection() {
+        let mut pram = machine();
+        let eu = pram.alloc(3);
+        let ev = pram.alloc(3);
+        for i in 0..3 {
+            pram.set(eu, i, 5);
+            pram.set(ev, i, 5);
+        }
+        assert!(!any_nonloop_arc(&mut pram, eu, ev));
+        pram.set(ev, 1, 6);
+        assert!(any_nonloop_arc(&mut pram, eu, ev));
+    }
+
+    #[test]
+    fn flag_raise_and_clear() {
+        let mut pram = machine();
+        let flag = Flag::new(&mut pram);
+        assert!(!flag.read(&pram));
+        pram.step(100, |_, ctx| flag.raise(ctx));
+        assert!(flag.read(&pram));
+        flag.clear(&mut pram);
+        assert!(!flag.read(&pram));
+    }
+
+    #[test]
+    fn host_count_counts() {
+        let mut pram = machine();
+        let h = pram.alloc(10);
+        for i in 0..10 {
+            pram.set(h, i, i as u64);
+        }
+        assert_eq!(host_count(&pram, h, |x| x % 2 == 0), 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Parallel prefix sum — the primitive the paper *avoids*.
+//!
+//! On an MPC, prefix sums take O(1) communication rounds, which is what
+//! the Andoni et al. / Behnezhad et al. algorithms lean on for processor
+//! allocation and neighbour indexing. On a CRCW PRAM with `poly(n)`
+//! processors they require `Ω(log n / log log n)` time (Beame–Håstad,
+//! cited as [BH89]); the textbook work-efficient algorithm below takes
+//! `2⌈log₂ n⌉` steps. The whole point of the paper's limited-collision
+//! hashing is to sidestep this cost — experiment E13 runs this primitive
+//! against hashing-based approximate compaction to show the gap the paper
+//! exploits.
+
+use pram_sim::{Handle, Pram};
+
+/// Exclusive prefix sum of `xs` into a fresh array, returning
+/// `(result, sum, steps_used)`. Blelloch up-sweep/down-sweep, `2⌈log₂ n⌉`
+/// steps, `O(n)` work.
+pub fn exclusive_prefix_sum(pram: &mut Pram, xs: Handle) -> (Handle, u64, u64) {
+    let n = xs.len();
+    let size = n.next_power_of_two();
+    let tree = pram.alloc_filled(size, 0);
+    pram.step(n, move |i, ctx| {
+        let v = ctx.read(xs, i as usize);
+        ctx.write(tree, i as usize, v);
+    });
+    let mut steps = 1;
+
+    // Up-sweep: tree[i] accumulates block sums in place.
+    let mut stride = 1;
+    while stride < size {
+        let pairs = size / (2 * stride);
+        pram.step(pairs, move |p, ctx| {
+            let right = (p as usize * 2 + 2) * stride - 1;
+            let left = right - stride;
+            let a = ctx.read(tree, left);
+            let b = ctx.read(tree, right);
+            ctx.write(tree, right, a.wrapping_add(b));
+        });
+        steps += 1;
+        stride *= 2;
+    }
+    let total = pram.get(tree, size - 1);
+    pram.set(tree, size - 1, 0);
+
+    // Down-sweep.
+    let mut stride = size / 2;
+    while stride >= 1 {
+        let pairs = size / (2 * stride);
+        pram.step(pairs, move |p, ctx| {
+            let right = (p as usize * 2 + 2) * stride - 1;
+            let left = right - stride;
+            let a = ctx.read(tree, left);
+            let b = ctx.read(tree, right);
+            ctx.write(tree, left, b);
+            ctx.write(tree, right, a.wrapping_add(b));
+        });
+        steps += 1;
+        stride /= 2;
+    }
+    (tree, total, steps)
+}
+
+/// Exact compaction *via prefix sums* (what the MPC algorithms do, and
+/// what the paper replaces with hashing): distinguished items get the
+/// dense ranks `0..k`. Returns `(index, k, steps)` — compare the step
+/// count with [`crate::compaction::compact`]'s.
+pub fn compact_by_prefix_sum(pram: &mut Pram, active: Handle) -> (Handle, u64, u64) {
+    let n = active.len();
+    let flags = pram.alloc(n);
+    pram.step(n, move |v, ctx| {
+        let a = ctx.read(active, v as usize);
+        ctx.write(flags, v as usize, (a != 0) as u64);
+    });
+    let (ranks, k, steps) = exclusive_prefix_sum(pram, flags);
+    let index = pram.alloc_filled(n, pram_sim::NULL);
+    pram.step(n, move |v, ctx| {
+        if ctx.read(active, v as usize) != 0 {
+            let r = ctx.read(ranks, v as usize);
+            ctx.write(index, v as usize, r);
+        }
+    });
+    pram.free(flags);
+    pram.free(ranks);
+    (index, k, steps + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_sim::{WritePolicy, NULL};
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let vals: Vec<u64> = (0..100).map(|i| (i * 7 + 3) % 11).collect();
+        let xs = pram.alloc(vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            pram.set(xs, i, v);
+        }
+        let (out, total, _) = exclusive_prefix_sum(&mut pram, xs);
+        let mut acc = 0;
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(pram.get(out, i), acc, "index {i}");
+            acc += v;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn prefix_sum_steps_are_logarithmic() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let xs = pram.alloc_filled(1 << 12, 1);
+        let (_, total, steps) = exclusive_prefix_sum(&mut pram, xs);
+        assert_eq!(total, 1 << 12);
+        assert_eq!(steps, 1 + 2 * 12);
+    }
+
+    #[test]
+    fn prefix_compaction_gives_dense_ranks() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+        let n = 200;
+        let active = pram.alloc_filled(n, 0);
+        let picked: Vec<usize> = (0..n).filter(|v| v % 3 == 1).collect();
+        for &v in &picked {
+            pram.set(active, v, 1);
+        }
+        let (index, k, _) = compact_by_prefix_sum(&mut pram, active);
+        assert_eq!(k as usize, picked.len());
+        for (rank, &v) in picked.iter().enumerate() {
+            assert_eq!(pram.get(index, v), rank as u64);
+        }
+        for v in (0..n).filter(|v| v % 3 != 1) {
+            assert_eq!(pram.get(index, v), NULL);
+        }
+    }
+
+    #[test]
+    fn works_on_non_power_of_two_lengths() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let xs = pram.alloc_filled(7, 2);
+        let (out, total, _) = exclusive_prefix_sum(&mut pram, xs);
+        assert_eq!(total, 14);
+        assert_eq!(pram.get(out, 6), 12);
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-processor step context: the only way simulated processors touch
+//! shared memory.
+//!
+//! A [`Ctx`] is handed to the step closure for every simulated processor.
+//! Reads go straight to the frozen pre-step memory image; writes are
+//! buffered (sharded by address so the commit phase can run in parallel on
+//! disjoint address sets) and committed by the machine when the step ends.
+
+use crate::mem::Handle;
+use crate::resolve::WritePolicy;
+use crate::splitmix64;
+
+/// One buffered write.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct WriteRec {
+    pub(crate) addr: u32,
+    pub(crate) val: u64,
+    /// Resolution priority (larger wins); 0 under the racy policy.
+    pub(crate) prio: u64,
+}
+
+/// The write buffers produced by one fold segment of a step.
+pub(crate) struct CtxOut {
+    pub(crate) shards: Vec<Vec<WriteRec>>,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) max_ops: u32,
+}
+
+/// Execution context of a simulated processor within one synchronous step.
+///
+/// All memory operations are counted; the per-processor operation count is
+/// audited so that "each processor does O(1) work per step" is a measured
+/// property, not an assumption (see `Stats::max_ops_per_proc`).
+pub struct Ctx<'a> {
+    words: &'a [u64],
+    policy: WritePolicy,
+    shard_mask: u32,
+    shards: Vec<Vec<WriteRec>>,
+    step_seed: u64,
+    proc: u64,
+    ops_this_proc: u32,
+    max_ops: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        words: &'a [u64],
+        policy: WritePolicy,
+        shard_count: u32,
+        step_seed: u64,
+    ) -> Self {
+        debug_assert!(shard_count.is_power_of_two());
+        Ctx {
+            words,
+            policy,
+            shard_mask: shard_count - 1,
+            shards: (0..shard_count).map(|_| Vec::new()).collect(),
+            step_seed,
+            proc: 0,
+            ops_this_proc: 0,
+            max_ops: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn begin_proc(&mut self, p: u64) {
+        self.proc = p;
+        self.ops_this_proc = 0;
+    }
+
+    #[inline]
+    pub(crate) fn end_proc(&mut self) {
+        self.max_ops = self.max_ops.max(self.ops_this_proc);
+    }
+
+    pub(crate) fn finish(self) -> CtxOut {
+        CtxOut {
+            shards: self.shards,
+            reads: self.reads,
+            writes: self.writes,
+            max_ops: self.max_ops,
+        }
+    }
+
+    /// The id of the processor currently executing.
+    #[inline]
+    pub fn proc(&self) -> u64 {
+        self.proc
+    }
+
+    /// Read cell `i` of block `h` (sees the pre-step memory image).
+    #[inline]
+    pub fn read(&mut self, h: Handle, i: usize) -> u64 {
+        self.reads += 1;
+        self.ops_this_proc += 1;
+        self.words[h.addr(i) as usize]
+    }
+
+    /// Write `val` into cell `i` of block `h` (committed at end of step;
+    /// concurrent writes resolved by the machine's [`WritePolicy`]).
+    #[inline]
+    pub fn write(&mut self, h: Handle, i: usize, val: u64) {
+        self.writes += 1;
+        self.ops_this_proc += 1;
+        let addr = h.addr(i);
+        let prio = self.policy.priority(addr, self.proc, val);
+        let shard = (addr & self.shard_mask) as usize;
+        self.shards[shard].push(WriteRec { addr, val, prio });
+    }
+
+    /// A deterministic per-step, per-processor pseudo-random word.
+    ///
+    /// `tag` distinguishes multiple draws by the same processor in one step.
+    /// The stream depends on (machine seed, step number, processor, tag), so
+    /// runs are reproducible while different seeds give independent-looking
+    /// randomness. This models the private random bits PRAM processors are
+    /// assumed to hold.
+    #[inline]
+    pub fn rand(&mut self, tag: u64) -> u64 {
+        self.ops_this_proc += 1;
+        splitmix64(
+            self.step_seed
+                ^ self.proc.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ tag.wrapping_mul(0xD134_2543_DE82_EF95),
+        )
+    }
+
+    /// A deterministic Bernoulli draw: true with probability ≈ `p`.
+    #[inline]
+    pub fn coin(&mut self, tag: u64, p: f64) -> bool {
+        let x = self.rand(tag);
+        // Map to [0, 1) with 53 bits of precision.
+        let u = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Record `k` units of local computation for the O(1)-discipline audit
+    /// without touching memory (e.g. comparing two already-read words).
+    #[inline]
+    pub fn charge_local(&mut self, k: u32) {
+        self.ops_this_proc += k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_sharded_by_address() {
+        let words = vec![0u64; 64];
+        let mut ctx = Ctx::new(&words, WritePolicy::PriorityMax, 4, 0);
+        ctx.begin_proc(1);
+        let h = Handle { base: 0, len: 64 };
+        for i in 0..16 {
+            ctx.write(h, i, i as u64);
+        }
+        ctx.end_proc();
+        let out = ctx.finish();
+        assert_eq!(out.writes, 16);
+        for (s, shard) in out.shards.iter().enumerate() {
+            assert_eq!(shard.len(), 4);
+            for rec in shard {
+                assert_eq!((rec.addr & 3) as usize, s);
+            }
+        }
+        assert_eq!(out.max_ops, 16);
+    }
+
+    #[test]
+    fn rand_depends_on_proc_and_tag() {
+        let words = vec![0u64; 1];
+        let mut ctx = Ctx::new(&words, WritePolicy::Racy, 1, 7);
+        ctx.begin_proc(0);
+        let a = ctx.rand(0);
+        let b = ctx.rand(1);
+        ctx.begin_proc(1);
+        let c = ctx.rand(0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Same (seed, proc, tag) => same value.
+        ctx.begin_proc(0);
+        assert_eq!(a, ctx.rand(0));
+    }
+
+    #[test]
+    fn coin_matches_probability_roughly() {
+        let words = vec![0u64; 1];
+        let mut ctx = Ctx::new(&words, WritePolicy::Racy, 1, 99);
+        let mut hits = 0;
+        let trials = 20_000;
+        for p in 0..trials {
+            ctx.begin_proc(p);
+            if ctx.coin(0, 0.25) {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!((0.22..0.28).contains(&frac), "fraction {frac}");
+    }
+}

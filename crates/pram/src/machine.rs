@@ -1,0 +1,542 @@
+//! The PRAM machine: synchronous step execution and commit.
+
+use rayon::prelude::*;
+
+use crate::ctx::{Ctx, CtxOut};
+use crate::mem::{Arena, Handle};
+use crate::resolve::{CombineOp, WritePolicy};
+use crate::splitmix64;
+use crate::stats::Stats;
+
+/// Below this processor count a step runs on the calling thread; above it,
+/// the processor range is split across the rayon pool. Purely a host-side
+/// performance knob — simulated semantics are identical.
+const PAR_THRESHOLD: usize = 4096;
+
+/// A simulated CRCW PRAM.
+///
+/// See the crate docs for the model. Host code (the "controller") drives the
+/// machine by allocating memory, running synchronous [`Pram::step`]s, and
+/// inspecting memory between steps; only steps are charged simulated time.
+pub struct Pram {
+    mem: Arena,
+    policy: WritePolicy,
+    stats: Stats,
+    step_id: u32,
+    seed: u64,
+    shard_count: u32,
+}
+
+impl Pram {
+    /// Create a machine with the given write-resolution policy.
+    pub fn new(policy: WritePolicy) -> Self {
+        let shard_count = (rayon::current_num_threads().next_power_of_two() as u32 * 4)
+            .clamp(8, 256);
+        let seed = match policy {
+            WritePolicy::ArbitrarySeeded(s) | WritePolicy::CrewChecked(s) => s,
+            _ => 0x5EED_0BAD_CAFE_F00D,
+        };
+        Pram {
+            mem: Arena::new(),
+            policy,
+            stats: Stats::default(),
+            step_id: 0,
+            seed,
+            shard_count,
+        }
+    }
+
+    /// The machine's write-resolution policy.
+    pub fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Resource accounting so far (space fields refreshed on read).
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.live_words = self.mem.live_words() as u64;
+        s.peak_words = self.mem.peak_words() as u64;
+        s
+    }
+
+    /// Reset time/work/traffic counters (space high-water is kept).
+    pub fn reset_stats(&mut self) {
+        let _ = std::mem::take(&mut self.stats);
+    }
+
+    /// Record a pure model charge of `steps` time units on `nprocs`
+    /// processors without executing anything.
+    ///
+    /// Used by primitives that run extra bookkeeping steps at charge 0 and
+    /// then account the cost the paper proves for them (e.g. approximate
+    /// compaction's O(1)-time `n log n`-processor mode, Lemma D.2).
+    pub fn charge(&mut self, nprocs: usize, steps: u64) {
+        self.stats.record_step(nprocs as u64, steps);
+    }
+
+    // ----------------------------------------------------------------- memory
+
+    /// Allocate a block of `len` words filled with `fill`.
+    pub fn alloc_filled(&mut self, len: usize, fill: u64) -> Handle {
+        self.mem.alloc(len, fill)
+    }
+
+    /// Allocate a zero-filled block of `len` words.
+    pub fn alloc(&mut self, len: usize) -> Handle {
+        self.mem.alloc(len, 0)
+    }
+
+    /// Return a block to the arena (it may be reused by later allocations).
+    pub fn free(&mut self, h: Handle) {
+        self.mem.dealloc(h);
+    }
+
+    /// Host read of one cell (not charged as simulated time).
+    #[inline]
+    pub fn get(&self, h: Handle, i: usize) -> u64 {
+        self.mem.words[h.addr(i) as usize]
+    }
+
+    /// Host write of one cell (setup only; not charged).
+    #[inline]
+    pub fn set(&mut self, h: Handle, i: usize, v: u64) {
+        let a = h.addr(i) as usize;
+        self.mem.words[a] = v;
+    }
+
+    /// Host view of a whole block.
+    pub fn slice(&self, h: Handle) -> &[u64] {
+        let b = h.base as usize;
+        &self.mem.words[b..b + h.len as usize]
+    }
+
+    /// Copy a block out (host side).
+    pub fn read_vec(&self, h: Handle) -> Vec<u64> {
+        self.slice(h).to_vec()
+    }
+
+    /// Host bulk fill (setup only; not charged). For a charged parallel
+    /// fill use [`Pram::fill_step`].
+    pub fn host_fill(&mut self, h: Handle, v: u64) {
+        let b = h.base as usize;
+        self.mem.words[b..b + h.len as usize].fill(v);
+    }
+
+    /// Host copy of `src` into the front of `dst` (`src.len() ≤ dst.len()`).
+    /// Setup/bookkeeping only — callers that model a PRAM copy must charge a
+    /// step themselves.
+    pub fn host_copy(&mut self, src: Handle, dst: Handle) {
+        assert!(src.len() <= dst.len(), "host_copy: dst too small");
+        let (s, d) = (src.base as usize, dst.base as usize);
+        self.mem
+            .words
+            .copy_within(s..s + src.len as usize, d);
+    }
+
+    /// Charged parallel fill: one step with `h.len()` processors.
+    pub fn fill_step(&mut self, h: Handle, v: u64) {
+        self.step(h.len(), move |p, ctx| {
+            ctx.write(h, p as usize, v);
+        });
+    }
+
+    // ------------------------------------------------------------------ steps
+
+    /// Execute one synchronous parallel step with `nprocs` processors.
+    ///
+    /// Each processor `p ∈ [0, nprocs)` runs `f(p, ctx)`; reads see the
+    /// pre-step memory, writes are resolved per the machine policy and
+    /// committed at the end. Charged as 1 unit of simulated time.
+    pub fn step<F>(&mut self, nprocs: usize, f: F)
+    where
+        F: Fn(u64, &mut Ctx) + Sync,
+    {
+        self.step_charged(nprocs, 1, f)
+    }
+
+    /// Like [`Pram::step`] but charged `charge` units of simulated time.
+    ///
+    /// Used where the paper proves an O(1)- or O(k)-time bound that relies
+    /// on processor slack the simulator does not spend host time emulating
+    /// (DESIGN.md §1.2). The per-processor op audit still reports the real
+    /// op count.
+    pub fn step_charged<F>(&mut self, nprocs: usize, charge: u64, f: F)
+    where
+        F: Fn(u64, &mut Ctx) + Sync,
+    {
+        self.stats.record_step(nprocs as u64, charge);
+        if nprocs == 0 {
+            return;
+        }
+        self.step_id += 1;
+        let outs = self.run_procs(nprocs, &f);
+        self.commit(outs);
+    }
+
+    /// Execute one synchronous COMBINING CRCW step: concurrent writes to a
+    /// cell leave `op` applied over *all written values* in the cell.
+    pub fn step_combine<F>(&mut self, nprocs: usize, op: CombineOp, f: F)
+    where
+        F: Fn(u64, &mut Ctx) + Sync,
+    {
+        self.stats.record_step(nprocs as u64, 1);
+        if nprocs == 0 {
+            return;
+        }
+        self.step_id += 1;
+        let outs = self.run_procs(nprocs, &f);
+        self.commit_combine(outs, op);
+    }
+
+    fn run_procs<F>(&mut self, nprocs: usize, f: &F) -> Vec<CtxOut>
+    where
+        F: Fn(u64, &mut Ctx) + Sync,
+    {
+        let words: &[u64] = &self.mem.words;
+        let policy = self.policy;
+        let shard_count = self.shard_count;
+        let step_seed = splitmix64(self.seed ^ (self.step_id as u64) << 17);
+
+        let outs: Vec<CtxOut> = if nprocs < PAR_THRESHOLD {
+            let mut ctx = Ctx::new(words, policy, shard_count, step_seed);
+            for p in 0..nprocs as u64 {
+                ctx.begin_proc(p);
+                f(p, &mut ctx);
+                ctx.end_proc();
+            }
+            vec![ctx.finish()]
+        } else {
+            (0..nprocs as u64)
+                .into_par_iter()
+                .fold(
+                    || Ctx::new(words, policy, shard_count, step_seed),
+                    |mut ctx, p| {
+                        ctx.begin_proc(p);
+                        f(p, &mut ctx);
+                        ctx.end_proc();
+                        ctx
+                    },
+                )
+                .map(Ctx::finish)
+                .collect()
+        };
+
+        for out in &outs {
+            self.stats.reads += out.reads;
+            self.stats.writes += out.writes;
+            self.stats.max_ops_per_proc = self.stats.max_ops_per_proc.max(out.max_ops as u64);
+        }
+        outs
+    }
+
+    fn commit(&mut self, outs: Vec<CtxOut>) {
+        let step = self.step_id;
+        let use_prio = self.policy.uses_priority();
+        let count_conflicts = self.policy.counts_conflicts();
+        let shards = self.shard_count as usize;
+        let mem = ShardedMem {
+            words: self.mem.words.as_mut_ptr(),
+            stamp: self.mem.stamp.as_mut_ptr(),
+            prio: self.mem.prio.as_mut_ptr(),
+        };
+        let conflicts: u64 = (0..shards)
+            .into_par_iter()
+            .map(|s| {
+                let mut conflicts = 0;
+                for out in &outs {
+                    for rec in &out.shards[s] {
+                        // SAFETY: writes are sharded by `addr & (shards-1)`,
+                        // so each address is touched by exactly one shard
+                        // iteration; the parallel iterations access disjoint
+                        // cells.
+                        if unsafe { mem.commit_record(step, rec, use_prio) } {
+                            conflicts += 1;
+                        }
+                    }
+                }
+                conflicts
+            })
+            .sum();
+        if count_conflicts {
+            self.stats.write_conflicts += conflicts;
+        }
+    }
+
+    fn commit_combine(&mut self, outs: Vec<CtxOut>, op: CombineOp) {
+        let step = self.step_id;
+        let shards = self.shard_count as usize;
+        let mem = ShardedMem {
+            words: self.mem.words.as_mut_ptr(),
+            stamp: self.mem.stamp.as_mut_ptr(),
+            prio: self.mem.prio.as_mut_ptr(),
+        };
+        (0..shards).into_par_iter().for_each(|s| {
+            for out in &outs {
+                for rec in &out.shards[s] {
+                    // SAFETY: as in `commit` — shards partition addresses.
+                    unsafe { mem.combine_record(step, rec, op) };
+                }
+            }
+        });
+    }
+}
+
+/// Raw-pointer view of the arena used by the sharded parallel commit.
+///
+/// Methods take `&self` so that commit closures capture the whole struct
+/// (keeping the `Sync` reasoning in one place) rather than the raw-pointer
+/// fields individually.
+struct ShardedMem {
+    words: *mut u64,
+    stamp: *mut u32,
+    prio: *mut u64,
+}
+
+impl ShardedMem {
+    /// Apply one buffered write under the priority / racy rules. Returns
+    /// true when the cell had already been written in this step (a CREW
+    /// conflict).
+    ///
+    /// # Safety
+    /// Caller must guarantee `rec.addr` is in bounds and no other thread is
+    /// concurrently accessing that cell (the sharded commit partitions
+    /// addresses across threads).
+    unsafe fn commit_record(&self, step: u32, rec: &crate::ctx::WriteRec, use_prio: bool) -> bool {
+        let a = rec.addr as usize;
+        unsafe {
+            if *self.stamp.add(a) != step {
+                *self.stamp.add(a) = step;
+                *self.prio.add(a) = rec.prio;
+                *self.words.add(a) = rec.val;
+                false
+            } else {
+                if use_prio
+                    && (rec.prio > *self.prio.add(a)
+                        || (rec.prio == *self.prio.add(a) && rec.val > *self.words.add(a)))
+                {
+                    *self.prio.add(a) = rec.prio;
+                    *self.words.add(a) = rec.val;
+                } else if !use_prio {
+                    *self.words.add(a) = rec.val;
+                }
+                true
+            }
+        }
+    }
+
+    /// Apply one buffered write under a combining operator.
+    ///
+    /// # Safety
+    /// As for [`ShardedMem::commit_record`].
+    unsafe fn combine_record(&self, step: u32, rec: &crate::ctx::WriteRec, op: CombineOp) {
+        let a = rec.addr as usize;
+        unsafe {
+            if *self.stamp.add(a) != step {
+                *self.stamp.add(a) = step;
+                *self.words.add(a) = rec.val;
+            } else {
+                *self.words.add(a) = op.apply(*self.words.add(a), rec.val);
+            }
+        }
+    }
+}
+
+// SAFETY: the commit loops partition addresses by shard (addr & mask), so no
+// two threads access the same cell.
+unsafe impl Sync for ShardedMem {}
+unsafe impl Send for ShardedMem {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NULL;
+
+    #[test]
+    fn reads_see_pre_step_memory() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let xs = pram.alloc_filled(4, 5);
+        // Every processor increments its left neighbour's cell; since reads
+        // see the old image, the result is old[left]+1 everywhere, not a
+        // cascade.
+        pram.step(4, |p, ctx| {
+            let i = p as usize;
+            let left = (i + 3) % 4;
+            let v = ctx.read(xs, left);
+            ctx.write(xs, i, v + 1);
+        });
+        assert_eq!(pram.read_vec(xs), vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn seeded_arbitrary_is_reproducible() {
+        let run = |seed| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let xs = pram.alloc_filled(1, NULL);
+            pram.step(10_000, |p, ctx| {
+                ctx.write(xs, 0, p);
+            });
+            pram.get(xs, 0)
+        };
+        assert_eq!(run(7), run(7));
+        // Different seeds should (almost surely) pick different winners.
+        let distinct = (0..16).map(run).collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn priority_policies_pick_extremes() {
+        for (policy, expect) in [
+            (WritePolicy::PriorityMin, 0u64),
+            (WritePolicy::PriorityMax, 9_999),
+        ] {
+            let mut pram = Pram::new(policy);
+            let xs = pram.alloc(1);
+            pram.step(10_000, |p, ctx| {
+                ctx.write(xs, 0, p);
+            });
+            assert_eq!(pram.get(xs, 0), expect);
+        }
+    }
+
+    #[test]
+    fn racy_policy_commits_some_writer() {
+        let mut pram = Pram::new(WritePolicy::Racy);
+        let xs = pram.alloc_filled(1, NULL);
+        pram.step(50_000, |p, ctx| {
+            ctx.write(xs, 0, p);
+        });
+        assert!(pram.get(xs, 0) < 50_000);
+    }
+
+    #[test]
+    fn combine_sum_counts_writers() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let c = pram.alloc_filled(1, 99);
+        pram.step_combine(12_345, CombineOp::Sum, |_, ctx| {
+            ctx.write(c, 0, 1);
+        });
+        // Previous content (99) does not participate.
+        assert_eq!(pram.get(c, 0), 12_345);
+    }
+
+    #[test]
+    fn combine_min_max_or() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let c = pram.alloc_filled(3, 0);
+        pram.step_combine(100, CombineOp::Min, |p, ctx| {
+            ctx.write(c, 0, 1000 - p);
+        });
+        pram.step_combine(100, CombineOp::Max, |p, ctx| {
+            ctx.write(c, 1, p);
+        });
+        pram.step_combine(64, CombineOp::Or, |p, ctx| {
+            ctx.write(c, 2, 1 << (p % 8));
+        });
+        assert_eq!(pram.get(c, 0), 901);
+        assert_eq!(pram.get(c, 1), 99);
+        assert_eq!(pram.get(c, 2), 0xFF);
+    }
+
+    #[test]
+    fn stats_account_time_work_and_space() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let xs = pram.alloc(1000);
+        pram.step(1000, |p, ctx| {
+            ctx.write(xs, p as usize, p);
+        });
+        pram.step_charged(10, 3, |p, ctx| {
+            let _ = ctx.read(xs, p as usize);
+        });
+        let s = pram.stats();
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.step_calls, 2);
+        assert_eq!(s.work, 1000 + 30);
+        assert_eq!(s.max_procs, 1000);
+        assert_eq!(s.writes, 1000);
+        assert_eq!(s.reads, 10);
+        assert_eq!(s.peak_words, 1024); // size-class rounding
+        pram.free(xs);
+        assert_eq!(pram.stats().live_words, 0);
+        assert_eq!(pram.stats().peak_words, 1024);
+    }
+
+    #[test]
+    fn fill_step_is_charged() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let xs = pram.alloc_filled(8, 0);
+        pram.fill_step(xs, 42);
+        assert_eq!(pram.read_vec(xs), vec![42; 8]);
+        assert_eq!(pram.stats().steps, 1);
+    }
+
+    #[test]
+    fn large_parallel_step_matches_sequential_semantics() {
+        // Same program under the parallel path (big nprocs) and a
+        // semantically equivalent host-side loop.
+        let n = 100_000usize;
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(11));
+        let xs = pram.alloc(n);
+        let ys = pram.alloc(n);
+        pram.step(n, |p, ctx| {
+            ctx.write(xs, p as usize, p * 2);
+        });
+        pram.step(n, |p, ctx| {
+            let v = ctx.read(xs, p as usize);
+            ctx.write(ys, (p as usize + 1) % n, v + 1);
+        });
+        let ys = pram.read_vec(ys);
+        for p in 0..n {
+            assert_eq!(ys[(p + 1) % n], (p as u64) * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn max_ops_audit_reports_heaviest_processor() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        let xs = pram.alloc(64);
+        pram.step(8, |p, ctx| {
+            for i in 0..=p as usize {
+                let _ = ctx.read(xs, i);
+            }
+        });
+        assert_eq!(pram.stats().max_ops_per_proc, 8);
+    }
+
+    #[test]
+    fn crew_checker_counts_conflicts() {
+        let mut pram = Pram::new(WritePolicy::CrewChecked(5));
+        let xs = pram.alloc(4);
+        // Exclusive writes: no conflicts.
+        pram.step(4, |p, ctx| ctx.write(xs, p as usize, p));
+        assert_eq!(pram.stats().write_conflicts, 0);
+        // 10 writers to one cell: 9 conflicting writes.
+        pram.step(10, |_, ctx| ctx.write(xs, 0, 7));
+        assert_eq!(pram.stats().write_conflicts, 9);
+        // Output is still a legal ARBITRARY result.
+        assert_eq!(pram.get(xs, 0), 7);
+    }
+
+    #[test]
+    fn crew_checked_matches_seeded_arbitrary_outcome() {
+        let run = |policy| {
+            let mut pram = Pram::new(policy);
+            let xs = pram.alloc_filled(8, 0);
+            pram.step(1000, |p, ctx| ctx.write(xs, (p % 8) as usize, p));
+            pram.read_vec(xs)
+        };
+        assert_eq!(
+            run(WritePolicy::ArbitrarySeeded(42)),
+            run(WritePolicy::CrewChecked(42))
+        );
+    }
+
+    #[test]
+    fn arena_reuse_after_free_bounds_peak() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+        for _ in 0..100 {
+            let h = pram.alloc(1 << 10);
+            pram.free(h);
+        }
+        assert_eq!(pram.stats().peak_words, 1 << 10);
+    }
+}

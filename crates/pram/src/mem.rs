@@ -1,0 +1,225 @@
+//! Shared-memory arena with size-class reuse and space accounting.
+//!
+//! The paper's algorithms repeatedly allocate *blocks* (of size `b_ℓ`,
+//! always rounded here to a power of two) and the analysis bounds the total
+//! space by `O(m)`. To make that measurable, allocation goes through an
+//! arena that (a) rounds requests to power-of-two size classes, (b) reuses
+//! freed blocks, and (c) tracks the live-word count and its high-water mark.
+
+/// The canonical "empty cell" sentinel.
+///
+/// Vertex ids, parent pointers and table cells use `NULL` for "no value".
+/// It is `u64::MAX`, which no vertex id or packed value ever equals.
+pub const NULL: u64 = u64::MAX;
+
+/// A handle to a contiguous block of shared-memory words.
+///
+/// Handles are plain `(base, len)` pairs; they are `Copy` and can be stored
+/// in host-side structures freely. All accesses are bounds-checked against
+/// the handle's length, so an algorithm cannot silently read a neighbouring
+/// allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Handle {
+    pub(crate) base: u32,
+    pub(crate) len: u32,
+}
+
+impl Handle {
+    /// Number of words in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-block `[off, off+len)` of this block.
+    ///
+    /// Panics if the range does not fit. Used to carve a vertex's block into
+    /// its `√b` tables of size `√b` (paper §3.1 "Level and budget").
+    #[inline]
+    pub fn sub(&self, off: usize, len: usize) -> Handle {
+        assert!(
+            off + len <= self.len as usize,
+            "sub-block [{off}, {}) out of bounds for block of len {}",
+            off + len,
+            self.len
+        );
+        Handle {
+            base: self.base + off as u32,
+            len: len as u32,
+        }
+    }
+
+    /// The absolute word address of cell `i` (bounds-checked).
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> u32 {
+        assert!(
+            i < self.len as usize,
+            "index {i} out of bounds for block of len {}",
+            self.len
+        );
+        self.base + i as u32
+    }
+}
+
+/// Size-class arena backing the shared memory.
+pub(crate) struct Arena {
+    /// The memory words themselves.
+    pub(crate) words: Vec<u64>,
+    /// Per-word stamp: the id of the last step that wrote the cell. Used by
+    /// the commit phase to detect "first write of this step" without
+    /// clearing any per-step structure.
+    pub(crate) stamp: Vec<u32>,
+    /// Per-word priority of the winning write in the current step
+    /// (only meaningful where `stamp == current step`).
+    pub(crate) prio: Vec<u64>,
+    /// Free lists indexed by size class (block length = `1 << class`).
+    free: Vec<Vec<u32>>,
+    /// Currently live words (counting size-class rounding).
+    live: usize,
+    /// High-water mark of `live`.
+    peak: usize,
+}
+
+const MAX_CLASS: usize = 40;
+
+#[inline]
+fn class_of(len: usize) -> usize {
+    len.next_power_of_two().trailing_zeros() as usize
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena {
+            words: Vec::new(),
+            stamp: Vec::new(),
+            prio: Vec::new(),
+            free: (0..=MAX_CLASS).map(|_| Vec::new()).collect(),
+            live: 0,
+            peak: 0,
+        }
+    }
+
+    /// Allocate a block of at least `len` words, filled with `fill`.
+    pub(crate) fn alloc(&mut self, len: usize, fill: u64) -> Handle {
+        assert!(len > 0, "zero-length allocation");
+        let class = class_of(len);
+        assert!(class <= MAX_CLASS, "allocation of {len} words too large");
+        let size = 1usize << class;
+        let base = if let Some(base) = self.free[class].pop() {
+            self.words[base as usize..base as usize + size].fill(fill);
+            base
+        } else {
+            let base = self.words.len();
+            assert!(
+                base + size <= u32::MAX as usize,
+                "arena exceeds 2^32 words"
+            );
+            self.words.resize(base + size, fill);
+            self.stamp.resize(base + size, 0);
+            self.prio.resize(base + size, 0);
+            base as u32
+        };
+        self.live += size;
+        self.peak = self.peak.max(self.live);
+        Handle {
+            base,
+            len: len as u32,
+        }
+    }
+
+    /// Return a block to its size-class free list.
+    pub(crate) fn dealloc(&mut self, h: Handle) {
+        if h.len == 0 {
+            return;
+        }
+        let class = class_of(h.len as usize);
+        self.free[class].push(h.base);
+        self.live -= 1usize << class;
+    }
+
+    #[inline]
+    pub(crate) fn live_words(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub(crate) fn peak_words(&self) -> usize {
+        self.peak
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_size_class_and_reuses() {
+        let mut a = Arena::new();
+        let h1 = a.alloc(5, 0); // class 3 => 8 words
+        assert_eq!(a.live_words(), 8);
+        let h2 = a.alloc(8, 0);
+        assert_eq!(a.live_words(), 16);
+        a.dealloc(h1);
+        assert_eq!(a.live_words(), 8);
+        let h3 = a.alloc(6, 7); // should reuse h1's slot
+        assert_eq!(h3.base, h1.base);
+        assert_eq!(a.live_words(), 16);
+        assert_eq!(a.peak_words(), 16);
+        // Reused block is re-filled.
+        for i in 0..6 {
+            assert_eq!(a.words[h3.base as usize + i], 7);
+        }
+        let _ = h2;
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let mut a = Arena::new();
+        let hs: Vec<_> = (0..10).map(|_| a.alloc(16, 0)).collect();
+        assert_eq!(a.peak_words(), 160);
+        for h in hs {
+            a.dealloc(h);
+        }
+        assert_eq!(a.live_words(), 0);
+        assert_eq!(a.peak_words(), 160);
+        let _ = a.alloc(16, 0);
+        // No growth: reused freed block.
+        assert_eq!(a.capacity_words(), 160);
+    }
+
+    #[test]
+    fn sub_blocks_are_bounds_checked() {
+        let mut a = Arena::new();
+        let h = a.alloc(16, 0);
+        let t = h.sub(4, 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.addr(0), h.base + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sub_block_overflow_panics() {
+        let mut a = Arena::new();
+        let h = a.alloc(16, 0);
+        let _ = h.sub(10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn handle_index_out_of_bounds_panics() {
+        let mut a = Arena::new();
+        let h = a.alloc(4, 0);
+        let _ = h.addr(4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Accounting: simulated time, work, processors, memory traffic, space.
+
+/// Resource accounting for a simulated PRAM run.
+///
+/// The quantities correspond one-to-one to the resources bounded by the
+/// paper's theorems:
+///
+/// * `steps` — simulated parallel time (`O(log d + log log_{m/n} n)` for
+///   Theorem 3),
+/// * `max_procs` — the processor bound (`O(m)`),
+/// * `peak_words` — the space bound (`O(m)`),
+/// * `work` — processor-time product (near work-efficiency),
+/// * `max_ops_per_proc` — audit of the "O(1) local computation per step"
+///   discipline (see DESIGN.md §1.2: a few primitives scan an `O(log log n)`
+///   level array in one charged step; this counter exposes the real
+///   constant).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Simulated parallel time: sum of charges over executed steps
+    /// (a plain [`crate::Pram::step`] charges 1).
+    pub steps: u64,
+    /// Number of `step` calls (== `steps` unless charged steps were used).
+    pub step_calls: u64,
+    /// Total work: Σ (active processors × charge) over steps.
+    pub work: u64,
+    /// Maximum number of processors active in any single step.
+    pub max_procs: u64,
+    /// Total shared-memory reads.
+    pub reads: u64,
+    /// Total shared-memory writes (before write resolution).
+    pub writes: u64,
+    /// Maximum number of memory/local operations a single processor
+    /// performed within one step.
+    pub max_ops_per_proc: u64,
+    /// Live words currently allocated (counting size-class rounding).
+    pub live_words: u64,
+    /// High-water mark of `live_words` over the run.
+    pub peak_words: u64,
+    /// Write conflicts observed (only counted under
+    /// [`crate::WritePolicy::CrewChecked`]): the number of writes that hit
+    /// a cell already written in the same step. Non-zero means the program
+    /// is not a legal CREW program.
+    pub write_conflicts: u64,
+}
+
+impl Stats {
+    /// Merge per-step deltas into the totals.
+    pub(crate) fn record_step(&mut self, nprocs: u64, charge: u64) {
+        self.steps += charge;
+        self.step_calls += 1;
+        self.work += nprocs * charge;
+        self.max_procs = self.max_procs.max(nprocs);
+    }
+
+    /// Pretty one-line summary, used by the experiment harness.
+    pub fn summary(&self) -> String {
+        format!(
+            "steps={} work={} max_procs={} peak_words={} reads={} writes={} max_ops/proc={}",
+            self.steps,
+            self.work,
+            self.max_procs,
+            self.peak_words,
+            self.reads,
+            self.writes,
+            self.max_ops_per_proc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_step_accumulates() {
+        let mut s = Stats::default();
+        s.record_step(10, 1);
+        s.record_step(4, 3);
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.step_calls, 2);
+        assert_eq!(s.work, 10 + 12);
+        assert_eq!(s.max_procs, 10);
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let s = Stats {
+            steps: 7,
+            ..Default::default()
+        };
+        assert!(s.summary().contains("steps=7"));
+    }
+}

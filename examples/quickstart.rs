@@ -1,0 +1,58 @@
+//! Quickstart: run the paper's algorithm on a simulated PRAM and compare
+//! with the practical port and sequential ground truth.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use logdiam::prelude::*;
+
+fn main() {
+    // A "small-diameter internet-like" graph: 20k vertices, 100k edges.
+    let g = logdiam::graph::gen::gnm(20_000, 100_000, 7);
+    println!(
+        "graph: n = {}, m = {}, components = {}",
+        g.n(),
+        g.m(),
+        logdiam::graph::seq::num_components(&g)
+    );
+
+    // --- Theorem 3 on the simulated ARBITRARY CRCW PRAM -----------------
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(42));
+    let report = faster_cc(&mut pram, &g, 42, &FasterParams::default());
+    check_labels(&g, &report.run.labels).expect("labels must match ground truth");
+    println!(
+        "Theorem 3 (simulated): {} EXPAND-MAXLINK rounds + {} postprocess phases ({:?})",
+        report.run.rounds, report.post.rounds, report.run.stop
+    );
+    println!(
+        "  simulated resources: {} steps, {} work, {} peak words, max level {}",
+        report.run.stats.steps,
+        report.run.stats.work,
+        report.run.stats.peak_words,
+        report.run.max_level()
+    );
+
+    // --- Theorem 1 (the O(log d · log log n) algorithm) ------------------
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(42));
+    let t1 = connected_components(&mut pram, &g, 42, &Theorem1Params::default());
+    check_labels(&g, &t1.labels).expect("labels must match ground truth");
+    println!(
+        "Theorem 1 (simulated): {} phases (+{} PREPARE)",
+        t1.rounds, t1.prepare_rounds
+    );
+
+    // --- practical shared-memory port ------------------------------------
+    let t0 = std::time::Instant::now();
+    let labels = logdiam::parallel::unionfind::unionfind_cc(&g);
+    println!(
+        "practical union-find: {:.1} ms on {} threads",
+        t0.elapsed().as_secs_f64() * 1e3,
+        rayon::current_num_threads()
+    );
+    assert!(logdiam::graph::seq::same_partition(
+        &labels,
+        &report.run.labels
+    ));
+    println!("all three agree ✓");
+}

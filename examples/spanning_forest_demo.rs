@@ -1,0 +1,46 @@
+//! Theorem 2: compute a spanning forest on the simulated PRAM, validate
+//! it, and show the per-component trees.
+//!
+//! ```text
+//! cargo run --release --example spanning_forest_demo
+//! ```
+
+use logdiam::prelude::*;
+
+fn main() {
+    // A multi-component mixture: the forest must contain one spanning tree
+    // per component, built only from input edges.
+    let g = logdiam::graph::gen::union_all(&[
+        logdiam::graph::gen::gnm(3000, 9000, 11),
+        logdiam::graph::gen::grid(25, 40),
+        logdiam::graph::gen::binary_tree(511),
+        logdiam::graph::gen::cycle(600),
+    ]);
+    let comps = logdiam::graph::seq::num_components(&g);
+    println!("graph: n = {}, m = {}, components = {}", g.n(), g.m(), comps);
+
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(23));
+    let report = spanning_forest(&mut pram, &g, 23, &Theorem1Params::default());
+
+    check_spanning_forest(&g, &report.forest_edges).expect("forest must validate");
+    check_labels(&g, &report.labels).expect("labels must match ground truth");
+
+    println!(
+        "spanning forest: {} edges (= n - #components = {}), phases = {} (+{} prepare)",
+        report.forest_edges.len(),
+        g.n() - comps,
+        report.run.rounds,
+        report.run.prepare_rounds,
+    );
+    println!(
+        "max tree height right after TREE-LINK: {} (Lemma C.8 bound: diameter)",
+        report.max_height_observed
+    );
+
+    // Show a few forest edges with their endpoints' components.
+    println!("first forest edges:");
+    for &e in report.forest_edges.iter().take(8) {
+        let (u, v) = g.edges()[e];
+        println!("  edge #{e}: ({u}, {v}) in component {}", report.labels[u as usize]);
+    }
+}

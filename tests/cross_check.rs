@@ -1,0 +1,80 @@
+//! Cross-implementation agreement: every algorithm in the workspace —
+//! simulated or practical — must induce the same component partition.
+
+use logdiam::algorithms::theorem1::{self, Theorem1Params};
+use logdiam::algorithms::theorem2::spanning_forest;
+use logdiam::algorithms::theorem3::{faster_cc, FasterParams};
+use logdiam::graph::seq::{components, same_partition};
+use logdiam::graph::{gen, Graph};
+use logdiam::parallel::{
+    contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
+};
+use logdiam::pram::{Pram, WritePolicy};
+
+fn all_labelings(g: &Graph, seed: u64) -> Vec<(&'static str, Vec<u32>)> {
+    let mut out: Vec<(&'static str, Vec<u32>)> = vec![
+        ("seq ground truth", components(g)),
+        ("par unionfind", unionfind_cc(g)),
+        ("par labelprop", labelprop_cc(g)),
+        ("par sv", sv_cc(g)),
+        ("par contract", contract_cc(g)),
+    ];
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+    out.push((
+        "sim theorem3",
+        faster_cc(&mut pram, g, seed, &FasterParams::default()).run.labels,
+    ));
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+    out.push((
+        "sim theorem1",
+        theorem1::connected_components(&mut pram, g, seed, &Theorem1Params::default()).labels,
+    ));
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+    out.push((
+        "sim theorem2",
+        spanning_forest(&mut pram, g, seed, &Theorem1Params::default()).labels,
+    ));
+    out
+}
+
+#[test]
+fn all_implementations_agree() {
+    for (gi, g) in [
+        gen::gnm(400, 1200, 3),
+        gen::union_all(&[gen::grid(9, 11), gen::cycle(40), gen::star(30)]),
+        gen::clique_chain(20, 6),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let labelings = all_labelings(g, 7 + gi as u64);
+        let (base_name, base) = &labelings[0];
+        for (name, labels) in &labelings[1..] {
+            assert!(
+                same_partition(base, labels),
+                "graph #{gi}: {name} disagrees with {base_name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_root_labels_match_cc_labels() {
+    // The spanning forest's labels and Theorem 3's labels describe the
+    // same partition even though the algorithms share no code path after
+    // EXPAND.
+    let g = gen::gnm(350, 1000, 9);
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+    let sf = spanning_forest(&mut pram, &g, 1, &Theorem1Params::default());
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+    let cc = faster_cc(&mut pram, &g, 2, &FasterParams::default());
+    assert!(same_partition(&sf.labels, &cc.run.labels));
+    // Forest size determines the component count.
+    let comps = {
+        let mut d = components(&g);
+        d.sort_unstable();
+        d.dedup();
+        d.len()
+    };
+    assert_eq!(sf.forest_edges.len(), g.n() - comps);
+}
