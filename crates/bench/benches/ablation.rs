@@ -33,8 +33,10 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("e10_ablation_clique_chain_32x6");
     group.sample_size(10);
-    for (name, params) in &variants {
-        group.bench_function(*name, |b| {
+    // Destructure so `name` is `&str`, which both the vendored criterion
+    // shim and real criterion's `IntoBenchmarkId` accept.
+    for &(name, ref params) in &variants {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
                 black_box(faster_cc(&mut pram, &g, 3, params))

@@ -15,8 +15,10 @@ fn bench_faster(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("e1_faster_cc_simulated");
     group.sample_size(10);
-    for (name, g) in &graphs {
-        group.bench_function(*name, |b| {
+    // Destructure so `name` is `&str`, which both the vendored criterion
+    // shim and real criterion's `IntoBenchmarkId` accept.
+    for &(name, ref g) in &graphs {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(9));
                 black_box(faster_cc(&mut pram, g, 9, &params))

@@ -6,7 +6,9 @@
 //! and a path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use logdiam_par::{contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc};
+use logdiam_par::{
+    contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
+};
 use std::hint::black_box;
 
 fn bench_wallclock(c: &mut Criterion) {

@@ -26,7 +26,16 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         "Paper: O(log d + log log_{m/n} n) rounds. Expect rounds ≈ a·log₂d + b \
          with small slope a; the final column is the Theorem-1 postprocess phases \
          (the additive log log term).",
-        &["k", "n", "m", "d", "log2 d", "rounds (mean)", "max level", "post phases"],
+        &[
+            "k",
+            "n",
+            "m",
+            "d",
+            "log2 d",
+            "rounds (mean)",
+            "max level",
+            "post phases",
+        ],
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -36,7 +45,12 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         let reports = faster_runs(&g, &params, seeds.clone());
         let rounds: Vec<f64> = reports.iter().map(|r| r.run.rounds as f64).collect();
         let lvl = reports.iter().map(|r| r.run.max_level()).max().unwrap_or(0);
-        let post = mean(&reports.iter().map(|r| r.post.rounds as f64).collect::<Vec<_>>());
+        let post = mean(
+            &reports
+                .iter()
+                .map(|r| r.post.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         let log2d = (d.max(1) as f64).log2();
         xs.push(log2d);
         ys.push(mean(&rounds));
@@ -52,7 +66,10 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         ]);
     }
     let a = slope(&xs, &ys);
-    t.note = format!("{} Measured slope a = {:.2} rounds per doubling of d.", t.note, a);
+    t.note = format!(
+        "{} Measured slope a = {:.2} rounds per doubling of d.",
+        t.note, a
+    );
 
     let mut t2 = Table::new(
         "E1b — same sweep on hairy paths (low-degree spine, w = 6)",

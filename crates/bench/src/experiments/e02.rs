@@ -19,7 +19,14 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         format!("E2 — Theorem 1: phases vs density (G(n, m), n = {n})"),
         "Paper: O(log log_{m/n} n) phases. Expect the phase count to *fall* \
          as m/n grows, tracking log(log n / log(m/n)) + O(1).",
-        &["m/n", "m", "phases (mean)", "prepare", "total", "log log_{m/n} n"],
+        &[
+            "m/n",
+            "m",
+            "phases (mean)",
+            "prepare",
+            "total",
+            "log log_{m/n} n",
+        ],
     );
     for &dens in &[2usize, 4, 8, 16, 32, 64, 128] {
         let g = gen::gnm(n, n * dens, cfg.seed ^ dens as u64);
@@ -62,7 +69,11 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         t2.row(vec![
             r.round.to_string(),
             r.ongoing.to_string(),
-            if r.ongoing > 0 { f(shrink) } else { "∞".into() },
+            if r.ongoing > 0 {
+                f(shrink)
+            } else {
+                "∞".into()
+            },
         ]);
         prev = r.ongoing.max(1) as f64;
     }

@@ -21,14 +21,27 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         "Every run must produce a valid forest (n − #components edges, acyclic, \
          edges ⊆ input); heights right after TREE-LINK must stay ≤ d (Lemma C.8).",
         &[
-            "graph", "n", "m", "d", "#comp", "forest edges", "valid", "phases (mean)",
+            "graph",
+            "n",
+            "m",
+            "d",
+            "#comp",
+            "forest edges",
+            "valid",
+            "phases (mean)",
             "max height ≤ d?",
         ],
     );
     let n_scale = if cfg.full { 2 } else { 1 };
     let graphs: Vec<(&str, cc_graph::Graph)> = vec![
-        ("gnm sparse", gen::gnm(1000 * n_scale, 2500 * n_scale, cfg.seed)),
-        ("gnm dense", gen::gnm(800 * n_scale, 12000 * n_scale, cfg.seed)),
+        (
+            "gnm sparse",
+            gen::gnm(1000 * n_scale, 2500 * n_scale, cfg.seed),
+        ),
+        (
+            "gnm dense",
+            gen::gnm(800 * n_scale, 12000 * n_scale, cfg.seed),
+        ),
         ("grid", gen::grid(20, 30 * n_scale)),
         ("cycle", gen::cycle(500 * n_scale)),
         (
@@ -53,7 +66,10 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
             let report = spanning_forest(&mut pram, g, seed, &params);
             check_spanning_forest(g, &report.forest_edges).expect("invalid forest");
             check_labels(g, &report.labels).expect("wrong labels");
-            assert!(cc_graph::seq::same_partition(&report.labels, &components(g)));
+            assert!(cc_graph::seq::same_partition(
+                &report.labels,
+                &components(g)
+            ));
             phases.push(report.run.rounds as f64);
             heights_ok &= report.max_height_observed <= d + 1;
             forest_len = report.forest_edges.len();
@@ -67,7 +83,11 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
             forest_len.to_string(),
             "yes".into(),
             f(mean(&phases)),
-            if heights_ok { "yes".into() } else { "NO".into() },
+            if heights_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     vec![t]

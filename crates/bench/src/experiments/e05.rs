@@ -31,12 +31,7 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         let levels: Vec<f64> = reports.iter().map(|r| r.run.max_level() as f64).collect();
         let lmax = levels.iter().cloned().fold(0.0, f64::max);
         let loglog = (n as f64).log2().log2();
-        t.row(vec![
-            n.to_string(),
-            f(mean(&levels)),
-            f(lmax),
-            f(loglog),
-        ]);
+        t.row(vec![n.to_string(), f(mean(&levels)), f(lmax), f(loglog)]);
     }
 
     let mut t2 = Table::new(

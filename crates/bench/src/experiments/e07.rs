@@ -50,14 +50,27 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
          roughly flat in d (their cost is set by n). Columns report outer \
          rounds/phases of each algorithm (each O(1) simulated steps except \
          where noted in DESIGN.md).",
-        &["k", "d", "T3 rounds", "T3+post", "AS", "Vanilla", "LabelProp"],
+        &[
+            "k",
+            "d",
+            "T3 rounds",
+            "T3+post",
+            "AS",
+            "Vanilla",
+            "LabelProp",
+        ],
     );
     for &k in &[2usize, 8, 32, 128] {
         let s = 1024 / k;
         let g = gen::clique_chain(k, s.max(2));
         let d = diameter_of(&g);
         let reports = faster_runs(&g, &params, seeds.clone());
-        let t3 = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
+        let t3 = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         let t3p = mean(
             &reports
                 .iter()
@@ -91,16 +104,14 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         let g = gen::gnm(n, 8 * n, cfg.seed ^ n as u64);
         let d = diameter_of(&g);
         let reports = faster_runs(&g, &params, seeds.clone());
-        let t3 = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
+        let t3 = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         let (a, v, l) = baseline_rounds(&g, seeds.clone());
-        t2.row(vec![
-            n.to_string(),
-            d.to_string(),
-            f(t3),
-            f(a),
-            f(v),
-            f(l),
-        ]);
+        t2.row(vec![n.to_string(), d.to_string(), f(t3), f(a), f(v), f(l)]);
     }
     vec![t, t2]
 }

@@ -11,7 +11,9 @@ use crate::table::{f, Table};
 use crate::Config;
 use cc_graph::gen;
 use cc_graph::seq::{components, same_partition};
-use logdiam_par::{contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc};
+use logdiam_par::{
+    contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
+};
 
 pub(super) fn run(cfg: &Config) -> Vec<Table> {
     let scale = if cfg.full { 4 } else { 1 };
@@ -41,7 +43,16 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         "Practical ports: concurrent union-find is the yardstick; label \
          propagation and alter-and-contract are the paper-flavoured \
          hashing/contraction algorithms; seq-DSU is the O(m α) sequential bound.",
-        &["graph", "n", "m", "unionfind", "labelprop", "sv", "contract", "seq dsu"],
+        &[
+            "graph",
+            "n",
+            "m",
+            "unionfind",
+            "labelprop",
+            "sv",
+            "contract",
+            "seq dsu",
+        ],
     );
     for (name, g) in &graphs {
         let truth = components(g);

@@ -25,12 +25,24 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         "work = Σ active processors over steps. Expect work/m ≈ c · rounds \
          (near work-efficiency), with c a small constant; work/(m·rounds) \
          should be flat in n.",
-        &["n", "m", "rounds", "work/m", "work/(m·rounds)", "max procs/m"],
+        &[
+            "n",
+            "m",
+            "rounds",
+            "work/m",
+            "work/(m·rounds)",
+            "max procs/m",
+        ],
     );
     for &n in ns {
         let g = gen::gnm(n, 4 * n, cfg.seed ^ n as u64);
         let reports = faster_runs(&g, &params, seeds.clone());
-        let rounds = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
+        let rounds = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         let wpm = mean(
             &reports
                 .iter()

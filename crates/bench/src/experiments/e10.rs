@@ -17,7 +17,10 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
     let seeds = if cfg.full { 0..5u64 } else { 0..3u64 };
 
     let variants: Vec<(&str, FasterParams)> = vec![
-        ("default (κ=1.5, 2×MAXLINK, sampling on)", FasterParams::default()),
+        (
+            "default (κ=1.5, 2×MAXLINK, sampling on)",
+            FasterParams::default(),
+        ),
         (
             "no sampling (Step 2 off)",
             FasterParams {
@@ -76,8 +79,18 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
     );
     for (name, params) in variants {
         let reports = faster_runs(&g, &params, seeds.clone());
-        let rounds = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
-        let post = mean(&reports.iter().map(|r| r.post.rounds as f64).collect::<Vec<_>>());
+        let rounds = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
+        let post = mean(
+            &reports
+                .iter()
+                .map(|r| r.post.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         let lvl = reports.iter().map(|r| r.run.max_level()).max().unwrap_or(0);
         let caps = reports
             .iter()

@@ -27,12 +27,26 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         ("complete(256)", gen::complete(256), 1),
         ("star(1000)", gen::star(1000 * scale), 2),
         ("star(8000)", gen::star(8000 * scale), 2),
-        ("gnm(2000, 64n)", gen::gnm(2000 * scale, 128_000 * scale, cfg.seed), 2),
+        (
+            "gnm(2000, 64n)",
+            gen::gnm(2000 * scale, 128_000 * scale, cfg.seed),
+            2,
+        ),
     ];
     for (name, g, d) in &graphs {
         let reports = faster_runs(g, &params, seeds.clone());
-        let rounds = mean(&reports.iter().map(|r| r.run.rounds as f64).collect::<Vec<_>>());
-        let post = mean(&reports.iter().map(|r| r.post.rounds as f64).collect::<Vec<_>>());
+        let rounds = mean(
+            &reports
+                .iter()
+                .map(|r| r.run.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
+        let post = mean(
+            &reports
+                .iter()
+                .map(|r| r.post.rounds as f64)
+                .collect::<Vec<_>>(),
+        );
         t.row(vec![
             name.to_string(),
             g.n().to_string(),

@@ -23,7 +23,12 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
          (Goodrich's full algorithm reaches O(log* n), and with the n·log n \
          processor slack of Lemma D.2 it is O(1) — the mode the Theorem-3 \
          driver charges).",
-        &["n", "k (distinguished)", "prefix-sum steps", "hash-compaction steps"],
+        &[
+            "n",
+            "k (distinguished)",
+            "prefix-sum steps",
+            "hash-compaction steps",
+        ],
     );
     let sizes: &[usize] = if cfg.full {
         &[1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18]

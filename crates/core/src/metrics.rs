@@ -54,7 +54,11 @@ pub struct RunReport {
 impl RunReport {
     /// Highest level any vertex reached (Theorem 3).
     pub fn max_level(&self) -> u64 {
-        self.per_round.iter().map(|r| r.max_level).max().unwrap_or(0)
+        self.per_round
+            .iter()
+            .map(|r| r.max_level)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total expansion inner rounds (Theorem 1/2).
@@ -64,7 +68,11 @@ impl RunReport {
 
     /// Peak table words over the run.
     pub fn peak_table_words(&self) -> u64 {
-        self.per_round.iter().map(|r| r.table_words).max().unwrap_or(0)
+        self.per_round
+            .iter()
+            .map(|r| r.table_words)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -68,10 +68,7 @@ impl CcState {
 
     /// Read the component labeling (assumes flat trees: label = parent).
     pub fn labels(&self, pram: &Pram) -> Vec<u32> {
-        pram.slice(self.parent)
-            .iter()
-            .map(|&p| p as u32)
-            .collect()
+        pram.slice(self.parent).iter().map(|&p| p as u32).collect()
     }
 
     /// Read the labeling after host-side root chasing (valid even when

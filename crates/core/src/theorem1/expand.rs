@@ -218,7 +218,8 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
         let round_mark = rounds + 2; // fdr encoding for "dormant in round i"
         progress.clear(pram);
         pram.host_copy(tables, old);
-        pram.charge(nblocks * k, 1); // the double-buffer copy is a real step
+        // The double-buffer copy is a real step.
+        pram.charge(nblocks * k, 1);
         // (5a) propagate dormancy + rehash H(v) for v ∈ H(u) into H(u).
         pram.step(owned.len() * k * k, |pp, ctx| {
             let idx = (pp as usize) / (k * k);
@@ -341,7 +342,11 @@ mod tests {
                 continue; // unlucky block loser; allowed
             }
             let t = table_of(&pram, &e, u);
-            let comp: HashSet<u64> = if u < 6 { (0..6).collect() } else { (6..11).collect() };
+            let comp: HashSet<u64> = if u < 6 {
+                (0..6).collect()
+            } else {
+                (6..11).collect()
+            };
             assert_eq!(t, comp, "vertex {u}");
         }
     }

@@ -415,8 +415,18 @@ mod tests {
         let params = Theorem1Params::default();
         let short = run(&gen::clique_chain(2, 16), 3, &params);
         let long = run(&gen::clique_chain(64, 4), 3, &params);
-        let s = short.per_round.iter().map(|r| r.expand_rounds).max().unwrap_or(0);
-        let l = long.per_round.iter().map(|r| r.expand_rounds).max().unwrap_or(0);
+        let s = short
+            .per_round
+            .iter()
+            .map(|r| r.expand_rounds)
+            .max()
+            .unwrap_or(0);
+        let l = long
+            .per_round
+            .iter()
+            .map(|r| r.expand_rounds)
+            .max()
+            .unwrap_or(0);
         assert!(l > s, "expand rounds short={s} long={l}");
     }
 

@@ -13,14 +13,7 @@ use crate::theorem1::expand::Expansion;
 use pram_sim::{Handle, Pram, NULL};
 
 /// Run VOTE: fill `leader` (1 = leader) for all ongoing vertices.
-pub fn vote(
-    pram: &mut Pram,
-    st: &CcState,
-    e: &Expansion,
-    leader: Handle,
-    p_lead: f64,
-    seed: u64,
-) {
+pub fn vote(pram: &mut Pram, st: &CcState, e: &Expansion, leader: Handle, p_lead: f64, seed: u64) {
     let n = st.n;
     let (fdr, ongoing) = (e.fdr, e.ongoing);
     // Initialize u.l := 1.
@@ -76,11 +69,7 @@ mod tests {
     use cc_graph::gen;
     use pram_sim::WritePolicy;
 
-    fn setup(
-        g: &cc_graph::Graph,
-        k: usize,
-        seed: u64,
-    ) -> (Pram, CcState, Expansion) {
+    fn setup(g: &cc_graph::Graph, k: usize, seed: u64) -> (Pram, CcState, Expansion) {
         let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
         let st = CcState::init(&mut pram, g);
         let params = ExpandParams {
@@ -147,9 +136,7 @@ mod tests {
         let leader = pram.alloc(st.n);
         vote(&mut pram, &st, &e, leader, 0.25, 7);
         let l = pram.read_vec(leader);
-        let leaders = (0..4000)
-            .filter(|&v| fdr[v] != NULL && l[v] == 1)
-            .count();
+        let leaders = (0..4000).filter(|&v| fdr[v] != NULL && l[v] == 1).count();
         let rate = leaders as f64 / dormant as f64;
         assert!((0.2..0.3).contains(&rate), "leader rate {rate}");
     }

@@ -113,7 +113,14 @@ pub fn spanning_forest(
     let mut solved = false;
     while m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap {
         prepare_rounds += 1;
-        vanilla_sf_phase(pram, &st, leader, vearc, forest, seed.wrapping_add(prepare_rounds));
+        vanilla_sf_phase(
+            pram,
+            &st,
+            leader,
+            vearc,
+            forest,
+            seed.wrapping_add(prepare_rounds),
+        );
         if !any_nonloop_arc(pram, st.eu, st.ev) {
             solved = true;
             break;
@@ -152,7 +159,14 @@ pub fn spanning_forest(
             round_cap: (n.max(2) as f64).log2().ceil() as u64 + 6,
         };
         let expansion = expand(pram, &st, &exp_params, phase_seed);
-        vote(pram, &st, &expansion, leader, params.leader_prob(k), phase_seed);
+        vote(
+            pram,
+            &st,
+            &expansion,
+            leader,
+            params.leader_prob(k),
+            phase_seed,
+        );
         let tl = TreeLink::new(pram, n, nblocks * k);
         tree_link(pram, &st, &expansion, &tl, leader, forest);
         // Lemma C.8 measurement: heights after TREE-LINK, before
@@ -184,9 +198,7 @@ pub fn spanning_forest(
         }
         ntilde = match params.density {
             DensityMode::Combining => combining_ongoing(pram, &st).max(1) as f64,
-            DensityMode::NTildeRule => {
-                (ntilde / params.reduction(k)).max(1.0)
-            }
+            DensityMode::NTildeRule => (ntilde / params.reduction(k)).max(1.0),
         };
     }
 

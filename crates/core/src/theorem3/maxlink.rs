@@ -109,13 +109,7 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
 }
 
 /// Full MAXLINK: `iters` iterations (the paper uses 2).
-pub(crate) fn maxlink(
-    pram: &mut Pram,
-    st: &CcState,
-    mx: &MaxlinkCtx,
-    changed: &Flag,
-    iters: u32,
-) {
+pub(crate) fn maxlink(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, changed: &Flag, iters: u32) {
     for _ in 0..iters {
         maxlink_iter(pram, st, mx, changed);
     }
@@ -153,7 +147,7 @@ mod tests {
             eoff,
             heap,
         };
-        maxlink_iter(pram, st, &mx, &changed, );
+        maxlink_iter(pram, st, &mx, &changed);
         let r = changed.read(pram);
         changed.free(pram);
         pram.free(eoff);

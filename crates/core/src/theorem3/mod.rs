@@ -543,8 +543,10 @@ mod tests {
             assert!(w[1] >= w[0] << 2, "growth below 4x: {budgets:?}");
         }
         for &b in &budgets[1..] {
-            assert!(b.is_power_of_two() && b.trailing_zeros() % 2 == 0,
-                "budget {b} is not a power of four");
+            assert!(
+                b.is_power_of_two() && b.trailing_zeros() % 2 == 0,
+                "budget {b} is not a power of four"
+            );
         }
         // The paper's L = O(log log n): the schedule is short.
         assert!(budgets.len() <= 12, "schedule too long: {budgets:?}");

@@ -457,13 +457,7 @@ pub(crate) fn expand_maxlink_round(
 
 /// ALTER on persistent table entries: replace each stored endpoint by its
 /// parent (one processor per cell).
-fn alter_tables(
-    pram: &mut Pram,
-    cells: &[(u32, u32)],
-    eoff: Handle,
-    heap: Handle,
-    parent: Handle,
-) {
+fn alter_tables(pram: &mut Pram, cells: &[(u32, u32)], eoff: Handle, heap: Handle, parent: Handle) {
     pram.step(cells.len(), |i, ctx| {
         let (x, c) = cells[i as usize];
         let off = ctx.read(eoff, x as usize);

@@ -195,7 +195,8 @@ mod tests {
 
     #[test]
     fn spanning_forest_validation() {
-        let g = gen::cycle(4); // edges (0,1),(1,2),(2,3),(0,3)
+        // cycle(4) edges: (0,1),(1,2),(2,3),(0,3).
+        let g = gen::cycle(4);
         // Any 3 of the 4 edges form a spanning tree.
         assert!(check_spanning_forest(&g, &[0, 1, 2]).is_ok());
         // All 4 close a cycle.

@@ -88,21 +88,14 @@ impl Graph {
 
     /// Iterate over all `2m` directed arcs `(u, v)`.
     pub fn arcs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.edges
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
+        self.edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)])
     }
 
     /// Disjoint union: relabels `other`'s vertices to `self.n()..`.
     pub fn disjoint_union(&self, other: &Graph) -> Graph {
         let shift = self.n;
         let mut edges = self.edges.clone();
-        edges.extend(
-            other
-                .edges
-                .iter()
-                .map(|&(u, v)| (u + shift, v + shift)),
-        );
+        edges.extend(other.edges.iter().map(|&(u, v)| (u + shift, v + shift)));
         edges.sort_unstable();
         Graph::from_canonical_edges(self.n + other.n, edges)
     }

@@ -8,6 +8,8 @@ mod diameter;
 mod dsu;
 
 pub use bfs::{bfs, bfs_farthest};
-pub use components::{canonical_labels, components, components_bfs, num_components, same_partition};
+pub use components::{
+    canonical_labels, components, components_bfs, num_components, same_partition,
+};
 pub use diameter::{diameter_exact, diameter_lower_bound, max_component_diameter_exact};
 pub use dsu::Dsu;

@@ -97,8 +97,8 @@ pub fn compact(
     let mut done = k == 0;
     while !done {
         if rounds >= MAX_ROUNDS {
-            let unplaced = host_count(pram, index, |x| x == NULL)
-                - host_count(pram, active, |x| x == 0);
+            let unplaced =
+                host_count(pram, index, |x| x == NULL) - host_count(pram, active, |x| x == 0);
             pram.free(taken);
             unplaced_flag.free(pram);
             return Err(CompactionError::RoundBudgetExceeded { unplaced });

@@ -26,12 +26,7 @@ pub fn bfs_cc(g: &Graph) -> Vec<u32> {
                 .flat_map_iter(|&v| {
                     g.neighbors(v).iter().filter_map(|&w| {
                         labels[w as usize]
-                            .compare_exchange(
-                                u32::MAX,
-                                src,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            )
+                            .compare_exchange(u32::MAX, src, Ordering::Relaxed, Ordering::Relaxed)
                             .is_ok()
                             .then_some(w)
                     })

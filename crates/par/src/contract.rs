@@ -79,10 +79,7 @@ fn contract_rec(n: usize, edges: Vec<(u32, u32)>, depth: usize) -> Vec<u32> {
     );
     let upper = contract_rec(n, next_edges, depth + 1);
     // Compose: final label of v = upper label of its contraction label.
-    labels
-        .into_par_iter()
-        .map(|l| upper[l as usize])
-        .collect()
+    labels.into_par_iter().map(|l| upper[l as usize]).collect()
 }
 
 #[cfg(test)]

@@ -46,12 +46,8 @@ pub(crate) fn find(p: &[AtomicU32], mut v: u32) -> u32 {
             return parent;
         }
         // Path halving: point v at its grandparent.
-        let _ = p[v as usize].compare_exchange_weak(
-            parent,
-            gp,
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        );
+        let _ =
+            p[v as usize].compare_exchange_weak(parent, gp, Ordering::Relaxed, Ordering::Relaxed);
         v = gp;
     }
 }

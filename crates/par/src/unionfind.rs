@@ -4,7 +4,7 @@
 //! CAS hooks a *root* onto a smaller-id vertex, so the structure stays an
 //! id-decreasing forest at all times.
 
-use crate::{find, finalize_labels, identity_parents};
+use crate::{finalize_labels, find, identity_parents};
 use cc_graph::Graph;
 use rayon::prelude::*;
 use std::sync::atomic::Ordering;

@@ -30,8 +30,8 @@ pub struct Pram {
 impl Pram {
     /// Create a machine with the given write-resolution policy.
     pub fn new(policy: WritePolicy) -> Self {
-        let shard_count = (rayon::current_num_threads().next_power_of_two() as u32 * 4)
-            .clamp(8, 256);
+        let shard_count =
+            (rayon::current_num_threads().next_power_of_two() as u32 * 4).clamp(8, 256);
         let seed = match policy {
             WritePolicy::ArbitrarySeeded(s) | WritePolicy::CrewChecked(s) => s,
             _ => 0x5EED_0BAD_CAFE_F00D,
@@ -128,9 +128,7 @@ impl Pram {
     pub fn host_copy(&mut self, src: Handle, dst: Handle) {
         assert!(src.len() <= dst.len(), "host_copy: dst too small");
         let (s, d) = (src.base as usize, dst.base as usize);
-        self.mem
-            .words
-            .copy_within(s..s + src.len as usize, d);
+        self.mem.words.copy_within(s..s + src.len as usize, d);
     }
 
     /// Charged parallel fill: one step with `h.len()` processors.

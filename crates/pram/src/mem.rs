@@ -116,10 +116,7 @@ impl Arena {
             base
         } else {
             let base = self.words.len();
-            assert!(
-                base + size <= u32::MAX as usize,
-                "arena exceeds 2^32 words"
-            );
+            assert!(base + size <= u32::MAX as usize, "arena exceeds 2^32 words");
             self.words.resize(base + size, fill);
             self.stamp.resize(base + size, 0);
             self.prio.resize(base + size, 0);

@@ -23,7 +23,10 @@ fn main() {
     let mut pram = Pram::new(WritePolicy::PriorityMin);
     let cell = pram.alloc_filled(1, NULL);
     pram.step(1000, |p, ctx| ctx.write(cell, 0, p));
-    println!("PRIORITY(min): winner = {} (always processor 0)\n", pram.get(cell, 0));
+    println!(
+        "PRIORITY(min): winner = {} (always processor 0)\n",
+        pram.get(cell, 0)
+    );
 
     // --- COMBINING: count in O(1) ----------------------------------------
     let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(7));

@@ -17,7 +17,12 @@ fn main() {
         logdiam::graph::gen::cycle(600),
     ]);
     let comps = logdiam::graph::seq::num_components(&g);
-    println!("graph: n = {}, m = {}, components = {}", g.n(), g.m(), comps);
+    println!(
+        "graph: n = {}, m = {}, components = {}",
+        g.n(),
+        g.m(),
+        comps
+    );
 
     let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(23));
     let report = spanning_forest(&mut pram, &g, 23, &Theorem1Params::default());
@@ -41,6 +46,9 @@ fn main() {
     println!("first forest edges:");
     for &e in report.forest_edges.iter().take(8) {
         let (u, v) = g.edges()[e];
-        println!("  edge #{e}: ({u}, {v}) in component {}", report.labels[u as usize]);
+        println!(
+            "  edge #{e}: ({u}, {v}) in component {}",
+            report.labels[u as usize]
+        );
     }
 }

@@ -11,7 +11,10 @@ use logdiam::prelude::*;
 
 fn main() {
     let workloads: Vec<(&str, logdiam::graph::Graph)> = vec![
-        ("preferential attachment", gen::preferential_attachment(20_000, 3, 1)),
+        (
+            "preferential attachment",
+            gen::preferential_attachment(20_000, 3, 1),
+        ),
         ("random 6-regular", gen::random_regular(20_000, 6, 2)),
         ("G(n, 3n)", gen::gnm(20_000, 60_000, 3)),
         ("grid 140×140", gen::grid(140, 140)),

@@ -22,7 +22,9 @@ fn all_labelings(g: &Graph, seed: u64) -> Vec<(&'static str, Vec<u32>)> {
     let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
     out.push((
         "sim theorem3",
-        faster_cc(&mut pram, g, seed, &FasterParams::default()).run.labels,
+        faster_cc(&mut pram, g, seed, &FasterParams::default())
+            .run
+            .labels,
     ));
     let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
     out.push((

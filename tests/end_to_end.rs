@@ -33,7 +33,10 @@ fn workload_suite(seed: u64) -> Vec<(String, Graph)> {
         ),
         ("gnm(400,1100)".into(), gen::gnm(400, 1100, seed)),
         ("gnp(300,0.02)".into(), gen::gnp(300, 0.02, seed)),
-        ("random_regular(256,4)".into(), gen::random_regular(256, 4, seed)),
+        (
+            "random_regular(256,4)".into(),
+            gen::random_regular(256, 4, seed),
+        ),
         (
             "mixture".into(),
             gen::union_all(&[
@@ -48,7 +51,10 @@ fn workload_suite(seed: u64) -> Vec<(String, Graph)> {
             "scrambled grid".into(),
             gen::scramble(&gen::grid(10, 14), seed ^ 2),
         ),
-        ("edgeless(17)".into(), logdiam::graph::GraphBuilder::new(17).build()),
+        (
+            "edgeless(17)".into(),
+            logdiam::graph::GraphBuilder::new(17).build(),
+        ),
     ]
 }
 
@@ -78,8 +84,7 @@ fn spanning_forest_on_full_workload_suite() {
     for (name, g) in workload_suite(13) {
         let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(17));
         let report = spanning_forest(&mut pram, &g, 17, &params);
-        check_spanning_forest(&g, &report.forest_edges)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_spanning_forest(&g, &report.forest_edges).unwrap_or_else(|e| panic!("{name}: {e}"));
         check_labels(&g, &report.labels).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }

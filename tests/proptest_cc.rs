@@ -25,8 +25,11 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         (3usize..120).prop_map(gen::cycle),
         (10usize..200, any::<u64>()).prop_map(|(n, s)| gen::random_tree(n, s)),
         // sparse random edge soup with isolated vertices
-        (10usize..120, proptest::collection::vec((0u32..120, 0u32..120), 0..200)).prop_map(
-            |(n, pairs)| {
+        (
+            10usize..120,
+            proptest::collection::vec((0u32..120, 0u32..120), 0..200)
+        )
+            .prop_map(|(n, pairs)| {
                 let mut b = GraphBuilder::new(n);
                 for (u, v) in pairs {
                     if (u as usize) < n && (v as usize) < n {
@@ -34,8 +37,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                     }
                 }
                 b.build()
-            }
-        ),
+            }),
     ]
 }
 

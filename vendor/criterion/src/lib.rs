@@ -1,0 +1,191 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! This workspace builds in environments with no access to a cargo
+//! registry, so the real `criterion` cannot be fetched. The shim keeps the
+//! same bench-authoring surface — [`Criterion::benchmark_group`],
+//! `bench_function`, `sample_size`, [`criterion_group!`] /
+//! [`criterion_main!`], [`black_box`] — so every bench under
+//! `crates/bench/benches/` compiles unchanged and `cargo bench` produces
+//! useful (median / min / max) wall-clock numbers, just without criterion's
+//! statistical analysis, plots, or history. Swapping in the real crate is a
+//! one-line change in the workspace `Cargo.toml`.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Create a harness with default settings.
+    pub fn new() -> Self {
+        Criterion { sample_size: 10 }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: if self.sample_size == 0 {
+                10
+            } else {
+                self.sample_size
+            },
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        run_one("", name, sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark one function within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, name, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (report formatting hook; prints a separator).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+fn run_one<F>(group: &str, name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut samples = Vec::with_capacity(sample_size);
+    // One untimed warm-up sample.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        samples.push(bencher.elapsed);
+    }
+    samples.sort_unstable();
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    eprintln!(
+        "bench {label:<50} median {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({sample_size} samples)",
+        samples[samples.len() / 2],
+        samples[0],
+        samples[samples.len() - 1],
+    );
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (the sample's measurement).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        drop(black_box(out));
+    }
+}
+
+/// Bundle bench functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given groups, mirroring criterion's
+/// macro of the same name. Ignores harness CLI arguments (e.g. the
+/// `--bench` flag cargo passes).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_function_outside_group() {
+        let mut c = Criterion::new();
+        let mut ran = false;
+        c.bench_function("top", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,92 @@
+//! Collection strategies: random-length `Vec`s and `HashSet`s.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `Vec` of values from `element`, with a length in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<S::Value>` with *target* size drawn from `size`
+/// (the generated set may be smaller when duplicates collide, matching the
+/// real proptest's behaviour for tight value ranges).
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// A `HashSet` of values from `element`, with roughly `size` elements.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.clone().generate(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Bounded attempts so tight element ranges cannot loop forever.
+        for _ in 0..target.saturating_mul(4) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let strat = vec(0u64..10, 3..7);
+        let mut rng = TestRng::new(9, 9);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn hash_set_respects_bounds() {
+        let strat = hash_set(0usize..600, 0..200);
+        let mut rng = TestRng::new(1, 1);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() < 200);
+            assert!(s.iter().all(|&x| x < 600));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! This workspace builds in environments with no access to a cargo
+//! registry, so the real `proptest` cannot be fetched. This shim implements
+//! the API subset the workspace's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), [`Strategy`] with `prop_map`,
+//! range / tuple / `any` / [`Just`] strategies, [`prop_oneof!`],
+//! [`collection::vec`] / [`collection::hash_set`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from the real crate, chosen for simplicity:
+//!
+//! * **No shrinking, no value reporting.** A failing case reports its
+//!   case index and the test's base seed, not the generated values —
+//!   re-run the test to replay the identical failing case (generation is
+//!   deterministic) and add `eprintln!`s or a reduced `cases` count to
+//!   inspect inputs.
+//! * **Deterministic seeding.** Cases derive from a fixed per-test seed,
+//!   so CI runs are reproducible. Set the `PROPTEST_SEED` environment
+//!   variable (decimal or `0x`-hex) to *perturb* every test's stream and
+//!   explore different cases; it is mixed into the base seed, not a
+//!   replay handle.
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately instead of
+//!   returning `Err`, which is equivalent under the standard test harness.
+//!
+//! Swapping in the real crate is a one-line change in the workspace
+//! `Cargo.toml` (point the `proptest` workspace dependency at crates.io).
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob import every proptest test file starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///
+///     /// Doc comments are allowed.
+///     #[test]
+///     fn my_property(x in 0usize..100, seed in any::<u64>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let base = $crate::test_runner::base_seed(stringify!($name));
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::test_runner::TestRng::new(base, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                let run = || {
+                    $(
+                        // Rebind so the closure owns the generated values and
+                        // an unused-binding warning never fires for inputs a
+                        // body ignores.
+                        let $arg = $arg;
+                    )*
+                    $body
+                };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {case}/{} of `{}` failed (seed {base:#x})",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Pick one of several strategies (uniformly) for each generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

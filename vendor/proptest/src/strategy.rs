@@ -1,0 +1,242 @@
+//! Value-generation strategies: the [`Strategy`] trait and the combinators
+//! the workspace uses (ranges, tuples, [`Just`], [`Union`], `prop_map`).
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type from a random stream.
+///
+/// The real proptest separates strategies from value *trees* to support
+/// shrinking; this shim generates values directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<B, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> B,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the strategy type (used by [`crate::prop_oneof!`] to mix
+    /// heterogeneous arms producing the same value type).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Build a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, B, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> B,
+{
+    type Value = B;
+
+    fn generate(&self, rng: &mut TestRng) -> B {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, via [`any`].
+pub trait Arbitrary {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Any value of type `T`: `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),*) => {
+        $(impl Arbitrary for $ty {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                lo + rng.below(span.saturating_add(1)) as $ty
+            }
+        })*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {
+        $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        })*
+    };
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xFEED, 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (10usize..20).generate(&mut r);
+            assert!((10..20).contains(&x));
+            let f = (1.5f64..4.0).generate(&mut r);
+            assert!((1.5..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let mut r = rng();
+        let strat = (1u32..5, 1u32..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((2..=8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let strat = crate::prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(strat.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn any_bool_varies() {
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(any::<bool>().generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

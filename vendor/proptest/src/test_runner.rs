@@ -1,0 +1,144 @@
+//! Test-runner plumbing: configuration and the deterministic RNG behind
+//! every generated case.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+    /// Accepted for compatibility with the real crate's config; the shim
+    /// does not shrink, so this is never read.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Derive the per-test base seed: a hash of the test name, XORed with the
+/// `PROPTEST_SEED` environment variable when set.
+///
+/// The variable (decimal or `0x`-hex) *perturbs* every test's stream so
+/// repeated CI runs can explore different cases; because it is mixed with
+/// the name hash rather than substituted, it is not a handle for replaying
+/// a printed base seed. An unparseable value aborts rather than silently
+/// running the default stream.
+pub fn base_seed(test_name: &str) -> u64 {
+    // FNV-1a over the name keeps distinct tests on distinct streams.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => {
+            let t = s.trim();
+            match parse_seed(t) {
+                Some(v) => h ^ v,
+                None => panic!("PROPTEST_SEED={t:?} is not a decimal or 0x-hex u64"),
+            }
+        }
+        Err(_) => h,
+    }
+}
+
+/// Parse a seed override: decimal or `0x`-prefixed hex.
+fn parse_seed(t: &str) -> Option<u64> {
+    match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => t.parse::<u64>().ok(),
+    }
+}
+
+/// Deterministic splitmix64 stream seeded from `(base_seed, case_index)`.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case.
+    pub fn new(base: u64, case: u64) -> Self {
+        let mut rng = TestRng {
+            state: base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        // Decorrelate adjacent case indices.
+        rng.next_u64();
+        rng
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        // Multiply-shift bounding (Lemire); bias is negligible for test
+        // generation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::new(1, 2);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::new(1, 2);
+            (0..10).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new(3, 4);
+        for _ in 0..10_000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = TestRng::new(5, 6);
+        for _ in 0..10_000 {
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn distinct_names_distinct_seeds() {
+        assert_ne!(base_seed("alpha"), base_seed("beta"));
+    }
+
+    #[test]
+    fn seed_override_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xDEADBEEF"), Some(0xDEAD_BEEF));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("notanumber"), None);
+        assert_eq!(parse_seed("-1"), None);
+    }
+}

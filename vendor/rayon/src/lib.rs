@@ -1,0 +1,209 @@
+//! A minimal, **sequential** stand-in for the [`rayon`] crate.
+//!
+//! This workspace builds in environments with no access to a cargo
+//! registry, so the real `rayon` cannot be fetched. This shim provides the
+//! exact API subset the workspace uses — `par_iter` / `into_par_iter`,
+//! `for_each`, `map`, `enumerate`, `flat_map_iter`, rayon-style two-closure
+//! `fold`, `sum`, `collect`, and [`current_num_threads`] — with identical
+//! semantics but executed on the calling thread.
+//!
+//! Correctness first: every algorithm written against this shim observes
+//! the same ordering guarantees rayon provides (order-preserving `collect`,
+//! unordered `for_each`), so swapping in the real crate is a pure
+//! performance change. The workspace `Cargo.toml` documents the swap: point
+//! the `rayon` workspace dependency at crates.io instead of `vendor/rayon`.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The traits that make `.par_iter()` / `.into_par_iter()` resolve, mirroring
+/// `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads in the "pool" — always 1, because the shim
+/// executes on the calling thread.
+///
+/// Reporting the truth keeps callers honest: anything that prints or
+/// scales by thread count (the E8 wall-clock tables, the PRAM commit
+/// shard heuristic) describes what actually ran, and automatically picks
+/// up the real pool size when the real crate is swapped in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// A "parallel" iterator: a newtype over a sequential [`Iterator`] exposing
+/// rayon's method names (rayon's `fold` signature differs from std's, so
+/// this cannot simply be the underlying iterator).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Consume the iterator, calling `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f);
+    }
+
+    /// Transform every item with `f`.
+    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Map each item to a *serial* iterator and flatten the results
+    /// (rayon's cheap cousin of `flat_map`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon-style fold: `identity` builds a per-worker accumulator and the
+    /// result is an iterator of accumulators (exactly one here, since the
+    /// shim runs on one thread).
+    pub fn fold<T, ID, F>(self, mut identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: FnMut() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Reduce all items to one value, starting from `identity()`.
+    pub fn reduce<ID, F>(self, mut identity: ID, reduce_op: F) -> I::Item
+    where
+        ID: FnMut() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), reduce_op)
+    }
+
+    /// Sum all items.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    /// Collect into any [`FromIterator`] collection, preserving item order
+    /// (as rayon's indexed `collect` does).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value — rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The type of the items yielded.
+    type Item;
+    /// Convert `self` into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Conversion into a [`ParIter`] by shared reference — rayon's
+/// `IntoParallelRefIterator` (`.par_iter()` on slices, `Vec`s, maps, …).
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The type of the items yielded (typically `&'data T`).
+    type Item: 'data;
+    /// Iterate `self` by reference.
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<u32> = (0..100u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_and_enumerate() {
+        let data = [10u32, 20, 30];
+        let mut seen = Vec::new();
+        data.par_iter()
+            .enumerate()
+            .for_each(|(i, &x)| seen.push((i, x)));
+        assert_eq!(seen, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn rayon_style_fold_then_collect() {
+        let shards: Vec<Vec<u32>> = (0..10u32)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, x| {
+                acc.push(x);
+                acc
+            })
+            .collect();
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 2, 3]
+            .par_iter()
+            .flat_map_iter(|&x| 0..x)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sum_and_reduce() {
+        let s: u64 = (0..=100u64).into_par_iter().sum();
+        assert_eq!(s, 5050);
+        let m = (1..=5u64).into_par_iter().reduce(|| 1, |a, b| a * b);
+        assert_eq!(m, 120);
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
