@@ -1,0 +1,272 @@
+//! `bench_report` — the reproducible perf baseline.
+//!
+//! Runs a fixed workload matrix — path / grid / power-law / mixture graphs
+//! at n ∈ {1e5, 1e6} — through the paper's Theorem-3 pipeline (on the PRAM
+//! simulator, i.e. the `Pram::step` host path) and all four `logdiam-par`
+//! practical algorithms, at 1 thread and at all available cores, and
+//! writes per-(workload, algorithm, threads) wall-clock medians to
+//! `BENCH_PR2.json`. Every future perf PR is judged against this file.
+//!
+//! Because the rayon pool size is fixed at first use, the parent process
+//! re-executes itself once per thread count (`RAYON_NUM_THREADS=k
+//! bench_report --child ...`) and merges the children's measurements.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive);
+//! `--out` overrides the output path (default `BENCH_PR2.json`).
+
+use cc_graph::seq::{components, same_partition};
+use cc_graph::{gen, Graph};
+use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use logdiam_par::{
+    contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
+};
+use pram_sim::{Pram, WritePolicy};
+use std::io::Write as _;
+use std::process::Command;
+
+const SEED: u64 = 0xBEEF_CAFE;
+
+/// Largest n the full Theorem-3 *simulation* runs at: the simulator pays
+/// ~1000× the direct algorithms' cost per edge, so the 1e6 workloads would
+/// take hours per rep. Skips are logged, never silent, and the raw
+/// `Pram::step`/commit host path is still measured at every n by the
+/// `pram_step` microworkload.
+const SIM_MAX_N: usize = 100_000;
+
+/// Steps of the `pram_step` microworkload: each step runs n processors
+/// that read one cell and write another (with a deterministic per-step
+/// shuffle), i.e. pure `run_procs` + sharded-commit throughput.
+const PRAM_STEP_ROUNDS: usize = 8;
+
+fn pram_step_workload(n: usize) {
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+    let xs = pram.alloc(n);
+    for _ in 0..PRAM_STEP_ROUNDS {
+        pram.step(n, |p, ctx| {
+            let i = p as usize;
+            let v = ctx.read(xs, i);
+            let r = ctx.rand(0);
+            let j = (i + 1) % n;
+            ctx.write(xs, j, v ^ r);
+        });
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_report [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut child = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--child" => child = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    if child {
+        run_child(smoke);
+    } else {
+        run_parent(smoke, &out_path);
+    }
+}
+
+/// The workload sizes: (label, n). Smoke mode is sized for CI seconds.
+fn sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![3_000]
+    } else {
+        vec![100_000, 1_000_000]
+    }
+}
+
+const FAMILIES: [&str; 4] = ["path", "grid", "powerlaw", "mixture"];
+
+/// Workload names, cheap to enumerate; graphs are built one at a time by
+/// [`build_graph`] and dropped before the next workload, so a 1e6 graph's
+/// footprint never sits resident while an unrelated simulation runs
+/// (keeping RSS flat keeps the measurements independent).
+fn workload_names(smoke: bool) -> Vec<(String, &'static str, usize)> {
+    let mut out = Vec::new();
+    for n in sizes(smoke) {
+        for family in FAMILIES {
+            out.push((format!("{family}/{n}"), family, n));
+        }
+    }
+    out
+}
+
+fn build_graph(family: &str, n: usize) -> Graph {
+    match family {
+        // Long path: the d ≈ n stress case the paper's log d bound targets.
+        "path" => gen::path(n),
+        // Square-ish grid: d ≈ 2√n, m/n ≈ 2.
+        "grid" => {
+            let rows = (n as f64).sqrt().round() as usize;
+            gen::grid(rows, n / rows)
+        }
+        // Power-law: preferential attachment, low diameter, skewed degrees.
+        "powerlaw" => gen::preferential_attachment(n, 4, SEED),
+        // Mixture: dense random + long path + giant star in one graph.
+        "mixture" => gen::union_all(&[
+            gen::gnm(n / 2, 2 * n, SEED ^ 1),
+            gen::path(n / 4),
+            gen::star(n / 4),
+        ]),
+        other => unreachable!("unknown workload family {other}"),
+    }
+}
+
+/// One measurement row, serialized as a JSON object.
+struct Row {
+    workload: String,
+    n: usize,
+    m: usize,
+    algorithm: &'static str,
+    threads: u64,
+    reps: usize,
+    median_ms: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"median_ms\":{:.3}}}",
+            self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, self.median_ms
+        )
+    }
+}
+
+/// Wall-clock median of `reps` runs, in milliseconds.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            let dt = t0.elapsed().as_secs_f64() * 1e3;
+            drop(out);
+            dt
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Child mode: run the matrix at this process's (env-pinned) thread count
+/// and print one JSON object per line.
+fn run_child(smoke: bool) {
+    let threads = rayon::current_num_threads() as u64;
+    let reps = if smoke { 1 } else { 3 };
+    let stdout = std::io::stdout();
+    for (name, family, size) in workload_names(smoke) {
+        let g = build_graph(family, size);
+        let truth = components(&g);
+        let emit = |algorithm: &'static str, reps: usize, median_ms: f64| {
+            let row = Row {
+                workload: name.clone(),
+                n: g.n(),
+                m: g.m(),
+                algorithm,
+                threads,
+                reps,
+                median_ms,
+            };
+            writeln!(stdout.lock(), "{}", row.to_json()).unwrap();
+        };
+        let check = |labels: &[u32]| {
+            assert!(
+                same_partition(labels, &truth),
+                "bench_report: {name} produced wrong labels"
+            )
+        };
+        if g.n() <= SIM_MAX_N {
+            // One rep: a simulated run is deterministic in its seed and
+            // minutes long, so medians over reps buy nothing here.
+            emit(
+                "theorem3_sim",
+                1,
+                time_ms(1, || {
+                    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+                    let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
+                    check(&report.run.labels);
+                }),
+            );
+        } else {
+            eprintln!(
+                "bench_report: skipping theorem3_sim on {name} (n > {SIM_MAX_N}; \
+                 simulator cost would be hours — pram_step covers the step path)"
+            );
+        }
+        emit(
+            "pram_step",
+            reps,
+            time_ms(reps, || pram_step_workload(g.n())),
+        );
+        emit(
+            "labelprop",
+            reps,
+            time_ms(reps, || check(&labelprop_cc(&g))),
+        );
+        emit(
+            "unionfind",
+            reps,
+            time_ms(reps, || check(&unionfind_cc(&g))),
+        );
+        emit("sv", reps, time_ms(reps, || check(&sv_cc(&g))));
+        emit("contract", reps, time_ms(reps, || check(&contract_cc(&g))));
+    }
+}
+
+/// Parent mode: one child process per thread count, merged into the JSON
+/// report.
+fn run_parent(smoke: bool, out_path: &str) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+    let exe = std::env::current_exe().expect("cannot locate own binary");
+    let mut rows: Vec<String> = Vec::new();
+    for &t in &thread_counts {
+        eprintln!("bench_report: measuring at {t} thread(s)...");
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--child").env("RAYON_NUM_THREADS", t.to_string());
+        if smoke {
+            cmd.arg("--smoke");
+        }
+        let out = cmd.output().expect("failed to spawn child bench process");
+        if !out.status.success() {
+            eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+            panic!("bench_report child at {t} threads failed: {}", out.status);
+        }
+        rows.extend(
+            String::from_utf8(out.stdout)
+                .expect("child emitted invalid UTF-8")
+                .lines()
+                .map(str::to_string),
+        );
+    }
+    let json = format!(
+        "{{\n  \"report\": \"logdiam perf baseline\",\n  \"emitter\": \"bench_report\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"thread_counts\": {thread_counts:?},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    );
+    std::fs::write(out_path, &json).expect("cannot write report");
+    eprintln!(
+        "bench_report: wrote {} measurements to {out_path}",
+        rows.len()
+    );
+}

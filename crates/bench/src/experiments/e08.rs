@@ -14,6 +14,7 @@ use cc_graph::seq::{components, same_partition};
 use logdiam_par::{
     contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
 };
+use pram_sim::{Pram, WritePolicy};
 
 pub(super) fn run(cfg: &Config) -> Vec<Table> {
     let scale = if cfg.full { 4 } else { 1 };
@@ -35,11 +36,11 @@ pub(super) fn run(cfg: &Config) -> Vec<Table> {
         ),
     ];
 
+    // Report the thread count a machine actually records, not just the
+    // pool's claim — the same field every simulated experiment carries.
+    let host_threads = Pram::new(WritePolicy::Racy).stats().host_threads;
     let mut t = Table::new(
-        format!(
-            "E8 — wall-clock (ms, median of {reps}) on {} threads",
-            rayon::current_num_threads()
-        ),
+        format!("E8 — wall-clock (ms, median of {reps}) on {host_threads} threads"),
         "Practical ports: concurrent union-find is the yardstick; label \
          propagation and alter-and-contract are the paper-flavoured \
          hashing/contraction algorithms; seq-DSU is the O(m α) sequential bound.",

@@ -34,7 +34,11 @@ pub(crate) fn identity_parents(n: usize) -> Vec<AtomicU32> {
 }
 
 /// Path-halving find on an atomic parent array.
-#[inline]
+///
+/// `inline(always)`: this is the innermost loop of every algorithm in the
+/// crate, and the call sites are themselves tiny closures — guaranteeing
+/// the inline keeps the loads/CAS in registers.
+#[inline(always)]
 pub(crate) fn find(p: &[AtomicU32], mut v: u32) -> u32 {
     loop {
         let parent = p[v as usize].load(Ordering::Relaxed);
@@ -53,22 +57,27 @@ pub(crate) fn find(p: &[AtomicU32], mut v: u32) -> u32 {
 }
 
 /// Canonicalize: every vertex labeled by its tree root, then every label
-/// rewritten to the minimum vertex of its component (parallel).
+/// rewritten to the minimum vertex of its component (parallel, two passes).
+///
+/// Pass 1 fuses the root lookup with the min-vertex scatter: each vertex
+/// finds its root, `fetch_min`s itself into the root's slot, and emits the
+/// root. Pass 2 gathers the per-root minima. (The scatter is commutative,
+/// so the fused pass stays deterministic under any thread interleaving.)
 pub(crate) fn finalize_labels(p: &[AtomicU32]) -> Vec<u32> {
     use rayon::prelude::*;
     let n = p.len();
-    let roots: Vec<u32> = (0..n as u32).into_par_iter().map(|v| find(p, v)).collect();
-    // Min vertex per root.
-    let min_of = {
-        let mins: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
-        roots.par_iter().enumerate().for_each(|(v, &r)| {
-            mins[r as usize].fetch_min(v as u32, Ordering::Relaxed);
-        });
-        mins
-    };
+    let mins: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+    let roots: Vec<u32> = (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let r = find(p, v);
+            mins[r as usize].fetch_min(v, Ordering::Relaxed);
+            r
+        })
+        .collect();
     roots
         .into_par_iter()
-        .map(|r| min_of[r as usize].load(Ordering::Relaxed))
+        .map(|r| mins[r as usize].load(Ordering::Relaxed))
         .collect()
 }
 

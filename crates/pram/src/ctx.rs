@@ -46,18 +46,42 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// Fresh-buffer constructor (tests; the machine recycles via
+    /// [`Ctx::new_in`]).
+    #[cfg(test)]
     pub(crate) fn new(
         words: &'a [u64],
         policy: WritePolicy,
         shard_count: u32,
         step_seed: u64,
     ) -> Self {
+        Self::new_in(
+            words,
+            policy,
+            shard_count,
+            step_seed,
+            (0..shard_count).map(|_| Vec::new()).collect(),
+        )
+    }
+
+    /// Like [`Ctx::new`] but reusing `shards` buffers recycled from an
+    /// earlier step (must be empty, `shard_count` of them; their capacity
+    /// is the point — steady-state steps allocate nothing).
+    pub(crate) fn new_in(
+        words: &'a [u64],
+        policy: WritePolicy,
+        shard_count: u32,
+        step_seed: u64,
+        shards: Vec<Vec<WriteRec>>,
+    ) -> Self {
         debug_assert!(shard_count.is_power_of_two());
+        debug_assert_eq!(shards.len(), shard_count as usize);
+        debug_assert!(shards.iter().all(Vec::is_empty));
         Ctx {
             words,
             policy,
             shard_mask: shard_count - 1,
-            shards: (0..shard_count).map(|_| Vec::new()).collect(),
+            shards,
             step_seed,
             proc: 0,
             ops_this_proc: 0,

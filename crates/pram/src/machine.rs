@@ -1,17 +1,34 @@
 //! The PRAM machine: synchronous step execution and commit.
 
+use std::sync::Mutex;
+
 use rayon::prelude::*;
 
-use crate::ctx::{Ctx, CtxOut};
+use crate::ctx::{Ctx, CtxOut, WriteRec};
 use crate::mem::{Arena, Handle};
 use crate::resolve::{CombineOp, WritePolicy};
 use crate::splitmix64;
 use crate::stats::Stats;
 
-/// Below this processor count a step runs on the calling thread; above it,
-/// the processor range is split across the rayon pool. Purely a host-side
-/// performance knob — simulated semantics are identical.
-const PAR_THRESHOLD: usize = 4096;
+/// Base processor count below which a step always runs on the calling
+/// thread. The actual cutover scales with the pool size (see
+/// [`par_threshold`]). Purely a host-side performance knob — simulated
+/// semantics are identical.
+const PAR_THRESHOLD_BASE: usize = 4096;
+
+/// Processor count above which a step is split across the rayon pool.
+///
+/// With one pool thread the parallel path is pure overhead (chunk
+/// bookkeeping without concurrency), so it is disabled outright; with more
+/// threads the cutover grows with the pool so that each worker gets enough
+/// processors per chunk to amortize the dispatch.
+fn par_threshold(threads: usize) -> usize {
+    if threads <= 1 {
+        usize::MAX
+    } else {
+        PAR_THRESHOLD_BASE.max(1024 * threads)
+    }
+}
 
 /// A simulated CRCW PRAM.
 ///
@@ -25,13 +42,21 @@ pub struct Pram {
     step_id: u32,
     seed: u64,
     shard_count: u32,
+    par_threshold: usize,
+    /// Recycled per-`Ctx` shard buffer sets (emptied, capacity kept), so
+    /// steady-state steps allocate no write buffers at all. A `Mutex`
+    /// because pool workers draw from it inside `run_procs`.
+    spare_bufs: Mutex<Vec<Vec<Vec<WriteRec>>>>,
 }
 
 impl Pram {
     /// Create a machine with the given write-resolution policy.
     pub fn new(policy: WritePolicy) -> Self {
-        let shard_count =
-            (rayon::current_num_threads().next_power_of_two() as u32 * 4).clamp(8, 256);
+        let threads = rayon::current_num_threads();
+        // Sharding the commit by address only pays for itself across real
+        // threads; scale shards with the pool (a few per thread so commit
+        // chunks stay balanced), bounded to keep per-Ctx overhead small.
+        let shard_count = (threads.next_power_of_two() as u32 * 4).clamp(8, 256);
         let seed = match policy {
             WritePolicy::ArbitrarySeeded(s) | WritePolicy::CrewChecked(s) => s,
             _ => 0x5EED_0BAD_CAFE_F00D,
@@ -39,10 +64,15 @@ impl Pram {
         Pram {
             mem: Arena::new(),
             policy,
-            stats: Stats::default(),
+            stats: Stats {
+                host_threads: threads as u64,
+                ..Stats::default()
+            },
             step_id: 0,
             seed,
             shard_count,
+            par_threshold: par_threshold(threads),
+            spare_bufs: Mutex::new(Vec::new()),
         }
     }
 
@@ -59,9 +89,13 @@ impl Pram {
         s
     }
 
-    /// Reset time/work/traffic counters (space high-water is kept).
+    /// Reset time/work/traffic counters (space high-water and the recorded
+    /// host thread count are kept).
     pub fn reset_stats(&mut self) {
-        let _ = std::mem::take(&mut self.stats);
+        self.stats = Stats {
+            host_threads: self.stats.host_threads,
+            ..Stats::default()
+        };
     }
 
     /// Record a pure model charge of `steps` time units on `nprocs`
@@ -147,7 +181,7 @@ impl Pram {
     /// committed at the end. Charged as 1 unit of simulated time.
     pub fn step<F>(&mut self, nprocs: usize, f: F)
     where
-        F: Fn(u64, &mut Ctx) + Sync,
+        F: Fn(u64, &mut Ctx) + Send + Sync,
     {
         self.step_charged(nprocs, 1, f)
     }
@@ -160,7 +194,7 @@ impl Pram {
     /// op count.
     pub fn step_charged<F>(&mut self, nprocs: usize, charge: u64, f: F)
     where
-        F: Fn(u64, &mut Ctx) + Sync,
+        F: Fn(u64, &mut Ctx) + Send + Sync,
     {
         self.stats.record_step(nprocs as u64, charge);
         if nprocs == 0 {
@@ -168,14 +202,15 @@ impl Pram {
         }
         self.step_id += 1;
         let outs = self.run_procs(nprocs, &f);
-        self.commit(outs);
+        self.commit(&outs);
+        self.retire(outs);
     }
 
     /// Execute one synchronous COMBINING CRCW step: concurrent writes to a
     /// cell leave `op` applied over *all written values* in the cell.
     pub fn step_combine<F>(&mut self, nprocs: usize, op: CombineOp, f: F)
     where
-        F: Fn(u64, &mut Ctx) + Sync,
+        F: Fn(u64, &mut Ctx) + Send + Sync,
     {
         self.stats.record_step(nprocs as u64, 1);
         if nprocs == 0 {
@@ -183,20 +218,32 @@ impl Pram {
         }
         self.step_id += 1;
         let outs = self.run_procs(nprocs, &f);
-        self.commit_combine(outs, op);
+        self.commit_combine(&outs, op);
+        self.retire(outs);
     }
 
     fn run_procs<F>(&mut self, nprocs: usize, f: &F) -> Vec<CtxOut>
     where
-        F: Fn(u64, &mut Ctx) + Sync,
+        F: Fn(u64, &mut Ctx) + Send + Sync,
     {
         let words: &[u64] = &self.mem.words;
         let policy = self.policy;
         let shard_count = self.shard_count;
         let step_seed = splitmix64(self.seed ^ (self.step_id as u64) << 17);
+        let spare_bufs = &self.spare_bufs;
+        // Per-worker contexts draw their shard buffers from the recycle
+        // pool (filled back by `retire`) so capacity carries across steps.
+        let fresh_ctx = || {
+            let bufs = spare_bufs
+                .lock()
+                .unwrap()
+                .pop()
+                .unwrap_or_else(|| (0..shard_count).map(|_| Vec::new()).collect());
+            Ctx::new_in(words, policy, shard_count, step_seed, bufs)
+        };
 
-        let outs: Vec<CtxOut> = if nprocs < PAR_THRESHOLD {
-            let mut ctx = Ctx::new(words, policy, shard_count, step_seed);
+        if nprocs < self.par_threshold {
+            let mut ctx = fresh_ctx();
             for p in 0..nprocs as u64 {
                 ctx.begin_proc(p);
                 f(p, &mut ctx);
@@ -206,28 +253,35 @@ impl Pram {
         } else {
             (0..nprocs as u64)
                 .into_par_iter()
-                .fold(
-                    || Ctx::new(words, policy, shard_count, step_seed),
-                    |mut ctx, p| {
-                        ctx.begin_proc(p);
-                        f(p, &mut ctx);
-                        ctx.end_proc();
-                        ctx
-                    },
-                )
+                .fold(fresh_ctx, |mut ctx, p| {
+                    ctx.begin_proc(p);
+                    f(p, &mut ctx);
+                    ctx.end_proc();
+                    ctx
+                })
                 .map(Ctx::finish)
                 .collect()
-        };
+        }
+    }
 
-        for out in &outs {
+    /// Post-commit bookkeeping, one pass over the step's outputs: merge the
+    /// per-worker counters into [`Stats`] and recycle the (emptied) shard
+    /// buffers for the next step.
+    fn retire(&mut self, outs: Vec<CtxOut>) {
+        let mut spare = self.spare_bufs.lock().unwrap();
+        for out in outs {
             self.stats.reads += out.reads;
             self.stats.writes += out.writes;
             self.stats.max_ops_per_proc = self.stats.max_ops_per_proc.max(out.max_ops as u64);
+            let mut bufs = out.shards;
+            for shard in &mut bufs {
+                shard.clear();
+            }
+            spare.push(bufs);
         }
-        outs
     }
 
-    fn commit(&mut self, outs: Vec<CtxOut>) {
+    fn commit(&mut self, outs: &[CtxOut]) {
         let step = self.step_id;
         let use_prio = self.policy.uses_priority();
         let count_conflicts = self.policy.counts_conflicts();
@@ -241,7 +295,7 @@ impl Pram {
             .into_par_iter()
             .map(|s| {
                 let mut conflicts = 0;
-                for out in &outs {
+                for out in outs {
                     for rec in &out.shards[s] {
                         // SAFETY: writes are sharded by `addr & (shards-1)`,
                         // so each address is touched by exactly one shard
@@ -260,7 +314,7 @@ impl Pram {
         }
     }
 
-    fn commit_combine(&mut self, outs: Vec<CtxOut>, op: CombineOp) {
+    fn commit_combine(&mut self, outs: &[CtxOut], op: CombineOp) {
         let step = self.step_id;
         let shards = self.shard_count as usize;
         let mem = ShardedMem {
@@ -269,7 +323,7 @@ impl Pram {
             prio: self.mem.prio.as_mut_ptr(),
         };
         (0..shards).into_par_iter().for_each(|s| {
-            for out in &outs {
+            for out in outs {
                 for rec in &out.shards[s] {
                     // SAFETY: as in `commit` — shards partition addresses.
                     unsafe { mem.combine_record(step, rec, op) };

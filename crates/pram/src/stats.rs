@@ -41,6 +41,11 @@ pub struct Stats {
     /// a cell already written in the same step. Non-zero means the program
     /// is not a legal CREW program.
     pub write_conflicts: u64,
+    /// Number of host threads the rayon pool was running when the machine
+    /// was created ([`crate::Pram::new`]) — what the simulation *actually*
+    /// executed on, so experiment tables can report it. Purely host-side;
+    /// no simulated quantity depends on it.
+    pub host_threads: u64,
 }
 
 impl Stats {
@@ -55,14 +60,15 @@ impl Stats {
     /// Pretty one-line summary, used by the experiment harness.
     pub fn summary(&self) -> String {
         format!(
-            "steps={} work={} max_procs={} peak_words={} reads={} writes={} max_ops/proc={}",
+            "steps={} work={} max_procs={} peak_words={} reads={} writes={} max_ops/proc={} host_threads={}",
             self.steps,
             self.work,
             self.max_procs,
             self.peak_words,
             self.reads,
             self.writes,
-            self.max_ops_per_proc
+            self.max_ops_per_proc,
+            self.host_threads
         )
     }
 }

@@ -1,0 +1,138 @@
+//! `determinism_probe` — one CC entry point, one graph, one fingerprint.
+//!
+//! Helper binary for `tests/determinism.rs`: the rayon pool size is fixed
+//! per process at first use, so comparing runs at different
+//! `RAYON_NUM_THREADS` requires one process per thread count. The test
+//! spawns this probe and compares stdout byte-for-byte.
+//!
+//! ```text
+//! determinism_probe <algo> <family> <n> <seed>
+//! ```
+//!
+//! Prints `<fingerprint-hex> <extra>` where the fingerprint hashes the
+//! full component labeling (or, for `pram_stress`, the full memory image
+//! and traffic counters — bit-identical across thread counts by the
+//! sharded-commit design).
+
+use logdiam::graph::{gen, Graph};
+use logdiam::pram::{Pram, WritePolicy};
+
+/// FNV-1a over a `u32` stream: tiny, dependency-free, and order-sensitive
+/// (a permuted labeling fingerprints differently).
+fn fnv1a(xs: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in xs {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn graph_for(family: &str, n: usize, seed: u64) -> Graph {
+    match family {
+        "path" => gen::path(n),
+        "grid" => gen::grid(n.max(4) / 4, 4),
+        "gnm" => gen::gnm(n, 3 * n, seed),
+        "powerlaw" => gen::preferential_attachment(n, 3, seed),
+        "mixture" => gen::union_all(&[
+            gen::gnm(n / 2, n, seed),
+            gen::path(n / 4),
+            gen::star(n.max(4) / 4),
+        ]),
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, algo, family, n, seed] = &args[..] else {
+        eprintln!("usage: determinism_probe <algo> <family> <n> <seed>");
+        std::process::exit(2);
+    };
+    let n: usize = n.parse().expect("n must be a number");
+    let seed: u64 = seed.parse().expect("seed must be a number");
+
+    // `pram_stress` needs no graph: it hammers one machine with
+    // conflicting writes and fingerprints everything observable.
+    if algo == "pram_stress" {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+        let xs = pram.alloc(n);
+        for round in 0..8u64 {
+            pram.step(8 * n, |p, ctx| {
+                let r = ctx.rand(round);
+                let i = (r % n as u64) as usize;
+                let v = ctx.read(xs, i);
+                ctx.write(xs, i, v ^ r ^ p);
+            });
+        }
+        let stats = pram.stats();
+        let mem = fnv1a(pram.read_vec(xs).into_iter().flat_map(|w| {
+            let lo = w as u32;
+            let hi = (w >> 32) as u32;
+            [lo, hi]
+        }));
+        println!(
+            "{mem:016x} reads={} writes={} conflicts={} max_ops={}",
+            stats.reads, stats.writes, stats.write_conflicts, stats.max_ops_per_proc
+        );
+        return;
+    }
+
+    let g = graph_for(family, n, seed);
+    let labels: Vec<u32> = match algo.as_str() {
+        // --- simulated (logdiam-cc); all on seeded-ARBITRARY machines ---
+        "theorem1" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::theorem1::connected_components(
+                &mut pram,
+                &g,
+                seed,
+                &logdiam::algorithms::theorem1::Theorem1Params::default(),
+            )
+            .labels
+        }
+        "theorem2" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::theorem2::spanning_forest(
+                &mut pram,
+                &g,
+                seed,
+                &logdiam::algorithms::theorem1::Theorem1Params::default(),
+            )
+            .labels
+        }
+        "theorem3" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::theorem3::faster_cc(
+                &mut pram,
+                &g,
+                seed,
+                &logdiam::algorithms::theorem3::FasterParams::default(),
+            )
+            .run
+            .labels
+        }
+        "vanilla" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::vanilla::vanilla(&mut pram, &g, seed).labels
+        }
+        "awerbuch_shiloach" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::baselines::awerbuch_shiloach(&mut pram, &g).labels
+        }
+        "labelprop_sim" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::baselines::labelprop(&mut pram, &g).labels
+        }
+        // --- practical shared-memory ports (logdiam-par) ---
+        "par_labelprop" => logdiam::parallel::labelprop::labelprop_cc(&g),
+        "par_unionfind" => logdiam::parallel::unionfind::unionfind_cc(&g),
+        "par_sv" => logdiam::parallel::sv::sv_cc(&g),
+        "par_contract" => logdiam::parallel::contract::contract_cc(&g),
+        "par_bfs" => logdiam::parallel::bfs::bfs_cc(&g),
+        other => panic!("unknown algorithm {other}"),
+    };
+    println!("{:016x} n={}", fnv1a(labels.iter().copied()), labels.len());
+}

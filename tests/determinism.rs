@@ -1,0 +1,121 @@
+//! Thread-count determinism suite.
+//!
+//! Every public CC entry point — Theorems 1/2/3, the simulated baselines,
+//! and all `logdiam-par` shared-memory algorithms — must produce identical
+//! component labels at `RAYON_NUM_THREADS` 1, 2, and 8; and seeded
+//! ARBITRARY PRAM runs must be *bit-identical* (full memory image and
+//! traffic counters), which the sharded, priority-resolved commit is
+//! designed to guarantee. The pool size is fixed per process, so each
+//! measurement is a run of the `determinism_probe` helper binary with a
+//! pinned environment, compared byte-for-byte on stdout.
+//!
+//! Graph shapes and seeds are proptest-generated (the vendored shim is
+//! deterministic, so failures reproduce exactly).
+
+use proptest::prelude::*;
+use std::process::Command;
+
+const THREAD_COUNTS: [&str; 3] = ["1", "2", "8"];
+
+/// Run the probe once and return its stdout.
+fn probe(threads: &str, algo: &str, family: &str, n: usize, seed: u64) -> String {
+    let exe = env!("CARGO_BIN_EXE_determinism_probe");
+    let out = Command::new(exe)
+        .args([algo, family, &n.to_string(), &seed.to_string()])
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("failed to spawn determinism_probe");
+    assert!(
+        out.status.success(),
+        "probe({algo}, {family}, n={n}, seed={seed}) at {threads} threads failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("probe printed invalid UTF-8")
+}
+
+/// Assert one (algo, graph) case fingerprints identically at 1/2/8 threads.
+fn assert_thread_invariant(algo: &str, family: &str, n: usize, seed: u64) {
+    let baseline = probe(THREAD_COUNTS[0], algo, family, n, seed);
+    assert!(
+        baseline.contains(' '),
+        "probe produced no fingerprint: {baseline:?}"
+    );
+    for threads in &THREAD_COUNTS[1..] {
+        let got = probe(threads, algo, family, n, seed);
+        assert_eq!(
+            baseline, got,
+            "{algo} on {family}(n={n}, seed={seed}) differs between \
+             1 thread and {threads} threads"
+        );
+    }
+}
+
+/// The simulated entry points (each drives `Pram` on a seeded-ARBITRARY
+/// machine — label determinism here also exercises the sharded commit).
+const SIM_ALGOS: [&str; 6] = [
+    "theorem1",
+    "theorem2",
+    "theorem3",
+    "vanilla",
+    "awerbuch_shiloach",
+    "labelprop_sim",
+];
+
+/// The practical shared-memory ports (atomics + rayon).
+const PAR_ALGOS: [&str; 5] = [
+    "par_labelprop",
+    "par_unionfind",
+    "par_sv",
+    "par_contract",
+    "par_bfs",
+];
+
+const FAMILIES: [&str; 5] = ["path", "grid", "gnm", "powerlaw", "mixture"];
+
+fn family_strategy() -> impl Strategy<Value = &'static str> {
+    (0..FAMILIES.len()).prop_map(|i| FAMILIES[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// Simulated algorithms: small graphs (a full PRAM simulation per
+    /// probe run), every entry point, 3 thread counts.
+    #[test]
+    fn simulated_entry_points_are_thread_invariant(
+        family in family_strategy(),
+        n in 24usize..120,
+        seed in 0u64..1000,
+    ) {
+        for algo in SIM_ALGOS {
+            assert_thread_invariant(algo, family, n, seed);
+        }
+    }
+
+    /// Practical ports: larger graphs so the parallel paths genuinely
+    /// split work at 2 and 8 threads.
+    #[test]
+    fn practical_ports_are_thread_invariant(
+        family in family_strategy(),
+        n in 512usize..4096,
+        seed in 0u64..1000,
+    ) {
+        for algo in PAR_ALGOS {
+            assert_thread_invariant(algo, family, n, seed);
+        }
+    }
+
+    /// Seeded ARBITRARY PRAM runs are bit-identical across thread counts:
+    /// the probe fingerprints the full memory image plus traffic counters
+    /// after rounds of deliberately conflicting writes. `n` is large
+    /// enough that 8·n processors cross the parallel step threshold, so
+    /// the sharded parallel commit (not just the sequential path) is what
+    /// is being tested.
+    #[test]
+    fn seeded_pram_runs_are_bit_identical(
+        n in 2048usize..4096,
+        seed in 0u64..1000,
+    ) {
+        assert_thread_invariant("pram_stress", "path", n, seed);
+    }
+}

@@ -1,180 +1,609 @@
-//! A minimal, **sequential** stand-in for the [`rayon`] crate.
+//! A minimal, **genuinely parallel** stand-in for the [`rayon`] crate.
 //!
 //! This workspace builds in environments with no access to a cargo
 //! registry, so the real `rayon` cannot be fetched. This shim provides the
 //! exact API subset the workspace uses — `par_iter` / `into_par_iter`,
 //! `for_each`, `map`, `enumerate`, `flat_map_iter`, rayon-style two-closure
-//! `fold`, `sum`, `collect`, and [`current_num_threads`] — with identical
-//! semantics but executed on the calling thread.
+//! `fold`, `reduce`, `sum`, `collect`, and [`current_num_threads`] — backed
+//! by a real global thread pool ([`pool`]): `available_parallelism()`
+//! workers (overridable with `RAYON_NUM_THREADS`), lazily spawned on first
+//! use.
 //!
-//! Correctness first: every algorithm written against this shim observes
-//! the same ordering guarantees rayon provides (order-preserving `collect`,
-//! unordered `for_each`), so swapping in the real crate is a pure
-//! performance change. The workspace `Cargo.toml` documents the swap: point
-//! the `rayon` workspace dependency at crates.io instead of `vendor/rayon`.
+//! ## Execution model
+//!
+//! Every parallel iterator here is *indexed*: a source of known length
+//! (an integer range, a slice, a `Vec`) composed with per-item adapters.
+//! A terminal operation splits the source index space into contiguous
+//! chunks (about four per pool thread, never smaller than
+//! [`MIN_CHUNK_LEN`]), runs the adapter pipeline sequentially within each
+//! chunk on the pool, and recombines chunk results **in index order** —
+//! so `collect` preserves ordering exactly like rayon's indexed collect,
+//! while `for_each` observes items in an unspecified interleaving, exactly
+//! like rayon's. With one pool thread (or one chunk) everything runs
+//! inline on the caller with no synchronization at all.
+//!
+//! API-bound parity: method signatures carry the same `Fn + Send + Sync`
+//! closure and `Send` item bounds the real crate requires (occasionally a
+//! slightly stronger one — see `vendor/README.md` for the exact deltas),
+//! so code written against this shim compiles unchanged against crates.io
+//! rayon.
+//!
+//! This crate contains no `unsafe` outside the [`pool`] module, where the
+//! narrow lifetime-erasure required by a persistent pool is isolated and
+//! documented.
 //!
 //! [`rayon`]: https://docs.rs/rayon
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-/// The traits that make `.par_iter()` / `.into_par_iter()` resolve, mirroring
-/// `rayon::prelude`.
+mod pool;
+
+use std::sync::Mutex;
+
+/// The traits that make `.par_iter()` / `.into_par_iter()` and the
+/// parallel-iterator methods resolve, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// Number of worker threads in the "pool" — always 1, because the shim
-/// executes on the calling thread.
-///
-/// Reporting the truth keeps callers honest: anything that prints or
-/// scales by thread count (the E8 wall-clock tables, the PRAM commit
-/// shard heuristic) describes what actually ran, and automatically picks
-/// up the real pool size when the real crate is swapped in.
+/// Number of threads executing parallel work (pool workers + the
+/// submitting thread). Fixed at first use from `RAYON_NUM_THREADS` /
+/// [`std::thread::available_parallelism`].
 pub fn current_num_threads() -> usize {
-    1
+    pool::global().threads()
 }
 
-/// A "parallel" iterator: a newtype over a sequential [`Iterator`] exposing
-/// rayon's method names (rayon's `fold` signature differs from std's, so
-/// this cannot simply be the underlying iterator).
-pub struct ParIter<I>(I);
+/// Chunks smaller than this are not worth a trip through the pool queue;
+/// the splitter aims for at least this many items per chunk.
+const MIN_CHUNK_LEN: usize = 512;
 
-impl<I: Iterator> ParIter<I> {
-    /// Consume the iterator, calling `f` on every item.
-    pub fn for_each<F>(self, f: F)
+/// Chunks created per pool thread (when the length allows): a little
+/// oversplitting smooths out load imbalance between chunks without the
+/// complexity of work stealing.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// How many chunks to split `len` items into for the current pool.
+fn chunk_count(len: usize, threads: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    if threads == 1 {
+        return 1;
+    }
+    (len / MIN_CHUNK_LEN)
+        .clamp(1, threads * CHUNKS_PER_THREAD)
+        .min(len)
+}
+
+/// Run every chunk of `iter` through `consume` on the pool and return the
+/// per-chunk results in index order. The backbone of every terminal
+/// operation.
+fn drive<P, R, G>(iter: P, consume: G) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    G: Fn(P::SeqIter) -> R + Sync,
+{
+    let pool = pool::global();
+    let n_chunks = chunk_count(iter.len_hint(), pool.threads());
+    let chunks = iter.split_into(n_chunks);
+    if chunks.len() <= 1 {
+        return chunks.into_iter().map(consume).collect();
+    }
+    // Hand each worker its chunk and a result slot through per-index
+    // mutexes (uncontended by construction: slot `k` is touched only by
+    // the thread that claimed chunk `k`).
+    let slots: Vec<Mutex<Option<P::SeqIter>>> =
+        chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+    pool.broadcast(slots.len(), |k| {
+        let chunk = slots[k].lock().unwrap().take().expect("chunk taken twice");
+        *out[k].lock().unwrap() = Some(consume(chunk));
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("chunk produced no result"))
+        .collect()
+}
+
+/// A parallel iterator: an indexed source plus a per-item pipeline.
+///
+/// `split_into(n)` partitions the remaining index space into at most `n`
+/// non-empty, order-contiguous sequential iterators; the provided terminal
+/// methods ship those chunks to the pool via [`drive`].
+pub trait ParallelIterator: Sized + Send {
+    /// The type of the items yielded.
+    type Item: Send;
+    /// The sequential iterator driven within one chunk.
+    type SeqIter: Iterator<Item = Self::Item> + Send;
+
+    /// Source length (used only to pick a chunk count; adapters report
+    /// their *source's* length even when they change the item count).
+    fn len_hint(&self) -> usize;
+
+    /// Split into at most `n_chunks` non-empty chunks, preserving order.
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter>;
+
+    /// Consume the iterator, calling `op` on every item (unordered).
+    fn for_each<OP>(self, op: OP)
     where
-        F: FnMut(I::Item),
+        OP: Fn(Self::Item) + Send + Sync,
     {
-        self.0.for_each(f);
+        drive(self, |chunk| chunk.for_each(&op));
     }
 
-    /// Transform every item with `f`.
-    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    /// Transform every item with `map_op`.
+    fn map<B, F>(self, map_op: F) -> Map<Self, F>
     where
-        F: FnMut(I::Item) -> B,
+        B: Send,
+        F: Fn(Self::Item) -> B + Send + Sync + Clone,
     {
-        ParIter(self.0.map(f))
+        Map { base: self, map_op }
     }
 
-    /// Pair every item with its index.
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    /// Pair every item with its global index (requires exact-size chunks,
+    /// which all sources and `map` provide — rayon's
+    /// `IndexedParallelIterator::enumerate` restriction).
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self::SeqIter: ExactSizeIterator,
+    {
+        Enumerate { base: self }
     }
 
     /// Map each item to a *serial* iterator and flatten the results
     /// (rayon's cheap cousin of `flat_map`).
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    fn flat_map_iter<U, F>(self, map_op: F) -> FlatMapIter<Self, F>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        U::Item: Send,
+        U::IntoIter: Send,
+        F: Fn(Self::Item) -> U + Send + Sync + Clone,
     {
-        ParIter(self.0.flat_map(f))
+        FlatMapIter { base: self, map_op }
     }
 
-    /// Rayon-style fold: `identity` builds a per-worker accumulator and the
-    /// result is an iterator of accumulators (exactly one here, since the
-    /// shim runs on one thread).
-    pub fn fold<T, ID, F>(self, mut identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    /// Rayon-style fold: `identity` builds one accumulator *per chunk*
+    /// (rayon: per split), `fold_op` folds the chunk's items into it, and
+    /// the result is a parallel iterator over the accumulators.
+    fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
     where
-        ID: FnMut() -> T,
-        F: FnMut(T, I::Item) -> T,
+        T: Send,
+        ID: Fn() -> T + Send + Sync + Clone,
+        F: Fn(T, Self::Item) -> T + Send + Sync + Clone,
     {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+        Fold {
+            base: self,
+            identity,
+            fold_op,
+        }
     }
 
-    /// Reduce all items to one value, starting from `identity()`.
-    pub fn reduce<ID, F>(self, mut identity: ID, reduce_op: F) -> I::Item
+    /// Reduce all items to one value, starting from `identity()` (which
+    /// must be `op`'s identity element for a deterministic result).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
     where
-        ID: FnMut() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        self.0.fold(identity(), reduce_op)
+        drive(self, |chunk| chunk.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
     }
 
     /// Sum all items.
-    pub fn sum<S>(self) -> S
+    fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
     {
-        self.0.sum()
+        drive(self, |chunk| chunk.sum::<S>()).into_iter().sum()
     }
 
     /// Collect into any [`FromIterator`] collection, preserving item order
-    /// (as rayon's indexed `collect` does).
-    pub fn collect<C>(self) -> C
+    /// (as rayon's indexed `collect` does): chunks fill per-chunk buffers
+    /// in parallel, stitched together in index order on the caller.
+    fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<Self::Item>,
     {
-        self.0.collect()
+        drive(self, |chunk| chunk.collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
-/// Conversion into a [`ParIter`] by value — rayon's `IntoParallelIterator`.
-pub trait IntoParallelIterator {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// The type of the items yielded.
-    type Item;
-    /// Convert `self` into a "parallel" iterator.
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+// --------------------------------------------------------------- adapters
+
+/// A parallel iterator that transforms items with a closure
+/// ([`ParallelIterator::map`]).
+pub struct Map<P, F> {
+    base: P,
+    map_op: F,
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Conversion into a [`ParIter`] by shared reference — rayon's
-/// `IntoParallelRefIterator` (`.par_iter()` on slices, `Vec`s, maps, …).
-pub trait IntoParallelRefIterator<'data> {
-    /// The underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// The type of the items yielded (typically `&'data T`).
-    type Item: 'data;
-    /// Iterate `self` by reference.
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
-}
-
-impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+impl<P, B, F> ParallelIterator for Map<P, F>
 where
-    &'data C: IntoIterator,
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Send + Sync + Clone,
 {
-    type Iter = <&'data C as IntoIterator>::IntoIter;
-    type Item = <&'data C as IntoIterator>::Item;
+    type Item = B;
+    type SeqIter = std::iter::Map<P::SeqIter, F>;
 
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let map_op = self.map_op;
+        self.base
+            .split_into(n_chunks)
+            .into_iter()
+            .map(|chunk| chunk.map(map_op.clone()))
+            .collect()
+    }
+}
+
+/// A parallel iterator that pairs items with their global index
+/// ([`ParallelIterator::enumerate`]).
+pub struct Enumerate<P> {
+    base: P,
+}
+
+/// One chunk of an [`Enumerate`]: the inner chunk zipped with its global
+/// index range.
+pub struct EnumerateChunk<I> {
+    inner: I,
+    next_index: usize,
+}
+
+impl<I: ExactSizeIterator> Iterator for EnumerateChunk<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next_index;
+        self.next_index += 1;
+        Some((i, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: ExactSizeIterator> ExactSizeIterator for EnumerateChunk<I> {}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: ParallelIterator,
+    P::SeqIter: ExactSizeIterator,
+{
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateChunk<P::SeqIter>;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let mut next_index = 0;
+        self.base
+            .split_into(n_chunks)
+            .into_iter()
+            .map(|chunk| {
+                let start = next_index;
+                next_index += chunk.len();
+                EnumerateChunk {
+                    inner: chunk,
+                    next_index: start,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A parallel iterator that maps items to serial iterators and flattens
+/// them ([`ParallelIterator::flat_map_iter`]).
+pub struct FlatMapIter<P, F> {
+    base: P,
+    map_op: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    U::IntoIter: Send,
+    F: Fn(P::Item) -> U + Send + Sync + Clone,
+{
+    type Item = U::Item;
+    type SeqIter = std::iter::FlatMap<P::SeqIter, U, F>;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let map_op = self.map_op;
+        self.base
+            .split_into(n_chunks)
+            .into_iter()
+            .map(|chunk| chunk.flat_map(map_op.clone()))
+            .collect()
+    }
+}
+
+/// A parallel iterator over per-chunk fold accumulators
+/// ([`ParallelIterator::fold`]).
+pub struct Fold<P, ID, F> {
+    base: P,
+    identity: ID,
+    fold_op: F,
+}
+
+/// One chunk of a [`Fold`]: yields exactly one accumulator, built lazily
+/// (i.e. on the worker that runs the chunk) from the inner chunk's items.
+pub struct FoldChunk<I, ID, F> {
+    inner: Option<I>,
+    identity: ID,
+    fold_op: F,
+}
+
+impl<I, T, ID, F> Iterator for FoldChunk<I, ID, F>
+where
+    I: Iterator,
+    ID: Fn() -> T,
+    F: Fn(T, I::Item) -> T,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        let inner = self.inner.take()?;
+        Some(inner.fold((self.identity)(), &self.fold_op))
+    }
+}
+
+impl<P, T, ID, F> ParallelIterator for Fold<P, ID, F>
+where
+    P: ParallelIterator,
+    T: Send,
+    ID: Fn() -> T + Send + Sync + Clone,
+    F: Fn(T, P::Item) -> T + Send + Sync + Clone,
+{
+    type Item = T;
+    type SeqIter = FoldChunk<P::SeqIter, ID, F>;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let (identity, fold_op) = (self.identity, self.fold_op);
+        self.base
+            .split_into(n_chunks)
+            .into_iter()
+            .map(|chunk| FoldChunk {
+                inner: Some(chunk),
+                identity: identity.clone(),
+                fold_op: fold_op.clone(),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------- sources
+
+/// Conversion into a [`ParallelIterator`] by value — rayon's
+/// `IntoParallelIterator`. Implemented for integer ranges and `Vec<T>`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The type of the items yielded.
+    type Item: Send;
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a [`ParallelIterator`] by shared reference — rayon's
+/// `IntoParallelRefIterator` (`.par_iter()` on slices, arrays, `Vec`s).
+pub trait IntoParallelRefIterator<'data> {
+    /// The parallel iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The type of the items yielded (typically `&'data T`).
+    type Item: Send + 'data;
+    /// Iterate `self` by reference.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+/// Parallel iterator over an integer range.
+pub struct ParRange<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! par_range_impl {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type SeqIter = std::ops::Range<$t>;
+
+            fn len_hint(&self) -> usize {
+                usize::try_from(self.range.end.saturating_sub(self.range.start)).unwrap_or(usize::MAX)
+            }
+
+            fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+                let len = self.len_hint();
+                if len == 0 || n_chunks == 0 {
+                    return Vec::new();
+                }
+                let n_chunks = n_chunks.min(len);
+                let (per, extra) = (len / n_chunks, len % n_chunks);
+                let mut chunks = Vec::with_capacity(n_chunks);
+                let mut start = self.range.start;
+                for k in 0..n_chunks {
+                    let size = per + usize::from(k < extra);
+                    let end = start + size as $t;
+                    chunks.push(start..end);
+                    start = end;
+                }
+                chunks
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = ParRange<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+    )*};
+}
+
+par_range_impl!(u32, u64, usize);
+
+/// Parallel iterator over the elements of a slice.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+    type SeqIter = std::slice::Iter<'data, T>;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let len = self.slice.len();
+        if len == 0 || n_chunks == 0 {
+            return Vec::new();
+        }
+        let n_chunks = n_chunks.min(len);
+        let (per, extra) = (len / n_chunks, len % n_chunks);
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut rest = self.slice;
+        for k in 0..n_chunks {
+            let size = per + usize::from(k < extra);
+            let (head, tail) = rest.split_at(size);
+            chunks.push(head.iter());
+            rest = tail;
+        }
+        chunks
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct ParVec<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len_hint(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_into(self, n_chunks: usize) -> Vec<Self::SeqIter> {
+        let len = self.vec.len();
+        if len == 0 || n_chunks == 0 {
+            return Vec::new();
+        }
+        let n_chunks = n_chunks.min(len);
+        let (per, extra) = (len / n_chunks, len % n_chunks);
+        // Split back-to-front so each `split_off` moves only one chunk.
+        let mut chunks: Vec<Vec<T>> = (0..n_chunks).map(|_| Vec::new()).collect();
+        let mut vec = self.vec;
+        for k in (0..n_chunks).rev() {
+            let size = per + usize::from(k < extra);
+            chunks[k] = vec.split_off(vec.len() - size);
+        }
+        debug_assert!(vec.is_empty());
+        chunks.into_iter().map(Vec::into_iter).collect()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { vec: self }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn collect_preserves_order() {
-        let v: Vec<u32> = (0..100u32).into_par_iter().map(|x| x * 2).collect();
-        assert_eq!(v, (0..100u32).map(|x| x * 2).collect::<Vec<_>>());
+        let v: Vec<u32> = (0..10_000u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10_000u32).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_into_par_iter_preserves_order() {
+        let data: Vec<u64> = (0..5000).collect();
+        let out: Vec<u64> = data.clone().into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, data.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 
     #[test]
     fn slice_par_iter_and_enumerate() {
+        let data: Vec<u32> = (0..4097).map(|i| i * 10).collect();
+        let seen = Mutex::new(vec![0u32; data.len()]);
+        data.par_iter().enumerate().for_each(|(i, &x)| {
+            seen.lock().unwrap()[i] = x;
+        });
+        assert_eq!(*seen.lock().unwrap(), data);
+    }
+
+    #[test]
+    fn array_par_iter() {
         let data = [10u32, 20, 30];
-        let mut seen = Vec::new();
-        data.par_iter()
-            .enumerate()
-            .for_each(|(i, &x)| seen.push((i, x)));
-        assert_eq!(seen, vec![(0, 10), (1, 20), (2, 30)]);
+        let sum: u32 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(sum, 60);
     }
 
     #[test]
     fn rayon_style_fold_then_collect() {
-        let shards: Vec<Vec<u32>> = (0..10u32)
+        let shards: Vec<Vec<u32>> = (0..10_000u32)
             .into_par_iter()
             .fold(Vec::new, |mut acc, x| {
                 acc.push(x);
@@ -182,24 +611,50 @@ mod tests {
             })
             .collect();
         let total: usize = shards.iter().map(Vec::len).sum();
-        assert_eq!(total, 10);
+        assert_eq!(total, 10_000);
+        // Chunks are contiguous and in order.
+        let flat: Vec<u32> = shards.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10_000u32).collect::<Vec<_>>());
     }
 
     #[test]
-    fn flat_map_iter_flattens() {
-        let out: Vec<u32> = vec![1u32, 2, 3]
-            .par_iter()
-            .flat_map_iter(|&x| 0..x)
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<u32> = (0..2000u32)
+            .into_par_iter()
+            .flat_map_iter(|x| [x, x].into_iter())
             .collect();
-        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+        let expect: Vec<u32> = (0..2000u32).flat_map(|x| [x, x]).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]
     fn sum_and_reduce() {
-        let s: u64 = (0..=100u64).into_par_iter().sum();
-        assert_eq!(s, 5050);
-        let m = (1..=5u64).into_par_iter().reduce(|| 1, |a, b| a * b);
+        let s: u64 = (0..100_001u64).into_par_iter().sum();
+        assert_eq!(s, 100_000 * 100_001 / 2);
+        let m = (1..6u64).into_par_iter().reduce(|| 1, |a, b| a * b);
         assert_eq!(m, 120);
+        let empty = (0..0u64).into_par_iter().reduce(|| 7, |a, b| a + b);
+        assert_eq!(empty, 7);
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let hits: Vec<AtomicU64> = (0..20_000).map(|_| AtomicU64::new(0)).collect();
+        (0..20_000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_sources() {
+        let v: Vec<u32> = (0..0u32).into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+        let s: u64 = Vec::<u64>::new().into_par_iter().sum();
+        assert_eq!(s, 0);
+        Vec::<u32>::new()
+            .par_iter()
+            .for_each(|_| panic!("no items"));
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! The global work pool behind the parallel iterators.
+//!
+//! A lazily-initialized set of worker threads executes *jobs*. A job is one
+//! parallel operation: `n_tasks` independent chunk indices plus a task
+//! closure living on the submitting thread's stack. Submission pushes up to
+//! `threads - 1` *tickets* for the job onto a shared queue; each ticket,
+//! when popped by a worker, repeatedly claims the next unclaimed chunk
+//! index and runs the task on it. The submitting thread participates too
+//! (it drains chunks exactly like a worker), then blocks until every
+//! *claimed* chunk has finished. Leftover tickets for a finished job drain
+//! harmlessly: their claim attempt fails (`next >= n_tasks`) and they never
+//! touch the task closure.
+//!
+//! Design notes:
+//!
+//! * **No work stealing.** Chunks are claimed from a single atomic counter.
+//!   For the flat fork-join shapes this workspace uses (split an index
+//!   range, run, join) that is equivalent to stealing with far less
+//!   machinery; there are no long dependency chains to balance.
+//! * **Nested jobs cannot deadlock.** A submitter never waits on an
+//!   *unpopped* ticket — it waits only for chunks that some thread has
+//!   already claimed, and a claimant always finishes its chunk (by
+//!   induction on nesting depth). Idle workers pick tickets up whenever
+//!   they can, adding parallelism but never being required for progress.
+//! * **Panics propagate.** A panicking task is caught on the executing
+//!   thread, the first payload is stored, every chunk is still accounted,
+//!   and the submitter re-raises the payload after the job completes —
+//!   mirroring rayon's behavior.
+//!
+//! # Safety
+//!
+//! This is the only module in the crate that uses `unsafe`. The task
+//! closure is type-erased to a thin `*const ()` so that a [`Job`] can be
+//! shared with worker threads through an `Arc` without infecting the pool
+//! with the closure's lifetime. The soundness argument, referenced by each
+//! `unsafe` block below, is:
+//!
+//! > **Invariant.** The task pointer of a [`Job`] is only dereferenced by a
+//! > thread that has *successfully claimed a chunk* (`next.fetch_add(1) <
+//! > n_tasks`). The submitter blocks in [`Pool::broadcast`] until `done ==
+//! > n_tasks`, and `done` is incremented (under the job mutex) only *after*
+//! > the corresponding task call returns. Hence every dereference
+//! > happens-before the submitter's stack frame — which owns the closure —
+//! > is popped. Tickets that fail to claim a chunk read only the
+//! > `Arc`-owned counters and never the task pointer.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// One parallel operation in flight. Shared with workers via `Arc` so that
+/// stale tickets (popped after the job finished) read valid memory.
+struct Job {
+    /// Type-erased pointer to the submitter's task closure (`F` below).
+    task: *const (),
+    /// Monomorphized shim that re-types `task` and calls it with a chunk
+    /// index. `unsafe fn` because it dereferences `task` (see Invariant).
+    call: unsafe fn(*const (), usize),
+    /// Number of chunk indices to execute.
+    n_tasks: usize,
+    /// Next unclaimed chunk index (grows past `n_tasks` when drained).
+    next: AtomicUsize,
+    /// Chunks fully executed; the submitter waits for `done == n_tasks`.
+    done: Mutex<usize>,
+    all_done: Condvar,
+    /// First panic payload raised by a task, re-raised by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `task` is an erased `&F where F: Fn(usize) + Sync`, so sharing it
+// across threads is sound (`&F: Send` given `F: Sync`); it is dereferenced
+// only under the Invariant above, which guarantees the referent is alive.
+// All other fields are ordinary `Send + Sync` synchronization primitives.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run chunks until none are left. Called by workers holding
+    /// a ticket and by the submitting thread itself.
+    fn run(&self) {
+        loop {
+            let k = self.next.fetch_add(1, Ordering::Relaxed);
+            if k >= self.n_tasks {
+                return;
+            }
+            // SAFETY: `k < n_tasks`, so per the module Invariant the
+            // submitter is still blocked and `task` is alive. The `done`
+            // increment below is what eventually releases it.
+            #[allow(unsafe_code)]
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.task, k) }));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(payload);
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.n_tasks {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
+/// Queue shared between the submitting threads and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_available: Condvar,
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.work_available.wait(q).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+/// The process-global thread pool.
+pub(crate) struct Pool {
+    threads: usize,
+    /// `None` when `threads == 1`: everything runs inline on the caller and
+    /// no worker thread is ever spawned.
+    shared: Option<Arc<Shared>>,
+}
+
+impl Pool {
+    fn new() -> Pool {
+        let threads = configured_threads();
+        let shared = if threads > 1 {
+            let shared = Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_available: Condvar::new(),
+            });
+            // `threads - 1` workers: the submitting thread is always the
+            // remaining executor, so at most `threads` chunks run at once.
+            for i in 0..threads - 1 {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker");
+            }
+            Some(shared)
+        } else {
+            None
+        };
+        Pool { threads, shared }
+    }
+
+    /// Number of threads executing parallel work (workers + submitter).
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `task(k)` for every `k in 0..n_tasks`, in parallel across the
+    /// pool. Returns when all calls have finished; re-raises the first
+    /// panic any of them raised.
+    pub(crate) fn broadcast<F>(&self, n_tasks: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let shared = match &self.shared {
+            Some(shared) if n_tasks > 1 => shared,
+            _ => {
+                for k in 0..n_tasks {
+                    task(k);
+                }
+                return;
+            }
+        };
+        /// Monomorphized re-typing shim for [`Job::call`].
+        ///
+        /// # Safety
+        /// `data` must be the erased `&F` of a live closure (module
+        /// Invariant).
+        #[allow(unsafe_code)]
+        unsafe fn call_shim<F: Fn(usize) + Sync>(data: *const (), k: usize) {
+            // SAFETY: guaranteed by the caller (see the module Invariant).
+            unsafe { (*data.cast::<F>())(k) }
+        }
+        let job = Arc::new(Job {
+            task: (&task as *const F).cast::<()>(),
+            call: call_shim::<F>,
+            n_tasks,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        {
+            let tickets = (self.threads - 1).min(n_tasks - 1);
+            let mut q = shared.queue.lock().unwrap();
+            for _ in 0..tickets {
+                q.push_back(Arc::clone(&job));
+            }
+            drop(q);
+            shared.work_available.notify_all();
+        }
+        // Participate, then wait for claimed chunks to finish.
+        job.run();
+        let mut done = job.done.lock().unwrap();
+        while *done < n_tasks {
+            done = job.all_done.wait(done).unwrap();
+        }
+        drop(done);
+        let payload = job.panic.lock().unwrap().take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Pool size: `RAYON_NUM_THREADS` when set to a positive integer (as in
+/// real rayon, `0` or garbage falls back to the default), otherwise
+/// [`std::thread::available_parallelism`].
+fn configured_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The lazily-initialized global pool. The thread count is fixed at first
+/// use; set `RAYON_NUM_THREADS` before the first parallel call.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(Pool::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn broadcast_runs_every_index_once() {
+        let pool = global();
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.broadcast(1000, |k| {
+            hits[k].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn broadcast_zero_and_one_tasks() {
+        let pool = global();
+        pool.broadcast(0, |_| panic!("must not run"));
+        let ran = AtomicU64::new(0);
+        pool.broadcast(1, |k| {
+            assert_eq!(k, 0);
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panics_propagate_to_submitter() {
+        let pool = global();
+        let caught = std::panic::catch_unwind(|| {
+            pool.broadcast(64, |k| {
+                if k == 13 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // The pool survives a panicked job.
+        let ok = AtomicU64::new(0);
+        pool.broadcast(8, |_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_broadcast_makes_progress() {
+        let pool = global();
+        let total = AtomicU64::new(0);
+        pool.broadcast(8, |_| {
+            pool.broadcast(8, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    /// Spawn-heavy stress test for the lifetime-erasure invariant: many
+    /// threads submit many short stack-borrowing jobs concurrently, so any
+    /// use-after-return of a job's task closure would scribble on dead
+    /// frames and fail loudly (especially under sanitizers / miri).
+    #[test]
+    fn stress_many_submitters_short_jobs() {
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let local: Vec<u64> = (0..64).map(|i| i + t + round).collect();
+                        let sum = AtomicU64::new(0);
+                        global().broadcast(local.len(), |k| {
+                            sum.fetch_add(local[k], Ordering::Relaxed);
+                        });
+                        let expect: u64 = local.iter().sum();
+                        assert_eq!(sum.load(Ordering::Relaxed), expect);
+                    }
+                });
+            }
+        });
+    }
+}
