@@ -5,7 +5,7 @@
 //! simulator, i.e. the `Pram::step` host path) and all four `logdiam-par`
 //! practical algorithms, at 1 thread and at all available cores, and
 //! writes per-(workload, algorithm, threads) wall-clock medians to
-//! `BENCH_PR2.json`. Every future perf PR is judged against this file.
+//! `BENCH_PR3.json`. Every future perf PR is judged against this file.
 //!
 //! Because the rayon pool size is fixed at first use, the parent process
 //! re-executes itself once per thread count (`RAYON_NUM_THREADS=k
@@ -17,8 +17,12 @@
 //! bench_report [--smoke] [--out PATH]
 //! ```
 //!
-//! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive);
-//! `--out` overrides the output path (default `BENCH_PR2.json`).
+//! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive)
+//! and additionally runs the **wall-clock guard**: a diameter-heavy
+//! `theorem3_sim` on path/2^14 must finish under a generous cap, so the
+//! O(n+m)-per-round pathology the PR3 live-work scheduler removed can
+//! never silently return. `--out` overrides the output path (default
+//! `BENCH_PR3.json`).
 
 use cc_graph::seq::{components, same_partition};
 use cc_graph::{gen, Graph};
@@ -32,12 +36,26 @@ use std::process::Command;
 
 const SEED: u64 = 0xBEEF_CAFE;
 
-/// Largest n the full Theorem-3 *simulation* runs at: the simulator pays
-/// ~1000× the direct algorithms' cost per edge, so the 1e6 workloads would
-/// take hours per rep. Skips are logged, never silent, and the raw
-/// `Pram::step`/commit host path is still measured at every n by the
-/// `pram_step` microworkload.
-const SIM_MAX_N: usize = 100_000;
+/// Largest n the full Theorem-3 *simulation* runs at. Since the live-work
+/// scheduler made per-round cost track the live subproblem, the 1e6
+/// workloads finish in minutes instead of hours, so the whole default
+/// matrix is simulated. Anything larger is skipped with a log line, never
+/// silently.
+const SIM_MAX_N: usize = 1_000_000;
+
+/// Largest n at which `theorem3_sim` is cheap enough to repeat for an
+/// honest median; above this a single rep is taken and the JSON field is
+/// labeled `ms` (not `median_ms`).
+const SIM_MEDIAN_MAX_N: usize = 100_000;
+
+/// Wall-clock guard workload (`--smoke` only): a path graph this long is
+/// diameter-heavy enough that O(n+m)-per-round behaviour costs minutes,
+/// while the live-work scheduler finishes in seconds.
+const GUARD_N: usize = 1 << 14;
+
+/// Generous cap for the guard run (per rep, milliseconds). The pre-PR3
+/// code needed ~2 minutes for this workload; the scheduler needs ~1 s.
+const GUARD_CAP_MS: f64 = 60_000.0;
 
 /// Steps of the `pram_step` microworkload: each step runs n processors
 /// that read one cell and write another (with a deterministic per-step
@@ -65,7 +83,7 @@ fn usage() -> ! {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR3.json".to_string();
     let mut child = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -129,7 +147,10 @@ fn build_graph(family: &str, n: usize) -> Graph {
     }
 }
 
-/// One measurement row, serialized as a JSON object.
+/// One measurement row, serialized as a JSON object. A median is only a
+/// median with ≥ 3 reps; single-rep rows are labeled `ms` instead of
+/// `median_ms` so the JSON never overstates its statistics (CI's smoke
+/// validation asserts every `theorem3_sim` row carries a real median).
 struct Row {
     workload: String,
     n: usize,
@@ -137,14 +158,15 @@ struct Row {
     algorithm: &'static str,
     threads: u64,
     reps: usize,
-    median_ms: f64,
+    ms: f64,
 }
 
 impl Row {
     fn to_json(&self) -> String {
+        let field = if self.reps >= 3 { "median_ms" } else { "ms" };
         format!(
-            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"median_ms\":{:.3}}}",
-            self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, self.median_ms
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}}}",
+            self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms
         )
     }
 }
@@ -168,64 +190,95 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 /// and print one JSON object per line.
 fn run_child(smoke: bool) {
     let threads = rayon::current_num_threads() as u64;
-    let reps = if smoke { 1 } else { 3 };
+    let reps = 3;
     let stdout = std::io::stdout();
+    let emit = |row: Row| writeln!(stdout.lock(), "{}", row.to_json()).unwrap();
     for (name, family, size) in workload_names(smoke) {
         let g = build_graph(family, size);
         let truth = components(&g);
-        let emit = |algorithm: &'static str, reps: usize, median_ms: f64| {
-            let row = Row {
-                workload: name.clone(),
-                n: g.n(),
-                m: g.m(),
-                algorithm,
-                threads,
-                reps,
-                median_ms,
-            };
-            writeln!(stdout.lock(), "{}", row.to_json()).unwrap();
-        };
         let check = |labels: &[u32]| {
             assert!(
                 same_partition(labels, &truth),
                 "bench_report: {name} produced wrong labels"
             )
         };
+        let row = |algorithm: &'static str, reps: usize, ms: f64| {
+            eprintln!("bench_report: [{name}] {algorithm}: done");
+            Row {
+                workload: name.clone(),
+                n: g.n(),
+                m: g.m(),
+                algorithm,
+                threads,
+                reps,
+                ms,
+            }
+        };
         if g.n() <= SIM_MAX_N {
-            // One rep: a simulated run is deterministic in its seed and
-            // minutes long, so medians over reps buy nothing here.
-            emit(
-                "theorem3_sim",
-                1,
-                time_ms(1, || {
-                    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
-                    let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
-                    check(&report.run.labels);
-                }),
-            );
+            // A simulated rep is deterministic in its seed but minutes long
+            // at 1e6; repeat only where the live-work scheduler makes reps
+            // cheap, and label the single-rep case honestly (see Row).
+            let sim_reps = if g.n() <= SIM_MEDIAN_MAX_N { reps } else { 1 };
+            let ms = time_ms(sim_reps, || {
+                let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+                let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
+                check(&report.run.labels);
+            });
+            emit(row("theorem3_sim", sim_reps, ms));
         } else {
             eprintln!(
                 "bench_report: skipping theorem3_sim on {name} (n > {SIM_MAX_N}; \
                  simulator cost would be hours — pram_step covers the step path)"
             );
         }
-        emit(
+        emit(row(
             "pram_step",
             reps,
             time_ms(reps, || pram_step_workload(g.n())),
-        );
-        emit(
+        ));
+        emit(row(
             "labelprop",
             reps,
             time_ms(reps, || check(&labelprop_cc(&g))),
-        );
-        emit(
+        ));
+        emit(row(
             "unionfind",
             reps,
             time_ms(reps, || check(&unionfind_cc(&g))),
+        ));
+        emit(row("sv", reps, time_ms(reps, || check(&sv_cc(&g)))));
+        emit(row(
+            "contract",
+            reps,
+            time_ms(reps, || check(&contract_cc(&g))),
+        ));
+    }
+    if smoke {
+        // Wall-clock guard: diameter-heavy simulation under a hard cap.
+        let g = gen::path(GUARD_N);
+        let truth = components(&g);
+        let ms = time_ms(reps, || {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+            let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
+            assert!(
+                same_partition(&report.run.labels, &truth),
+                "bench_report: guard workload produced wrong labels"
+            );
+        });
+        assert!(
+            ms < GUARD_CAP_MS,
+            "wall-clock guard tripped: theorem3_sim on path/{GUARD_N} took {ms:.0} ms \
+             (cap {GUARD_CAP_MS:.0} ms) — per-round cost is no longer tracking live work"
         );
-        emit("sv", reps, time_ms(reps, || check(&sv_cc(&g))));
-        emit("contract", reps, time_ms(reps, || check(&contract_cc(&g))));
+        emit(Row {
+            workload: format!("path/{GUARD_N}"),
+            n: g.n(),
+            m: g.m(),
+            algorithm: "theorem3_sim",
+            threads,
+            reps,
+            ms,
+        });
     }
 }
 
@@ -248,9 +301,11 @@ fn run_parent(smoke: bool, out_path: &str) {
         if smoke {
             cmd.arg("--smoke");
         }
+        // Child stderr (per-workload progress + skip logs) streams through
+        // live; only stdout (the JSON rows) is captured.
+        cmd.stderr(std::process::Stdio::inherit());
         let out = cmd.output().expect("failed to spawn child bench process");
         if !out.status.success() {
-            eprintln!("{}", String::from_utf8_lossy(&out.stderr));
             panic!("bench_report child at {t} threads failed: {}", out.status);
         }
         rows.extend(

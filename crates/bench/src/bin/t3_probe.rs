@@ -1,0 +1,33 @@
+//! Ad-hoc probe: per-round live/table/work telemetry of a Theorem-3 run
+//! on a path graph (straggler-tail diagnosis).
+
+use cc_graph::gen;
+use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use pram_sim::{Pram, WritePolicy};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let g = gen::path(n);
+    let t0 = std::time::Instant::now();
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(0xBEEF_CAFE));
+    let r = faster_cc(&mut pram, &g, 0xBEEF_CAFE, &FasterParams::default());
+    let main_done = t0.elapsed();
+    for m in &r.run.per_round {
+        if m.round % 5 == 0 || m.round <= 3 || m.round + 3 >= r.run.rounds {
+            eprintln!(
+                "round {:3}: work {:10} live_arcs {:7} ongoing {:7} maxlvl {} table_words {:9} dormant {:6}",
+                m.round, m.work, m.live_arcs, m.ongoing, m.max_level, m.table_words, m.dormant
+            );
+        }
+    }
+    eprintln!(
+        "rounds {} stop {:?} prepare {}",
+        r.run.rounds, r.run.stop, r.run.prepare_rounds
+    );
+    eprintln!("post phases {} post stop {:?}", r.post.rounds, r.post.stop);
+    eprintln!("table peak words {}", r.table_peak_words);
+    eprintln!("total {:?} (main+post)", main_done);
+}

@@ -32,6 +32,13 @@ pub struct RoundMetrics {
     /// Expansion inner rounds executed this phase (Theorem 1/2; the
     /// `O(log d)` loop of §B.3 Step 5).
     pub expand_rounds: u64,
+    /// Charged work (Σ active processors × charge) executed during this
+    /// round — the live-work regression guard reads this to verify that
+    /// per-round cost tracks the live subproblem, not O(n + m).
+    pub work: u64,
+    /// Live (non-loop, post-dedup) arcs at the end of the round (Theorem 3
+    /// live-work scheduling) — 0 where not applicable.
+    pub live_arcs: usize,
 }
 
 /// Full report of one algorithm run.

@@ -9,12 +9,24 @@
 //! scan over `L_max + 1 = O(log log n)` cells is charged 1 and shows up in
 //! the `max_ops_per_proc` audit).
 //!
-//! Tie handling: a vertex's own parent is always a candidate (`v ∈ N(v)`),
-//! and the update fires only when the best candidate's level *strictly*
-//! exceeds the current parent's — preferring the incumbent among
-//! equal-level candidates is a legal ARBITRARY choice and keeps the break
-//! condition's "no parent changed" test from flapping between tied
-//! parents.
+//! Live-work scheduling: the invocation operates on the caller's compacted
+//! live index — candidate clearing, arc/table candidate writes, and the
+//! selection scan all iterate the live arcs / live table cells / live
+//! vertices only, so an invocation costs O(live), not O(n + m). Vertices
+//! outside the live set can keep stale candidate cells from earlier
+//! rounds: they are never read, because selection visits live vertices
+//! only and every vertex *in* the live set has its cells cleared first
+//! (the live set shrinks monotonically between invocations — arcs only
+//! ever become loops, and table edges only die or move to parents that
+//! the live index already contains).
+//!
+//! Tie handling: the update fires only when the best candidate's level
+//! *strictly* exceeds the current parent's — preferring the incumbent
+//! among equal-level candidates is a legal ARBITRARY choice and keeps the
+//! break condition's "no parent changed" test from flapping between tied
+//! parents. (An explicit self-candidate write would land exactly at the
+//! incumbent's level and can never be read by the strict scan, so none is
+//! issued or charged.)
 //!
 //! Invariant preserved (Lemma 3.2/D.4): a new parent always has level
 //! strictly above the old parent's (hence above the vertex's), so parent
@@ -32,7 +44,12 @@ pub(crate) struct MaxlinkCtx<'a> {
     pub level: Handle,
     /// Max level (array stride is `max_level + 1`).
     pub lmax: usize,
-    /// Persistent-table edge index: one entry per table cell, `(x, cell)`.
+    /// Compacted live-arc index (non-loop arcs).
+    pub live_arcs: &'a [u32],
+    /// Endpoints of live arcs and live table edges — the only vertices
+    /// that can receive a candidate this invocation.
+    pub live_verts: &'a [u32],
+    /// Live persistent-table edge index: one entry per live cell, `(x, cell)`.
     pub table_cells: &'a [(u32, u32)],
     /// Per-vertex persistent table offsets (NULL = none).
     pub eoff: Handle,
@@ -42,25 +59,22 @@ pub(crate) struct MaxlinkCtx<'a> {
 
 /// One MAXLINK iteration; raises `changed` if any parent moved.
 pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, changed: &Flag) {
-    let n = st.n;
     let stride = mx.lmax + 1;
     let (cand, level, eoff, heap) = (mx.cand, mx.level, mx.eoff, mx.heap);
     let parent = st.parent;
     let (eu, ev) = (st.eu, st.ev);
 
-    // Clear candidates.
-    pram.fill_step(cand, NULL);
-
-    // Self-candidate: v's own parent (v ∈ N(v)).
-    pram.step(n, move |v, ctx| {
-        let p = ctx.read(parent, v as usize);
-        let lp = ctx.read(level, p as usize) as usize;
-        ctx.write(cand, v as usize * stride + lp, p);
+    // Clear the candidate cells of live vertices (one processor per cell).
+    let lv = mx.live_verts;
+    pram.step(lv.len() * stride, move |i, ctx| {
+        let i = i as usize;
+        let v = lv[i / stride] as usize;
+        ctx.write(cand, v * stride + i % stride, NULL);
     });
 
-    // Arc candidates: for arc (a, b), b's parent is a candidate for a.
-    pram.step(st.arcs, move |i, ctx| {
-        let i = i as usize;
+    // Arc candidates: for live arc (a, b), b's parent is a candidate for a.
+    pram.step_over(mx.live_arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let a = ctx.read(eu, i);
         let b = ctx.read(ev, i);
         if a == b {
@@ -71,10 +85,8 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
         ctx.write(cand, a as usize * stride + lpb, pb);
     });
 
-    // Table-edge candidates, both directions per cell.
-    let table_cells = mx.table_cells;
-    pram.step(table_cells.len(), move |i, ctx| {
-        let (x, c) = table_cells[i as usize];
+    // Table-edge candidates, both directions per live cell.
+    pram.step_over(mx.table_cells, move |_, &(x, c), ctx| {
         let off = ctx.read(eoff, x as usize);
         if off == NULL {
             return;
@@ -94,7 +106,7 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
     // Selection: highest occupied level wins; update on strict improvement
     // over the current parent's level. Charged one step (see module docs);
     // the scan is L_max+1 local reads, visible in the audit counter.
-    pram.step(n, |v, ctx| {
+    pram.step_over(lv, |_, &v, ctx| {
         let p = ctx.read(parent, v as usize);
         let lp = ctx.read(level, p as usize) as usize;
         for l in (lp + 1..stride).rev() {
@@ -139,10 +151,14 @@ mod tests {
         let eoff = pram.alloc_filled(st.n, NULL);
         let changed = Flag::new(pram);
         let heap = pram.alloc_filled(1, NULL);
+        let live_arcs: Vec<u32> = (0..st.arcs as u32).collect();
+        let live_verts: Vec<u32> = (0..st.n as u32).collect();
         let mx = MaxlinkCtx {
             cand,
             level,
             lmax: 8,
+            live_arcs: &live_arcs,
+            live_verts: &live_verts,
             table_cells: &[],
             eoff,
             heap,
@@ -184,6 +200,43 @@ mod tests {
         run_iter(&mut pram, &st, level, cand);
         let p = pram.read_vec(st.parent);
         assert_eq!(p, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn restricting_to_live_arcs_matches_full_iteration() {
+        // Arcs past the live prefix are loops after an ALTER; feeding only
+        // the live prefix must give the same hooks as feeding everything
+        // (loops contribute no candidates either way).
+        let (mut pram, st, level, cand) = setup(&[1, 1, 4, 1]);
+        // Make arcs of vertex 3 loops by hand.
+        let eu = pram.read_vec(st.eu);
+        let ev = pram.read_vec(st.ev);
+        let mut live: Vec<u32> = Vec::new();
+        for i in 0..st.arcs {
+            if eu[i] != ev[i] && eu[i] != 3 && ev[i] != 3 {
+                live.push(i as u32);
+            } else {
+                pram.set(st.eu, i, 0);
+                pram.set(st.ev, i, 0);
+            }
+        }
+        let eoff = pram.alloc_filled(st.n, NULL);
+        let changed = Flag::new(&mut pram);
+        let heap = pram.alloc_filled(1, NULL);
+        let live_verts: Vec<u32> = vec![0, 1, 2];
+        let mx = MaxlinkCtx {
+            cand,
+            level,
+            lmax: 8,
+            live_arcs: &live,
+            live_verts: &live_verts,
+            table_cells: &[],
+            eoff,
+            heap,
+        };
+        maxlink_iter(&mut pram, &st, &mx, &changed);
+        let p = pram.read_vec(st.parent);
+        assert_eq!(p, vec![0, 2, 2, 3]);
     }
 
     #[test]

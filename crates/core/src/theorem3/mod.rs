@@ -38,7 +38,7 @@ use cc_graph::Graph;
 use pram_kit::compaction::{compact, CompactionMode};
 use pram_kit::ops::{alter, shortcut_until_flat};
 use pram_sim::{Pram, NULL};
-use round::{expand_maxlink_round, FasterState};
+use round::{expand_maxlink_round, FasterState, LiveIndex, RoundScratch};
 use tables::TableHeap;
 
 /// Tunable parameters (paper values in brackets; see crate docs on
@@ -72,6 +72,13 @@ pub struct FasterParams {
     pub compact_delta0: f64,
     /// Round cap (0 = auto); hitting it is recorded, never hidden.
     pub round_cap: u64,
+    /// Live-work scheduling: every `dedup_every` rounds the compacted
+    /// live-arc index is also deduplicated by endpoint pair (ALTER maps
+    /// many arcs onto the same root pair as components merge), so
+    /// simulated steps pay for *distinct* live arcs. 0 disables dedup;
+    /// loop filtering always runs. Purely a work/wall-clock knob — labels
+    /// are unaffected (duplicate arcs write identical candidates).
+    pub dedup_every: u64,
     /// Parameters of the Theorem-1 postprocess.
     pub postprocess: Theorem1Params,
 }
@@ -89,6 +96,7 @@ impl Default for FasterParams {
             maxlink_iters: 2,
             compact_delta0: 4.0,
             round_cap: 0,
+            dedup_every: 4,
             postprocess: Theorem1Params::default(),
         }
     }
@@ -234,14 +242,19 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
         t5off: pram.alloc_filled(n, NULL),
         dormant: pram.alloc_filled(n, 0),
         raised2: pram.alloc_filled(n, 0),
-        ongoing: pram.alloc_filled(n, 0),
         cand: pram.alloc_filled(n * (lmax + 1), NULL),
         heap,
         lmax,
         budgets,
         host_tbl: vec![None; n],
-        table_cells: Vec::new(),
+        live: LiveIndex::new(n),
+        scratch: RoundScratch::new(n),
     };
+    // Seed the live-work index: the one O(m) pass; every per-round refresh
+    // scans only the surviving lists.
+    fs.live
+        .init_from_arcs(pram, &fs.st, params.dedup_every > 0, seed ^ 0x11FE_11FE);
+    fs.live.max_level_seen = if fs.live.verts.is_empty() { 0 } else { 1 };
 
     // ------------------------------------------------- EXPAND-MAXLINK loop
     let round_cap = if params.round_cap > 0 {
@@ -253,14 +266,17 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
     let mut rounds = 0;
     while rounds < round_cap {
         rounds += 1;
+        let work_before = pram.stats().work;
         let outcome = expand_maxlink_round(pram, &mut fs, params, seed, rounds);
         per_round.push(RoundMetrics {
             round: rounds,
             roots: fs.st.host_count_roots(pram),
-            ongoing: fs.st.host_count_ongoing(pram),
+            ongoing: outcome.ongoing,
             max_level: outcome.max_level,
             dormant: outcome.dormant,
             table_words: outcome.table_live,
+            work: pram.stats().work - work_before,
+            live_arcs: outcome.live_arcs,
             ..Default::default()
         });
         #[cfg(any(test, feature = "strict"))]

@@ -1,33 +1,56 @@
-//! One round of EXPAND-MAXLINK (§3.1/§D.1, Steps (1)–(8)).
+//! One round of EXPAND-MAXLINK (§3.1/§D.1, Steps (1)–(8)), scheduled over
+//! the *live* subproblem.
 //!
 //! Per-round dataflow (table lifetimes):
 //!
 //! ```text
 //!   persistent tables (added edges of prev round, per vertex)
-//!     │ Step 1: MAXLINK over arcs+tables; ALTER arcs+tables
+//!     │ Step 1: MAXLINK over live arcs+tables; ALTER live arcs+tables
+//!     │ compact: refresh the live index (arcs/cells/verts/roots)
 //!     │ Step 2: random level raises on ongoing roots
 //!     │ alloc:  every ongoing root gets work tables H3,H5 of √b cells
 //!     │ Step 3: H3(v) ← same-budget neighbour roots (arcs + table edges)
 //!     │ Step 4: collision ⇒ dormant; dormant table-members ⇒ dormant
 //!     │ Step 5: H5(v) ← ∪ H3(w), w ∈ H3(v)  (squaring; collision ⇒ dormant)
 //!     │ swap:   persistent ← H5 (old persistent and H3 freed)
-//!     │ Step 6: MAXLINK; SHORTCUT; ALTER (arcs + new tables)
+//!     │ Step 6: MAXLINK; SHORTCUT; ALTER (live arcs + new tables)
 //!     │ Step 7: dormant roots that didn't raise in Step 2 raise now
 //!     │ Step 8: roots get budget b_{ℓ(v)} (compaction-charged)
+//!     │ compact: refresh the live index for the next round
 //!     ▼
 //!   persistent tables (added edges for next round)
 //! ```
 //!
+//! **Live-work scheduling.** The paper's rounds cost O(live) work because
+//! COMPACT / approximate compaction (Lemma D.2) re-indexes the surviving
+//! subproblem every round; a naive simulation that hands one processor to
+//! every original vertex and arc instead pays O(n + m) per round even when
+//! almost everything is finished. The [`LiveIndex`] is the controller-side
+//! equivalent of that compaction: a compacted list of non-loop arcs
+//! (periodically deduplicated by hashing), of live persistent-table cells,
+//! of their endpoint vertices, and of the ongoing roots. Every simulated
+//! step in this file iterates one of those lists, so both the charged work
+//! and the host wall-clock of a round scale with the live subproblem.
+//! Rebuilding the index is host bookkeeping that scans only the previous
+//! live lists — O(live), never O(n + m) — and is deterministic, which
+//! keeps runs reproducible and thread-count invariant.
+//!
+//! Finished vertices keep stale parents until the driver's final
+//! `shortcut_until_flat`; the per-round SHORTCUT jumps live vertices only,
+//! so the break condition fires as soon as the *live* root graph has
+//! settled (the always-correct Theorem-1 postprocess handles the rest).
+//!
 //! The break condition (§3.3) is evaluated from two flags filled here:
-//! `changed` (any parent or level moved — Steps 1/2/6/7) and `ii_violated`
-//! (Step 5 found a pair at distance 2 not already in the table).
+//! `changed` (any live parent or level moved — Steps 1/2/6/7) and
+//! `ii_violated` (Step 5 found a pair at distance 2 not already in the
+//! table).
 
 use crate::state::CcState;
 use crate::theorem3::maxlink::{maxlink, MaxlinkCtx};
 use crate::theorem3::tables::TableHeap;
 use crate::theorem3::FasterParams;
-use pram_kit::ops::{alter, shortcut_flagged, Flag};
-use pram_kit::PairwiseHash;
+use pram_kit::ops::{alter_over, shortcut_flagged_over, Flag};
+use pram_kit::{PairSet, PairwiseHash};
 use pram_sim::{Handle, Pram, NULL};
 
 /// Square root of a power-of-four budget.
@@ -35,6 +58,198 @@ use pram_sim::{Handle, Pram, NULL};
 pub(crate) fn sqb_of(b: u64) -> u64 {
     debug_assert!(b.is_power_of_two() && b.trailing_zeros().is_multiple_of(2));
     1 << (b.trailing_zeros() / 2)
+}
+
+/// "No slot" marker for [`RoundScratch::builder_slot`].
+const NO_SLOT: u32 = u32::MAX;
+
+/// The compacted live-work index — the controller-side stand-in for the
+/// paper's per-round approximate compaction (Lemma D.2). All lists are
+/// rebuilt by [`LiveIndex::compact`] from the previous live lists, in
+/// deterministic (first-seen) order.
+pub(crate) struct LiveIndex {
+    /// Indices of arcs that were non-loops (and, when dedup ran, the first
+    /// of each duplicate group) at the last compaction.
+    pub arcs: Vec<u32>,
+    /// Live persistent-table cells `(owner, cell)`: value `w` non-NULL,
+    /// non-self, and `parent[x] != parent[w]` at the last compaction.
+    ///
+    /// The parent test is what kills "zombie" cells of finished subtrees:
+    /// once both endpoints share a parent the cell can only ever write a
+    /// MAXLINK candidate at exactly the incumbent parent's level (never
+    /// read by the strict selection scan), contributes nothing to Steps
+    /// 3/4 (one endpoint is a non-root), and materializes as a self-loop —
+    /// and since parents never leave their component, the condition is
+    /// permanent. Dropping such cells is therefore exactly
+    /// behaviour-preserving, and it is what lets the live vertex set (and
+    /// with it the MAXLINK clear/selection cost) actually shrink to the
+    /// ongoing frontier.
+    pub table_cells: Vec<(u32, u32)>,
+    /// Endpoints of live arcs and live table edges, deduplicated.
+    pub verts: Vec<u32>,
+    /// How many of `verts` came from arcs (the Lemma-B.2 "ongoing vertex"
+    /// count reported by per-round metrics).
+    pub arc_verts: usize,
+    /// `verts` that are their own parent — the ongoing roots driving
+    /// Steps 2/8 and the builder scan.
+    pub roots: Vec<u32>,
+    /// Running maximum level (levels never decrease, and only ongoing
+    /// roots raise, so scanning `roots` per round keeps this exact).
+    pub max_level_seen: u64,
+    /// Membership scratch for `verts` dedup; cleared after each rebuild.
+    seen: Vec<bool>,
+}
+
+impl LiveIndex {
+    pub(crate) fn new(n: usize) -> Self {
+        LiveIndex {
+            arcs: Vec::new(),
+            table_cells: Vec::new(),
+            verts: Vec::new(),
+            arc_verts: 0,
+            roots: Vec::new(),
+            max_level_seen: 0,
+            seen: vec![false; n],
+        }
+    }
+
+    /// Seed the index from the full arc array (driver start-up; the only
+    /// O(m) pass — every later rebuild scans live lists only). `dedup`
+    /// follows the caller's `dedup_every` setting so "0 disables dedup"
+    /// holds from the first round on.
+    pub(crate) fn init_from_arcs(
+        &mut self,
+        pram: &Pram,
+        st: &CcState,
+        dedup: bool,
+        dedup_seed: u64,
+    ) {
+        self.arcs = (0..st.arcs as u32).collect();
+        self.rebuild(pram, st, None, dedup, dedup_seed);
+    }
+
+    /// Refresh every list from machine state: drop arcs that became loops
+    /// (optionally deduplicating surviving arcs by endpoint pair), drop
+    /// table cells that became NULL/self, recollect endpoints and roots.
+    pub(crate) fn compact(
+        &mut self,
+        pram: &Pram,
+        st: &CcState,
+        eoff: Handle,
+        heap: Handle,
+        dedup: bool,
+        dedup_seed: u64,
+    ) {
+        self.rebuild(pram, st, Some((eoff, heap)), dedup, dedup_seed);
+    }
+
+    fn rebuild(
+        &mut self,
+        pram: &Pram,
+        st: &CcState,
+        tables: Option<(Handle, Handle)>,
+        dedup: bool,
+        dedup_seed: u64,
+    ) {
+        let eu = pram.slice(st.eu);
+        let ev = pram.slice(st.ev);
+        if dedup {
+            let mut set = PairSet::with_capacity(dedup_seed, self.arcs.len());
+            self.arcs.retain(|&i| {
+                let (a, b) = (eu[i as usize], ev[i as usize]);
+                a != b && set.insert(a, b)
+            });
+        } else {
+            self.arcs.retain(|&i| eu[i as usize] != ev[i as usize]);
+        }
+
+        // Clear the previous round's membership marks first (O(prev live)).
+        for &v in &self.verts {
+            self.seen[v as usize] = false;
+        }
+        self.verts.clear();
+        for &i in &self.arcs {
+            for v in [eu[i as usize], ev[i as usize]] {
+                if !self.seen[v as usize] {
+                    self.seen[v as usize] = true;
+                    self.verts.push(v as u32);
+                }
+            }
+        }
+        self.arc_verts = self.verts.len();
+
+        if let Some((eoff, heap)) = tables {
+            let eo = pram.slice(eoff);
+            let hw = pram.slice(heap);
+            let par = pram.slice(st.parent);
+            self.table_cells.retain(|&(x, c)| {
+                let off = eo[x as usize];
+                if off == NULL {
+                    return false;
+                }
+                let w = hw[off as usize + c as usize];
+                w != NULL && w != x as u64 && par[x as usize] != par[w as usize]
+            });
+            for &(x, c) in &self.table_cells {
+                let w = hw[eo[x as usize] as usize + c as usize];
+                for v in [x as u64, w] {
+                    if !self.seen[v as usize] {
+                        self.seen[v as usize] = true;
+                        self.verts.push(v as u32);
+                    }
+                }
+            }
+        } else {
+            self.table_cells.clear();
+        }
+
+        let parent = pram.slice(st.parent);
+        self.roots.clear();
+        self.roots.extend(
+            self.verts
+                .iter()
+                .copied()
+                .filter(|&v| parent[v as usize] == v as u64),
+        );
+    }
+}
+
+/// One work-table owner this round: `(vertex, √b, H3 offset, H5 offset)`.
+#[derive(Clone, Copy)]
+pub(crate) struct Builder {
+    pub v: u32,
+    pub sqb: u32,
+    pub o3: u64,
+    pub o5: u64,
+}
+
+/// Per-round scratch buffers, reused across rounds with capacity
+/// carry-over so the steady state allocates nothing.
+pub(crate) struct RoundScratch {
+    /// Ongoing roots with budget ≥ 4 that own work tables this round.
+    pub builders: Vec<Builder>,
+    /// Occupied H3 cells `(owner, cell)`, grouped by builder.
+    pub h3_occ: Vec<(u32, u32)>,
+    /// Per-builder `[start, end)` range into `h3_occ`.
+    pub occ_range: Vec<(u32, u32)>,
+    /// Step-5 work items `(owner, p-cell, q-cell)` over occupied cells —
+    /// the compacted form of the paper's `√b × √b` processor grid.
+    pub s5_index: Vec<(u32, u32, u32)>,
+    /// vertex → index into `builders` (`NO_SLOT` = not a builder);
+    /// entries are reset at the end of every round.
+    pub builder_slot: Vec<u32>,
+}
+
+impl RoundScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        RoundScratch {
+            builders: Vec::new(),
+            h3_occ: Vec::new(),
+            occ_range: Vec::new(),
+            s5_index: Vec::new(),
+            builder_slot: vec![NO_SLOT; n],
+        }
+    }
 }
 
 /// All run-long machine state of the Theorem-3 driver.
@@ -50,12 +265,11 @@ pub(crate) struct FasterState {
     pub t3off: Handle,
     /// Second work table (Step 5 target).
     pub t5off: Handle,
-    /// Dormant flags (cleared per round).
+    /// Dormant flags (builder entries only; reset per round).
     pub dormant: Handle,
-    /// "Raised level in Step 2" flags (cleared per round).
+    /// "Raised level in Step 2" flags (ongoing-root entries only; reset
+    /// per round).
     pub raised2: Handle,
-    /// Ongoing flags (recomputed per round).
-    pub ongoing: Handle,
     /// MAXLINK candidate array (`n × (lmax+1)`).
     pub cand: Handle,
     /// The table heap.
@@ -66,23 +280,13 @@ pub(crate) struct FasterState {
     pub budgets: Vec<u64>,
     /// Host mirror of persistent tables: `(offset, √b)` per vertex.
     pub host_tbl: Vec<Option<(u64, u32)>>,
-    /// Flat index of persistent table cells, rebuilt after swaps.
-    pub table_cells: Vec<(u32, u32)>,
+    /// The compacted live-work index.
+    pub live: LiveIndex,
+    /// Reused per-round scratch.
+    pub scratch: RoundScratch,
 }
 
 impl FasterState {
-    /// Rebuild the flat (vertex, cell) index of persistent tables.
-    pub(crate) fn rebuild_table_cells(&mut self) {
-        self.table_cells.clear();
-        for (v, t) in self.host_tbl.iter().enumerate() {
-            if let Some((_, sqb)) = t {
-                for c in 0..*sqb {
-                    self.table_cells.push((v as u32, c));
-                }
-            }
-        }
-    }
-
     /// Release everything (except the `CcState`, which the driver owns).
     pub(crate) fn free(self, pram: &mut Pram) {
         pram.free(self.level);
@@ -92,7 +296,6 @@ impl FasterState {
         pram.free(self.t5off);
         pram.free(self.dormant);
         pram.free(self.raised2);
-        pram.free(self.ongoing);
         pram.free(self.cand);
         self.heap.free_all(pram);
     }
@@ -105,6 +308,10 @@ pub(crate) struct RoundOutcome {
     pub dormant: u64,
     pub max_level: u64,
     pub table_live: u64,
+    /// Ongoing vertices (arc endpoints) at the end of the round.
+    pub ongoing: usize,
+    /// Live arcs at the end of the round.
+    pub live_arcs: usize,
 }
 
 /// Execute one EXPAND-MAXLINK round.
@@ -115,120 +322,119 @@ pub(crate) fn expand_maxlink_round(
     seed: u64,
     round: u64,
 ) -> RoundOutcome {
-    let n = fs.st.n;
     let round_seed = seed ^ round.wrapping_mul(0xA076_1D64_78BD_642F);
     let hv = PairwiseHash::new(round_seed ^ 0x7AB1_E000, 1 << 30);
+    let dedup = params.dedup_every > 0 && round.is_multiple_of(params.dedup_every);
     let changed = Flag::new(pram);
     let ii_flag = Flag::new(pram);
 
     let (parent, eu, ev) = (fs.st.parent, fs.st.eu, fs.st.ev);
     let (level, budget) = (fs.level, fs.budget);
     let (eoff, t3off, t5off) = (fs.eoff, fs.t3off, fs.t5off);
-    let (dormant, raised2, ongoing) = (fs.dormant, fs.raised2, fs.ongoing);
+    let (dormant, raised2) = (fs.dormant, fs.raised2);
     let heap = fs.heap.handle();
 
-    // ---- Step 0 (bookkeeping): ongoing flags over arcs + table edges.
-    pram.fill_step(ongoing, 0);
-    pram.step(fs.st.arcs, |i, ctx| {
-        let i = i as usize;
-        let a = ctx.read(eu, i);
-        let b = ctx.read(ev, i);
-        if a != b {
-            ctx.write(ongoing, a as usize, 1);
-            ctx.write(ongoing, b as usize, 1);
-        }
-    });
-    {
-        let cells = &fs.table_cells;
-        pram.step(cells.len(), |i, ctx| {
-            let (x, c) = cells[i as usize];
-            let off = ctx.read(eoff, x as usize);
-            if off == NULL {
-                return;
-            }
-            let w = ctx.read(heap, off as usize + c as usize);
-            if w != NULL && w != x as u64 {
-                ctx.write(ongoing, x as usize, 1);
-                ctx.write(ongoing, w as usize, 1);
-            }
-        });
-    }
-
-    // ---- Step 1: MAXLINK; ALTER (arcs and tables).
+    // ---- Step 1: MAXLINK; ALTER (live arcs and live tables).
     {
         let mx = MaxlinkCtx {
             cand: fs.cand,
             level,
             lmax: fs.lmax,
-            table_cells: &fs.table_cells,
+            live_arcs: &fs.live.arcs,
+            live_verts: &fs.live.verts,
+            table_cells: &fs.live.table_cells,
             eoff,
             heap,
         };
         maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
     }
-    alter(pram, eu, ev, parent);
-    alter_tables(pram, &fs.table_cells, eoff, heap, parent);
+    alter_over(pram, eu, ev, parent, &fs.live.arcs);
+    alter_tables(pram, &fs.live.table_cells, eoff, heap, parent);
+
+    // ---- Compact: the mid-round live-index refresh every later step
+    // schedules over (the Lemma-D.2 role; see module docs).
+    fs.live
+        .compact(pram, &fs.st, eoff, heap, dedup, round_seed ^ 0xDED0_B001);
 
     // ---- Step 2: random level raises on ongoing roots.
-    pram.fill_step(raised2, 0);
-    pram.fill_step(dormant, 0);
     if params.enable_sampling {
         let (coeff, exp, cap) = (params.sample_coeff, params.sample_exp, params.sample_cap);
         let lmax = fs.lmax as u64;
-        pram.step(n, move |v, ctx| {
-            if ctx.read(ongoing, v as usize) != 1 || ctx.read(parent, v as usize) != v {
+        pram.step_over(&fs.live.roots, move |_, &v, ctx| {
+            let v = v as usize;
+            if ctx.read(parent, v) != v as u64 {
                 return;
             }
-            let l = ctx.read(level, v as usize);
+            let l = ctx.read(level, v);
             if l >= lmax {
                 return;
             }
-            let b = ctx.read(budget, v as usize).max(4) as f64;
+            let b = ctx.read(budget, v).max(4) as f64;
             let p_up = (coeff / b.powf(exp)).min(cap);
             if ctx.coin(0x5A_3B ^ seed, p_up) {
-                ctx.write(level, v as usize, l + 1);
-                ctx.write(raised2, v as usize, 1);
+                ctx.write(level, v, l + 1);
+                ctx.write(raised2, v, 1);
                 changed.raise(ctx);
             }
         });
     }
 
     // ---- Work-table allocation for every ongoing root (the processor
-    // blocks of Assumption 3.1 / Step 8; compaction-charged per Lemma D.2).
-    pram.host_fill(t3off, NULL);
-    pram.host_fill(t5off, NULL);
-    let mut builders: Vec<(u32, u32)> = Vec::new(); // (vertex, √b)
+    // blocks of Assumption 3.1 / Step 8). Charged at the builder count:
+    // the paper hands out these blocks through approximate compaction of
+    // the ongoing roots (Lemma D.2), so the round pays for live roots,
+    // not for all n vertices.
+    //
+    // Roots already at the top of the budget schedule are *frozen*: a
+    // MAXLINK hook needs a strictly higher-level parent, which cannot
+    // exist above `lmax`, so their squaring can never cause another link —
+    // it only re-derives the §3.3 closure certificate, at Θ(cluster³)
+    // work per round once a stuck top-level cluster has densified. The
+    // schedule's budget ceiling already forfeits that certificate on
+    // stubborn inputs (see `budget_schedule`: the run then falls through
+    // to the always-correct postprocess), so freezing changes no label,
+    // only when the break fires. Their persistent tables stay live for
+    // MAXLINK candidates, lower-level neighbours, and the postprocess.
+    fs.scratch.builders.clear();
     {
-        let parents = pram.read_vec(parent);
-        let ongo = pram.read_vec(ongoing);
-        let buds = pram.read_vec(budget);
-        for v in 0..n {
-            if ongo[v] == 1 && parents[v] == v as u64 && buds[v] >= 4 {
-                let sqb = sqb_of(buds[v]) as u32;
-                builders.push((v as u32, sqb));
+        let buds = pram.slice(budget);
+        let lvls = pram.slice(level);
+        let lmax = fs.lmax as u64;
+        for &v in &fs.live.roots {
+            let b = buds[v as usize];
+            if b >= 4 && lvls[v as usize] < lmax {
+                fs.scratch.builders.push(Builder {
+                    v,
+                    sqb: sqb_of(b) as u32,
+                    o3: 0,
+                    o5: 0,
+                });
             }
         }
     }
-    for &(v, sqb) in &builders {
-        let o3 = fs.heap.alloc(pram, sqb as usize);
-        let o5 = fs.heap.alloc(pram, sqb as usize);
+    for b in &mut fs.scratch.builders {
+        b.o3 = fs.heap.alloc(pram, b.sqb as usize);
+        b.o5 = fs.heap.alloc(pram, b.sqb as usize);
+    }
+    for &Builder { v, o3, o5, .. } in &fs.scratch.builders {
         pram.set(t3off, v as usize, o3);
         pram.set(t5off, v as usize, o5);
     }
-    pram.charge(n, 4);
+    pram.charge(fs.scratch.builders.len(), 4);
     let heap = fs.heap.handle(); // may have grown
 
     // ---- Step 3: H3(v) ← same-budget root neighbours.
-    pram.step(n, |v, ctx| {
-        let o3 = ctx.read(t3off, v as usize);
+    pram.step_over(&fs.scratch.builders, move |_, b, ctx| {
+        let v = b.v as u64;
+        let o3 = ctx.read(t3off, b.v as usize);
         if o3 == NULL {
             return;
         }
-        let sqb = sqb_of(ctx.read(budget, v as usize));
+        let sqb = sqb_of(ctx.read(budget, b.v as usize));
         ctx.write(heap, o3 as usize + hv.eval_range(v, sqb) as usize, v);
     });
-    pram.step(fs.st.arcs, |i, ctx| {
-        let i = i as usize;
+    pram.step_over(&fs.live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let a = ctx.read(eu, i);
         let b = ctx.read(ev, i);
         if a == b {
@@ -236,36 +442,79 @@ pub(crate) fn expand_maxlink_round(
         }
         step3_insert(ctx, a, b, parent, budget, t3off, heap, &hv);
     });
+    pram.step_over(&fs.live.table_cells, move |_, &(x, c), ctx| {
+        let off = ctx.read(eoff, x as usize);
+        if off == NULL {
+            return;
+        }
+        let w = ctx.read(heap, off as usize + c as usize);
+        if w == NULL || w == x as u64 {
+            return;
+        }
+        step3_insert(ctx, x as u64, w, parent, budget, t3off, heap, &hv);
+        step3_insert(ctx, w, x as u64, parent, budget, t3off, heap, &hv);
+    });
+
+    // ---- Host scan of the freshly-built H3 tables: occupied cells per
+    // builder, plus the Step-5 work items over occupied pairs. This is the
+    // controller's compacted view of the `√b × √b` processor grids the
+    // paper allocates per block — empty cells hold no simulated work, so
+    // they are neither executed nor charged. Roots whose H3 holds nothing
+    // but themselves are skipped entirely (they would square to {v}; this
+    // also keeps their persistent table empty rather than self-pointing).
     {
-        let cells = &fs.table_cells;
-        pram.step(cells.len(), |i, ctx| {
-            let (x, c) = cells[i as usize];
-            let off = ctx.read(eoff, x as usize);
-            if off == NULL {
-                return;
+        let hw = pram.slice(heap);
+        let sc = &mut fs.scratch;
+        sc.h3_occ.clear();
+        sc.occ_range.clear();
+        for (bi, b) in sc.builders.iter().enumerate() {
+            let start = sc.h3_occ.len() as u32;
+            for c in 0..b.sqb {
+                if hw[b.o3 as usize + c as usize] != NULL {
+                    sc.h3_occ.push((b.v, c));
+                }
             }
-            let w = ctx.read(heap, off as usize + c as usize);
-            if w == NULL || w == x as u64 {
-                return;
+            sc.occ_range.push((start, sc.h3_occ.len() as u32));
+            sc.builder_slot[b.v as usize] = bi as u32;
+        }
+        sc.s5_index.clear();
+        for (bi, b) in sc.builders.iter().enumerate() {
+            let (s, e) = sc.occ_range[bi];
+            let occ = &sc.h3_occ[s as usize..e as usize];
+            if !occ
+                .iter()
+                .any(|&(_, c)| hw[b.o3 as usize + c as usize] != b.v as u64)
+            {
+                continue; // H3(v) = {v}: squaring is a no-op, skip unpaid
             }
-            step3_insert(ctx, x as u64, w, parent, budget, t3off, heap, &hv);
-            step3_insert(ctx, w, x as u64, parent, budget, t3off, heap, &hv);
-        });
+            for &(_, p) in occ {
+                let w = hw[b.o3 as usize + p as usize];
+                let wi = sc.builder_slot[w as usize];
+                if wi == NO_SLOT {
+                    continue; // w lost its table race / is not a builder
+                }
+                let (ws, we) = sc.occ_range[wi as usize];
+                for &(_, q) in &sc.h3_occ[ws as usize..we as usize] {
+                    sc.s5_index.push((b.v, p, q));
+                }
+            }
+        }
     }
 
     // ---- Step 4: collision ⇒ dormant; dormant members ⇒ dormant owner.
-    pram.step(n, |v, ctx| {
-        let o3 = ctx.read(t3off, v as usize);
+    pram.step_over(&fs.scratch.builders, move |_, b, ctx| {
+        let v = b.v as u64;
+        let o3 = ctx.read(t3off, b.v as usize);
         if o3 == NULL {
             return;
         }
-        let sqb = sqb_of(ctx.read(budget, v as usize));
+        let sqb = sqb_of(ctx.read(budget, b.v as usize));
         if ctx.read(heap, o3 as usize + hv.eval_range(v, sqb) as usize) != v {
-            ctx.write(dormant, v as usize, 1);
+            ctx.write(dormant, b.v as usize, 1);
         }
     });
-    pram.step(fs.st.arcs, |i, ctx| {
-        let i = i as usize;
+    pram.step_over(&fs.live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let a = ctx.read(eu, i);
         let b = ctx.read(ev, i);
         if a == b {
@@ -273,68 +522,32 @@ pub(crate) fn expand_maxlink_round(
         }
         step4_verify(ctx, a, b, parent, budget, t3off, heap, &hv, dormant);
     });
-    {
-        let cells = &fs.table_cells;
-        pram.step(cells.len(), |i, ctx| {
-            let (x, c) = cells[i as usize];
-            let off = ctx.read(eoff, x as usize);
-            if off == NULL {
-                return;
-            }
-            let w = ctx.read(heap, off as usize + c as usize);
-            if w == NULL || w == x as u64 {
-                return;
-            }
-            step4_verify(ctx, x as u64, w, parent, budget, t3off, heap, &hv, dormant);
-            step4_verify(ctx, w, x as u64, parent, budget, t3off, heap, &hv, dormant);
-        });
-    }
-    // Dormancy propagation through table membership (Step 4 sentence 2).
-    {
-        let h3_cells: Vec<(u32, u32)> = builders
-            .iter()
-            .flat_map(|&(v, sqb)| (0..sqb).map(move |c| (v, c)))
-            .collect();
-        pram.step(h3_cells.len(), |i, ctx| {
-            let (v, c) = h3_cells[i as usize];
-            let o3 = ctx.read(t3off, v as usize);
-            let w = ctx.read(heap, o3 as usize + c as usize);
-            if w != NULL && ctx.read(dormant, w as usize) == 1 {
-                ctx.write(dormant, v as usize, 1);
-            }
-        });
-    }
+    pram.step_over(&fs.live.table_cells, move |_, &(x, c), ctx| {
+        let off = ctx.read(eoff, x as usize);
+        if off == NULL {
+            return;
+        }
+        let w = ctx.read(heap, off as usize + c as usize);
+        if w == NULL || w == x as u64 {
+            return;
+        }
+        step4_verify(ctx, x as u64, w, parent, budget, t3off, heap, &hv, dormant);
+        step4_verify(ctx, w, x as u64, parent, budget, t3off, heap, &hv, dormant);
+    });
+    // Dormancy propagation through table membership (Step 4 sentence 2) —
+    // one processor per *occupied* H3 cell.
+    pram.step_over(&fs.scratch.h3_occ, move |_, &(v, c), ctx| {
+        let o3 = ctx.read(t3off, v as usize);
+        let w = ctx.read(heap, o3 as usize + c as usize);
+        if w != NULL && ctx.read(dormant, w as usize) == 1 {
+            ctx.write(dormant, v as usize, 1);
+        }
+    });
 
-    // ---- Step 5: squaring H5(v) ← ∪_{w ∈ H3(v)} H3(w).
-    // Roots whose H3 holds nothing but themselves (typical right after a
-    // level raise: no same-budget neighbours yet) would square to {v};
-    // their b(v) processors do no useful work, so they are skipped and
-    // neither charged nor executed. This keeps the measured per-round work
-    // near O(m) (E9) without changing any table content.
-    let squarers: Vec<(u32, u32)> = {
-        let heap_words = pram.slice(heap);
-        let t3 = pram.slice(t3off);
-        builders
-            .iter()
-            .copied()
-            .filter(|&(v, sqb)| {
-                let o3 = t3[v as usize];
-                o3 != NULL
-                    && (0..sqb as usize).any(|c| {
-                        let w = heap_words[o3 as usize + c];
-                        w != NULL && w != v as u64
-                    })
-            })
-            .collect()
-    };
-    let s5_index: Vec<(u32, u32)> = squarers
-        .iter()
-        .flat_map(|&(v, sqb)| (0..sqb * sqb).map(move |i| (v, i)))
-        .collect();
-    pram.step(s5_index.len(), |i, ctx| {
-        let (v, within) = s5_index[i as usize];
+    // ---- Step 5: squaring H5(v) ← ∪_{w ∈ H3(v)} H3(w), over the
+    // compacted occupied-pair items.
+    pram.step_over(&fs.scratch.s5_index, move |_, &(v, p, q), ctx| {
         let sqb = sqb_of(ctx.read(budget, v as usize));
-        let (p, q) = (within as u64 / sqb, within as u64 % sqb);
         let o3 = ctx.read(t3off, v as usize);
         let w = ctx.read(heap, o3 as usize + p as usize);
         if w == NULL {
@@ -356,10 +569,8 @@ pub(crate) fn expand_maxlink_round(
         let o5 = ctx.read(t5off, v as usize);
         ctx.write(heap, o5 as usize + slot, u);
     });
-    pram.step(s5_index.len(), |i, ctx| {
-        let (v, within) = s5_index[i as usize];
+    pram.step_over(&fs.scratch.s5_index, move |_, &(v, p, q), ctx| {
         let sqb = sqb_of(ctx.read(budget, v as usize));
-        let (p, q) = (within as u64 / sqb, within as u64 % sqb);
         let o3 = ctx.read(t3off, v as usize);
         let w = ctx.read(heap, o3 as usize + p as usize);
         if w == NULL {
@@ -379,48 +590,74 @@ pub(crate) fn expand_maxlink_round(
         }
     });
 
-    // ---- Swap: persistent ← H5; free H3 and old persistent blocks.
-    for &(v, sqb) in &builders {
+    // ---- Swap: persistent ← H5; free H3 and old persistent blocks; the
+    // work-table offsets are reset so `t3off`/`t5off` stay all-NULL
+    // between rounds.
+    for &Builder { v, sqb, o3, o5 } in &fs.scratch.builders {
         let v = v as usize;
         if let Some((old_off, old_sqb)) = fs.host_tbl[v] {
             fs.heap.dealloc(old_off, old_sqb as usize);
         }
-        let o3 = pram.get(t3off, v);
-        let o5 = pram.get(t5off, v);
         fs.heap.dealloc(o3, sqb as usize);
         fs.host_tbl[v] = Some((o5, sqb));
         pram.set(eoff, v, o5);
+        pram.set(t3off, v, NULL);
+        pram.set(t5off, v, NULL);
     }
-    fs.rebuild_table_cells();
-    pram.charge(n, 1); // table-pointer swap is one parallel step
+    // Live table cells: builders' old entries died with the swap; the new
+    // H5 tables contribute their occupied non-self cells.
+    {
+        let hw = pram.slice(heap);
+        let slot = &fs.scratch.builder_slot;
+        fs.live
+            .table_cells
+            .retain(|&(x, _)| slot[x as usize] == NO_SLOT);
+        for b in &fs.scratch.builders {
+            for c in 0..b.sqb {
+                let w = hw[b.o5 as usize + c as usize];
+                if w != NULL && w != b.v as u64 {
+                    fs.live.table_cells.push((b.v, c));
+                }
+            }
+        }
+    }
+    for b in &fs.scratch.builders {
+        fs.scratch.builder_slot[b.v as usize] = NO_SLOT;
+    }
+    pram.charge(fs.scratch.builders.len(), 1); // table-pointer swap, one step
 
-    // ---- Step 6: MAXLINK; SHORTCUT; ALTER (arcs + new tables).
+    // ---- Step 6: MAXLINK; SHORTCUT; ALTER (live arcs + new tables).
+    // `live.verts` still covers every possible candidate target: new table
+    // entries name roots that already were live-table/arc endpoints.
     {
         let mx = MaxlinkCtx {
             cand: fs.cand,
             level,
             lmax: fs.lmax,
-            table_cells: &fs.table_cells,
+            live_arcs: &fs.live.arcs,
+            live_verts: &fs.live.verts,
+            table_cells: &fs.live.table_cells,
             eoff,
             heap,
         };
         maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
     }
-    shortcut_flagged(pram, parent, &changed);
-    alter(pram, eu, ev, parent);
-    alter_tables(pram, &fs.table_cells, eoff, heap, parent);
+    shortcut_flagged_over(pram, parent, &fs.live.verts, &changed);
+    alter_over(pram, eu, ev, parent, &fs.live.arcs);
+    alter_tables(pram, &fs.live.table_cells, eoff, heap, parent);
 
     // ---- Step 7: dormant roots that did not raise in Step 2 raise now.
     {
         let lmax = fs.lmax as u64;
-        pram.step(n, |v, ctx| {
-            if ctx.read(dormant, v as usize) == 1
-                && ctx.read(raised2, v as usize) == 0
-                && ctx.read(parent, v as usize) == v
+        pram.step_over(&fs.scratch.builders, move |_, b, ctx| {
+            let v = b.v as usize;
+            if ctx.read(dormant, v) == 1
+                && ctx.read(raised2, v) == 0
+                && ctx.read(parent, v) == v as u64
             {
-                let l = ctx.read(level, v as usize);
+                let l = ctx.read(level, v);
                 if l < lmax {
-                    ctx.write(level, v as usize, l + 1);
+                    ctx.write(level, v, l + 1);
                     changed.raise(ctx);
                 }
             }
@@ -428,38 +665,70 @@ pub(crate) fn expand_maxlink_round(
     }
 
     // ---- Step 8: roots get the budget of their level (zones +
-    // approximate compaction; charged per Lemma D.2).
+    // approximate compaction; charged at the ongoing-root count per
+    // Lemma D.2).
     {
-        let budgets = fs.budgets.clone();
-        pram.step(n, move |v, ctx| {
-            if ctx.read(parent, v as usize) == v {
-                let l = ctx.read(level, v as usize) as usize;
+        let budgets: &[u64] = &fs.budgets;
+        pram.step_over(&fs.live.roots, move |_, &v, ctx| {
+            let v = v as usize;
+            if ctx.read(parent, v) == v as u64 {
+                let l = ctx.read(level, v) as usize;
                 let b = budgets[l.min(budgets.len() - 1)];
-                if b > 0 && ctx.read(budget, v as usize) != b {
-                    ctx.write(budget, v as usize, b);
+                if b > 0 && ctx.read(budget, v) != b {
+                    ctx.write(budget, v, b);
                 }
             }
         });
-        pram.charge(n, 4);
+        pram.charge(fs.live.roots.len(), 4);
     }
+
+    // ---- Outcome metrics, from the live index instead of full-n scans.
+    let dormant_count = {
+        let d = pram.slice(dormant);
+        fs.scratch
+            .builders
+            .iter()
+            .filter(|b| d[b.v as usize] == 1)
+            .count() as u64
+    };
+    {
+        let lv = pram.slice(level);
+        for &v in &fs.live.roots {
+            fs.live.max_level_seen = fs.live.max_level_seen.max(lv[v as usize]);
+        }
+    }
+
+    // ---- Cleanup: clear this round's flag writes (dormant ⊆ builders,
+    // raised2 ⊆ ongoing roots), charged at the live counts.
+    pram.step_over(&fs.scratch.builders, move |_, b, ctx| {
+        ctx.write(dormant, b.v as usize, 0);
+    });
+    pram.step_over(&fs.live.roots, move |_, &v, ctx| {
+        ctx.write(raised2, v as usize, 0);
+    });
+
+    // ---- Compact for the next round (Step 6's ALTER moved arcs/cells).
+    fs.live
+        .compact(pram, &fs.st, eoff, heap, dedup, round_seed ^ 0xDED0_B002);
 
     let outcome = RoundOutcome {
         changed: changed.read(pram),
         ii_violated: ii_flag.read(pram),
-        dormant: pram.slice(dormant).iter().filter(|&&x| x == 1).count() as u64,
-        max_level: pram.slice(level).iter().copied().max().unwrap_or(0),
+        dormant: dormant_count,
+        max_level: fs.live.max_level_seen,
         table_live: fs.heap.live_words() as u64,
+        ongoing: fs.live.arc_verts,
+        live_arcs: fs.live.arcs.len(),
     };
     changed.free(pram);
     ii_flag.free(pram);
     outcome
 }
 
-/// ALTER on persistent table entries: replace each stored endpoint by its
-/// parent (one processor per cell).
+/// ALTER on live persistent table entries: replace each stored endpoint by
+/// its parent (one processor per live cell).
 fn alter_tables(pram: &mut Pram, cells: &[(u32, u32)], eoff: Handle, heap: Handle, parent: Handle) {
-    pram.step(cells.len(), |i, ctx| {
-        let (x, c) = cells[i as usize];
+    pram.step_over(cells, move |_, &(x, c), ctx| {
         let off = ctx.read(eoff, x as usize);
         if off == NULL {
             return;

@@ -67,10 +67,8 @@ impl TableHeap {
             off
         };
         // NULL-fill the block (fresh heap memory is already NULL; reused
-        // blocks need clearing).
-        for i in 0..size {
-            pram.set(self.heap, off as usize + i, NULL);
-        }
+        // blocks need clearing) — one memset, not a store per call.
+        pram.host_fill_range(self.heap, off as usize, size, NULL);
         self.live += size;
         self.peak = self.peak.max(self.live);
         off

@@ -28,4 +28,4 @@ pub mod ops;
 pub mod prefix;
 
 pub use compaction::{compact, CompactionMode, CompactionResult};
-pub use hashing::PairwiseHash;
+pub use hashing::{PairSet, PairwiseHash};

@@ -87,6 +87,43 @@ pub fn alter(pram: &mut Pram, eu: Handle, ev: Handle, parent: Handle) {
     });
 }
 
+/// ALTER restricted to a compacted live-arc index: one processor per entry
+/// of `live`, each rewriting arc `live[i]`. Semantically identical to
+/// [`alter`] on the listed arcs; unlisted arcs are left untouched — legal
+/// whenever they are self-loops or duplicates of listed arcs, since ALTER
+/// maps a self-loop to a self-loop and duplicates to duplicates.
+pub fn alter_over(pram: &mut Pram, eu: Handle, ev: Handle, parent: Handle, live: &[u32]) {
+    pram.step_over(live, move |_, &a, ctx| {
+        let i = a as usize;
+        let u = ctx.read(eu, i);
+        let v = ctx.read(ev, i);
+        let pu = ctx.read(parent, u as usize);
+        let pv = ctx.read(parent, v as usize);
+        if pu != u {
+            ctx.write(eu, i, pu);
+        }
+        if pv != v {
+            ctx.write(ev, i, pv);
+        }
+    });
+}
+
+/// One SHORTCUT round restricted to the listed vertices, raising `flag`
+/// iff any listed parent changed. The live-work scheduler uses this so a
+/// round's pointer jumping (and its contribution to the break condition)
+/// costs O(live), with finished trees flattened once at the end of the run
+/// by [`shortcut_until_flat`] instead of re-walked every round.
+pub fn shortcut_flagged_over(pram: &mut Pram, parent: Handle, verts: &[u32], flag: &Flag) {
+    pram.step_over(verts, move |_, &v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let gp = ctx.read(parent, p as usize);
+        if gp != p {
+            ctx.write(parent, v as usize, gp);
+            flag.raise(ctx);
+        }
+    });
+}
+
 /// Whether any arc is a non-loop (`eu[i] != ev[i]`): the paper's repeat-loop
 /// termination test, one flag-OR step.
 pub fn any_nonloop_arc(pram: &mut Pram, eu: Handle, ev: Handle) -> bool {
@@ -203,6 +240,41 @@ mod tests {
         alter(&mut pram, eu, ev, parent);
         assert_eq!(pram.read_vec(eu), vec![0, 2]);
         assert_eq!(pram.read_vec(ev), vec![2, 0]);
+    }
+
+    #[test]
+    fn alter_over_touches_only_listed_arcs() {
+        let mut pram = machine();
+        let parent = pram.alloc(4);
+        for (v, p) in [(0u64, 0u64), (1, 0), (2, 2), (3, 2)] {
+            pram.set(parent, v as usize, p);
+        }
+        let eu = pram.alloc(3);
+        let ev = pram.alloc(3);
+        // arcs: (1,3) live, (1,1) loop (unlisted), (3,1) live.
+        for (i, (u, v)) in [(1u64, 3u64), (1, 1), (3, 1)].iter().enumerate() {
+            pram.set(eu, i, *u);
+            pram.set(ev, i, *v);
+        }
+        alter_over(&mut pram, eu, ev, parent, &[0, 2]);
+        assert_eq!(pram.read_vec(eu), vec![0, 1, 2]);
+        assert_eq!(pram.read_vec(ev), vec![2, 1, 0]);
+        // Charged at the live count.
+        assert_eq!(pram.stats().work, 2);
+    }
+
+    #[test]
+    fn shortcut_over_jumps_only_listed_vertices() {
+        let mut pram = machine();
+        let parent = chain_parents(&mut pram, 6); // 0 <- 1 <- ... <- 5
+        let flag = Flag::new(&mut pram);
+        shortcut_flagged_over(&mut pram, parent, &[5, 4], &flag);
+        assert!(flag.read(&pram));
+        assert_eq!(pram.read_vec(parent), vec![0, 0, 1, 2, 2, 3]);
+        // No listed parent changes => flag stays down.
+        flag.clear(&mut pram);
+        shortcut_flagged_over(&mut pram, parent, &[1], &flag);
+        assert!(!flag.read(&pram));
     }
 
     #[test]

@@ -156,6 +156,16 @@ impl Pram {
         self.mem.words[b..b + h.len as usize].fill(v);
     }
 
+    /// Host bulk fill of `len` cells starting at cell `start` (setup only;
+    /// not charged). The block-heap allocators use this instead of
+    /// per-cell [`Pram::set`] loops so clearing a table costs a memset,
+    /// not a call per word.
+    pub fn host_fill_range(&mut self, h: Handle, start: usize, len: usize, v: u64) {
+        assert!(start + len <= h.len(), "host_fill_range out of bounds");
+        let b = h.addr(start) as usize;
+        self.mem.words[b..b + len].fill(v);
+    }
+
     /// Host copy of `src` into the front of `dst` (`src.len() ≤ dst.len()`).
     /// Setup/bookkeeping only — callers that model a PRAM copy must charge a
     /// step themselves.
@@ -184,6 +194,26 @@ impl Pram {
         F: Fn(u64, &mut Ctx) + Send + Sync,
     {
         self.step_charged(nprocs, 1, f)
+    }
+
+    /// Execute one synchronous parallel step with one processor per element
+    /// of a *compacted index slice* — the entry point live-work schedulers
+    /// use so that per-step cost (both charged and host wall-clock) scales
+    /// with the surviving work items, not with the full arrays the items
+    /// index into, while staying on the same (possibly chunked-parallel)
+    /// dispatch path as [`Pram::step`].
+    ///
+    /// Processor `p ∈ [0, items.len())` runs `f(p, &items[p], ctx)`. Note
+    /// that `p` — the position in the compacted slice, not the item value —
+    /// is the processor id seen by write resolution and [`Ctx::rand`]; a
+    /// deterministic host-built slice therefore yields runs that are
+    /// reproducible and thread-count invariant exactly like plain steps.
+    pub fn step_over<T, F>(&mut self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(u64, &T, &mut Ctx) + Send + Sync,
+    {
+        self.step(items.len(), move |p, ctx| f(p, &items[p as usize], ctx));
     }
 
     /// Like [`Pram::step`] but charged `charge` units of simulated time.
@@ -540,6 +570,58 @@ mod tests {
         for p in 0..n {
             assert_eq!(ys[(p + 1) % n], (p as u64) * 2 + 1);
         }
+    }
+
+    #[test]
+    fn step_over_runs_one_proc_per_item_and_charges_item_count() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let xs = pram.alloc_filled(16, 0);
+        // A compacted index set touching a sparse subset of cells.
+        let idx: Vec<u32> = vec![1, 5, 11];
+        pram.step_over(&idx, |p, &i, ctx| {
+            ctx.write(xs, i as usize, 100 + p);
+        });
+        let v = pram.read_vec(xs);
+        assert_eq!(v[1], 100);
+        assert_eq!(v[5], 101);
+        assert_eq!(v[11], 102);
+        assert_eq!(v[0], 0);
+        let s = pram.stats();
+        // Charged at the live-item count, not the full array length.
+        assert_eq!(s.steps, 1);
+        assert_eq!(s.work, 3);
+        assert_eq!(s.max_procs, 3);
+    }
+
+    #[test]
+    fn step_over_empty_slice_is_free() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let empty: Vec<u32> = Vec::new();
+        pram.step_over(&empty, |_, &_i, _ctx| unreachable!());
+        assert_eq!(pram.stats().work, 0);
+    }
+
+    #[test]
+    fn step_over_matches_step_semantics_on_large_slices() {
+        // Above the parallel threshold the chunked pool path must produce
+        // the same committed image as an equivalent plain step.
+        let n = 50_000usize;
+        let run = |over: bool| {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(9));
+            let xs = pram.alloc(n);
+            if over {
+                let idx: Vec<u32> = (0..n as u32).collect();
+                pram.step_over(&idx, |p, &i, ctx| {
+                    ctx.write(xs, i as usize, p * 3);
+                });
+            } else {
+                pram.step(n, |p, ctx| {
+                    ctx.write(xs, p as usize, p * 3);
+                });
+            }
+            pram.read_vec(xs)
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Live-work scheduling regression guards (PR 3).
+//!
+//! The Theorem-3 round must charge (and execute) work proportional to the
+//! *live* subproblem — live arcs, live table cells, ongoing roots — not
+//! O(n + m). These tests pin that property so a future refactor cannot
+//! silently reintroduce full-array iteration, and verify that live-arc
+//! filtering + periodic dedup never change the computed partition.
+
+use logdiam::algorithms::theorem3::{faster_cc, FasterParams};
+use logdiam::graph::gen;
+use logdiam::graph::seq::{components, same_partition};
+use logdiam::pram::{Pram, WritePolicy};
+
+/// On a path graph the live subproblem shrinks geometrically; per-round
+/// charged work must follow it down instead of staying pinned at O(n + m).
+#[test]
+fn path_per_round_work_decays_with_live_arcs() {
+    let n: usize = 1 << 14;
+    let g = gen::path(n);
+    let m = g.m();
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(7));
+    let report = faster_cc(&mut pram, &g, 7, &FasterParams::default());
+    assert!(same_partition(&components(&g), &report.run.labels));
+
+    let pr = &report.run.per_round;
+    assert!(
+        pr.len() >= 4,
+        "expected a multi-round run, got {}",
+        pr.len()
+    );
+    for r in pr {
+        eprintln!(
+            "round {:3}: work {:9} live_arcs {:6} ongoing {:6} dormant {:4}",
+            r.round, r.work, r.live_arcs, r.ongoing, r.dormant
+        );
+    }
+    eprintln!("total work {} (n+m = {})", report.run.stats.work, n + m);
+
+    // (a) Work decays: the cheapest late round must be far below round 1
+    // (with full-array iteration every round costs the same ±constant).
+    let first = pr[0].work;
+    let min_late = pr[pr.len() / 2..].iter().map(|r| r.work).min().unwrap();
+    assert!(
+        min_late * 20 <= first,
+        "late rounds still pay near-O(n+m): first {first}, min late {min_late}"
+    );
+
+    // (b) Work is bounded by the live subproblem: each round's charge must
+    // be within a constant of the previous round's live footprint (live
+    // arcs dominate; ongoing roots bound the table/budget terms).
+    for w in pr.windows(2) {
+        let basis = (w[0].live_arcs + w[0].ongoing + 16) as u64;
+        assert!(
+            w[1].work <= 600 * basis,
+            "round {} charged {} against live basis {} (> 600x)",
+            w[1].round,
+            w[1].work,
+            basis
+        );
+    }
+
+    // (c) Whole-run work stays near-linear in the input, not n·rounds.
+    let total = report.run.stats.work;
+    assert!(
+        total <= 400 * (n + m) as u64,
+        "total work {total} is not near-linear in n+m = {}",
+        n + m
+    );
+}
+
+/// Live-arc filtering and duplicate-arc dedup are work optimizations only:
+/// the partition must match the sequential ground truth for every dedup
+/// cadence, including "never".
+#[test]
+fn live_filtering_and_dedup_preserve_labels() {
+    let graphs = [
+        gen::union_all(&[gen::gnm(300, 1200, 11), gen::path(80), gen::star(50)]),
+        gen::clique_chain(24, 5),
+        gen::grid(17, 23),
+        gen::gnm(500, 700, 13), // sparse: many small components
+    ];
+    for (gi, g) in graphs.iter().enumerate() {
+        let truth = components(g);
+        for dedup_every in [0, 1, 4] {
+            let params = FasterParams {
+                dedup_every,
+                ..Default::default()
+            };
+            let seed = 90 + gi as u64;
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let report = faster_cc(&mut pram, g, seed, &params);
+            assert!(
+                same_partition(&truth, &report.run.labels),
+                "graph #{gi} dedup_every={dedup_every}: wrong partition"
+            );
+        }
+    }
+}
+
+/// Dedup cadence must not change the result even when runs are compared
+/// against each other on a duplicate-heavy contraction (clique chains
+/// funnel many arcs onto the same root pairs).
+#[test]
+fn dedup_cadence_is_label_invariant_on_duplicate_heavy_graphs() {
+    let g = gen::clique_chain(40, 6);
+    let truth = components(&g);
+    for seed in [1u64, 2, 3] {
+        for dedup_every in [0, 1, 2, 8] {
+            let params = FasterParams {
+                dedup_every,
+                ..Default::default()
+            };
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let r = faster_cc(&mut pram, &g, seed, &params);
+            assert!(
+                same_partition(&truth, &r.run.labels),
+                "seed {seed} dedup_every {dedup_every}"
+            );
+        }
+    }
+}
