@@ -21,8 +21,12 @@
 //! and additionally runs the **wall-clock guard**: a diameter-heavy
 //! `theorem3_sim` on path/2^14 must finish under a generous cap, so the
 //! O(n+m)-per-round pathology the PR3 live-work scheduler removed can
-//! never silently return. `--out` overrides the output path (default
-//! `BENCH_PR3.json`).
+//! never silently return. Smoke mode also replays the connectivity-service
+//! smoke trace (the `svc_driver` workload, capped at 5 s and verified
+//! against a from-scratch recompute) and writes its `BENCH_PR4.json`-schema
+//! report to `--svc-out` (default `BENCH_PR4_SMOKE.json`), so the service
+//! baseline emitter can never silently rot either. `--out` overrides the
+//! output path (default `BENCH_PR3.json`).
 
 use cc_graph::seq::{components, same_partition};
 use cc_graph::{gen, Graph};
@@ -77,13 +81,14 @@ fn pram_step_workload(n: usize) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_report [--smoke] [--out PATH]");
+    eprintln!("usage: bench_report [--smoke] [--out PATH] [--svc-out PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_PR3.json".to_string();
+    let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
     let mut child = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,13 +96,14 @@ fn main() {
             "--smoke" => smoke = true,
             "--child" => child = true,
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--svc-out" => svc_out_path = args.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
     if child {
         run_child(smoke);
     } else {
-        run_parent(smoke, &out_path);
+        run_parent(smoke, &out_path, &svc_out_path);
     }
 }
 
@@ -284,7 +290,7 @@ fn run_child(smoke: bool) {
 
 /// Parent mode: one child process per thread count, merged into the JSON
 /// report.
-fn run_parent(smoke: bool, out_path: &str) {
+fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -324,4 +330,10 @@ fn run_parent(smoke: bool, out_path: &str) {
         "bench_report: wrote {} measurements to {out_path}",
         rows.len()
     );
+    if smoke {
+        // Connectivity-service smoke: a short svc_driver trace (capped at
+        // 5 s, verified against a from-scratch recompute) emitting the
+        // BENCH_PR4.json schema — CI validates the written file.
+        logdiam_bench::svc::run_smoke("bench_report --smoke", svc_out_path);
+    }
 }

@@ -1,0 +1,117 @@
+//! `svc_driver` — replay request traces against the connectivity service.
+//!
+//! The service-scenario counterpart of `bench_report`: synthesizes a
+//! deterministic request trace per workload family (batched edge writes
+//! mixed with Zipfian-endpoint connectivity queries, ≥90% reads by
+//! default), replays it end-to-end through `logdiam_svc::
+//! ConnectivityService`, and writes throughput plus query/batch latency
+//! percentiles to `BENCH_PR4.json`. Every row is verified: the maintained
+//! partition after the last commit must equal a from-scratch recompute on
+//! the accumulated graph, and the run aborts if it doesn't.
+//!
+//! Usage:
+//!
+//! ```text
+//! svc_driver [--smoke] [--out PATH] [--family F]... [--n N] [--ops N]
+//!            [--read-frac F] [--batch N] [--zipf S] [--seed S]
+//!            [--rebuild-threshold N]
+//! ```
+//!
+//! With no flags the full matrix runs: path/grid/powerlaw/mixture at
+//! n = 1e5, 200k ops, 90% reads, batch 128, Zipf 1.0. `--smoke` replays
+//! the CI-sized mixture trace instead (same schema, seconds not minutes).
+
+use logdiam_bench::svc::{report_json, run_smoke, run_trace, TraceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: svc_driver [--smoke] [--out PATH] [--family F]... [--n N] [--ops N] \
+         [--read-frac F] [--batch N] [--zipf S] [--seed S] [--rebuild-threshold N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut families: Vec<String> = Vec::new();
+    let mut overrides = TraceConfig::full("mixture", 100_000);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("svc_driver: {a} needs a {what}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = next("path"),
+            "--family" => families.push(next("family name")),
+            "--n" => overrides.n = next("number").parse().unwrap_or_else(|_| usage()),
+            "--ops" => overrides.ops = next("number").parse().unwrap_or_else(|_| usage()),
+            "--read-frac" => {
+                overrides.read_frac = next("fraction").parse().unwrap_or_else(|_| usage())
+            }
+            "--batch" => overrides.batch = next("number").parse().unwrap_or_else(|_| usage()),
+            "--zipf" => overrides.zipf_s = next("exponent").parse().unwrap_or_else(|_| usage()),
+            "--seed" => overrides.seed = next("seed").parse().unwrap_or_else(|_| usage()),
+            "--rebuild-threshold" => {
+                overrides.rebuild_threshold = next("number").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+
+    if smoke {
+        run_smoke("svc_driver --smoke", &out_path);
+        return;
+    }
+
+    if families.is_empty() {
+        families = ["path", "grid", "powerlaw", "mixture"]
+            .map(String::from)
+            .to_vec();
+    }
+    let mut outcomes = Vec::new();
+    for family in &families {
+        let cfg = TraceConfig {
+            family: family.clone(),
+            ..overrides.clone()
+        };
+        eprintln!(
+            "svc_driver: replaying {}/{} ({} ops, {:.0}% reads, batch {}, zipf {:.2})...",
+            cfg.family,
+            cfg.n,
+            cfg.ops,
+            cfg.read_frac * 100.0,
+            cfg.batch,
+            cfg.zipf_s
+        );
+        let out = run_trace(&cfg);
+        assert!(
+            out.verified,
+            "svc_driver: {}: maintained partition diverged from one-shot recompute",
+            out.workload
+        );
+        eprintln!(
+            "svc_driver: [{}] {:.0} ops/s end-to-end, query p50/p99 {:.1}/{:.1} µs, \
+             batch p50/p99 {:.0}/{:.0} µs, {} rebuilds, {} components, verified",
+            out.workload,
+            out.ops_per_s,
+            out.query_p50_us,
+            out.query_p99_us,
+            out.batch_p50_us,
+            out.batch_p99_us,
+            out.rebuilds,
+            out.components
+        );
+        outcomes.push(out);
+    }
+    std::fs::write(&out_path, report_json("svc_driver", false, &outcomes))
+        .expect("cannot write report");
+    eprintln!(
+        "svc_driver: wrote {} measurements to {out_path}",
+        outcomes.len()
+    );
+}

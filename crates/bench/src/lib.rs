@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod svc;
 pub mod table;
 
 /// Global experiment configuration.

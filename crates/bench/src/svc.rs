@@ -1,0 +1,437 @@
+//! Connectivity-service trace replay: the request-serving benchmark.
+//!
+//! A trace is synthesized deterministically from a [`TraceConfig`]: a
+//! workload-family graph is generated, a fraction of its edges seeds the
+//! service's initial CSR, and the rest stream in as batched writes mixed
+//! with connectivity queries whose endpoints follow a Zipfian popularity
+//! distribution (rank-to-vertex mapping shuffled by the seed, so "hot"
+//! vertices are spread across the graph). The replay measures end-to-end
+//! throughput plus per-query and per-batch-commit latency percentiles,
+//! verifies the final maintained partition against a from-scratch
+//! recompute on the accumulated graph, and serializes everything into the
+//! `BENCH_PR4.json` schema shared by `svc_driver` (full runs) and
+//! `bench_report --smoke` (the CI guard).
+
+use cc_graph::seq::{components, same_partition};
+use cc_graph::{gen, Graph, GraphBuilder, Rng};
+use logdiam_svc::{ConnectivityService, SvcParams};
+use std::time::Instant;
+
+/// Base seed shared by the default trace configurations.
+pub const SVC_SEED: u64 = 0x5E7_CAFE;
+
+/// Wall-clock cap for the smoke trace (milliseconds): the CI contract is
+/// "a short `svc_driver` trace in ≤ 5 s".
+pub const SMOKE_CAP_MS: f64 = 5_000.0;
+
+/// One replayable trace: workload, mix, and service knobs.
+#[derive(Clone, Debug)]
+pub struct TraceConfig {
+    /// Workload family (`path` / `grid` / `powerlaw` / `mixture`).
+    pub family: String,
+    /// Vertex count of the generated family graph.
+    pub n: usize,
+    /// Total requests (reads + writes) to replay.
+    pub ops: usize,
+    /// Fraction of requests that are connectivity queries.
+    pub read_frac: f64,
+    /// Writes buffered per `apply_batch` commit.
+    pub batch: usize,
+    /// Zipf exponent for query/synthetic-write endpoints (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of the family graph's edges placed in the initial CSR;
+    /// the rest become the write stream.
+    pub initial_frac: f64,
+    /// Service rebuild threshold (distinct delta edges).
+    pub rebuild_threshold: usize,
+    /// RNG seed for the edge split, op mix, and endpoint sampling.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The full-run configuration for one family at one size: a 90%-read
+    /// mix, the acceptance workload of PR 4.
+    pub fn full(family: &str, n: usize) -> Self {
+        TraceConfig {
+            family: family.to_string(),
+            n,
+            ops: 200_000,
+            read_frac: 0.9,
+            batch: 128,
+            zipf_s: 1.0,
+            initial_frac: 0.5,
+            rebuild_threshold: 4096,
+            seed: SVC_SEED,
+        }
+    }
+
+    /// The CI smoke configuration: the same shape, seconds not minutes.
+    pub fn smoke() -> Self {
+        TraceConfig {
+            family: "mixture".to_string(),
+            n: 3_000,
+            ops: 4_000,
+            read_frac: 0.9,
+            batch: 64,
+            zipf_s: 1.0,
+            initial_frac: 0.5,
+            rebuild_threshold: 256,
+            seed: SVC_SEED,
+        }
+    }
+}
+
+/// The measured result of one trace replay — one row of `BENCH_PR4.json`.
+#[derive(Clone, Debug)]
+pub struct TraceOutcome {
+    /// `family/n`.
+    pub workload: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Edges in the initial CSR.
+    pub m_initial: usize,
+    /// Edges in the accumulated (initial + applied) graph.
+    pub m_final: usize,
+    /// Total requests replayed.
+    pub ops: usize,
+    /// Query requests.
+    pub reads: usize,
+    /// Write requests.
+    pub writes: usize,
+    /// `apply_batch` commits.
+    pub batches: usize,
+    /// Configured read fraction.
+    pub read_frac: f64,
+    /// Configured Zipf exponent.
+    pub zipf_s: f64,
+    /// Rayon pool width during the replay.
+    pub threads: usize,
+    /// End-to-end wall clock for the op loop, milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests per second over the op loop.
+    pub ops_per_s: f64,
+    /// Query latency percentiles, microseconds.
+    pub query_p50_us: f64,
+    /// 90th-percentile query latency, microseconds.
+    pub query_p90_us: f64,
+    /// 99th-percentile query latency, microseconds.
+    pub query_p99_us: f64,
+    /// Batch-commit latency percentiles, microseconds.
+    pub batch_p50_us: f64,
+    /// 90th-percentile batch-commit latency, microseconds.
+    pub batch_p90_us: f64,
+    /// 99th-percentile batch-commit latency, microseconds.
+    pub batch_p99_us: f64,
+    /// Full rebuilds the service performed during the replay.
+    pub rebuilds: u64,
+    /// Components in the final maintained partition.
+    pub components: usize,
+    /// Whether the final partition matched a from-scratch recompute on
+    /// the accumulated graph.
+    pub verified: bool,
+}
+
+impl TraceOutcome {
+    /// Serialize as one JSON object (no external deps, like `bench_report`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"n\":{},\"m_initial\":{},\"m_final\":{},\"ops\":{},\
+             \"reads\":{},\"writes\":{},\"batches\":{},\"read_frac\":{:.3},\"zipf_s\":{:.3},\
+             \"threads\":{},\"elapsed_ms\":{:.3},\"ops_per_s\":{:.1},\
+             \"query_p50_us\":{:.3},\"query_p90_us\":{:.3},\"query_p99_us\":{:.3},\
+             \"batch_p50_us\":{:.3},\"batch_p90_us\":{:.3},\"batch_p99_us\":{:.3},\
+             \"rebuilds\":{},\"components\":{},\"verified\":{}}}",
+            self.workload,
+            self.n,
+            self.m_initial,
+            self.m_final,
+            self.ops,
+            self.reads,
+            self.writes,
+            self.batches,
+            self.read_frac,
+            self.zipf_s,
+            self.threads,
+            self.elapsed_ms,
+            self.ops_per_s,
+            self.query_p50_us,
+            self.query_p90_us,
+            self.query_p99_us,
+            self.batch_p50_us,
+            self.batch_p90_us,
+            self.batch_p99_us,
+            self.rebuilds,
+            self.components,
+            self.verified,
+        )
+    }
+}
+
+/// The benchmark workload matrix shared with `bench_report` (same family
+/// definitions, so PR 4 service rows are comparable with PR 2/3 rows).
+pub fn family_graph(family: &str, n: usize, seed: u64) -> Graph {
+    match family {
+        // Long path: the d ≈ n stress case the paper's log d bound targets.
+        "path" => gen::path(n),
+        // Square-ish grid: d ≈ 2√n, m/n ≈ 2.
+        "grid" => {
+            let rows = (n as f64).sqrt().round() as usize;
+            gen::grid(rows, n / rows)
+        }
+        // Power-law: preferential attachment, low diameter, skewed degrees.
+        "powerlaw" => gen::preferential_attachment(n, 4, seed),
+        // Mixture: dense random + long path + giant star in one graph.
+        "mixture" => gen::union_all(&[
+            gen::gnm(n / 2, 2 * n, seed ^ 1),
+            gen::path(n / 4),
+            gen::star(n / 4),
+        ]),
+        other => panic!("unknown workload family {other}"),
+    }
+}
+
+/// A Zipfian sampler over `0..n` with exponent `s`, composed with a
+/// seeded rank→vertex shuffle (so popularity is not correlated with the
+/// generators' vertex numbering). Sampling is O(log n) via binary search
+/// on the precomputed CDF; fully deterministic in (n, s, seed).
+pub struct Zipf {
+    cdf: Vec<f64>,
+    perm: Vec<u32>,
+}
+
+impl Zipf {
+    /// Build the sampler (O(n) precompute).
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        Rng::new(seed ^ 0x21BF).shuffle(&mut perm);
+        Zipf { cdf, perm }
+    }
+
+    /// Draw one vertex.
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        let total = *self.cdf.last().expect("non-empty CDF");
+        let x = rng.f64() * total;
+        let rank = self
+            .cdf
+            .partition_point(|&c| c <= x)
+            .min(self.cdf.len() - 1);
+        self.perm[rank]
+    }
+}
+
+/// Latency percentile (sorted input, microseconds out).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Replay one trace end-to-end and measure it. See the module docs for
+/// the trace construction; the returned outcome's `verified` flag is the
+/// acceptance contract — the maintained partition after the last commit
+/// must equal a from-scratch concurrent-union-find recompute on
+/// `initial + all applied edges`.
+pub fn run_trace(cfg: &TraceConfig) -> TraceOutcome {
+    let g_full = family_graph(&cfg.family, cfg.n, cfg.seed);
+    let n = g_full.n();
+
+    // Split the family's edges: a shuffled prefix seeds the base CSR, the
+    // suffix becomes the write stream.
+    let mut edges: Vec<(u32, u32)> = g_full.edges().to_vec();
+    Rng::new(cfg.seed ^ 0x5417).shuffle(&mut edges);
+    let cut = ((edges.len() as f64) * cfg.initial_frac).round() as usize;
+    let (initial_edges, stream) = edges.split_at(cut.min(edges.len()));
+    let mut b = GraphBuilder::with_capacity(n, initial_edges.len());
+    for &(u, v) in initial_edges {
+        b.add_edge(u, v);
+    }
+    let initial = b.build();
+
+    let svc = ConnectivityService::new(
+        initial.clone(),
+        SvcParams {
+            rebuild_threshold: cfg.rebuild_threshold,
+            ..SvcParams::default()
+        },
+    );
+
+    let zipf = Zipf::new(n, cfg.zipf_s, cfg.seed);
+    let mut rng = Rng::new(cfg.seed ^ 0x0B5);
+    let mut stream_it = stream.iter().copied();
+    let mut pending: Vec<(u32, u32)> = Vec::with_capacity(cfg.batch);
+    let mut applied: Vec<(u32, u32)> = Vec::new();
+    let mut query_ns: Vec<u64> = Vec::new();
+    let mut batch_ns: Vec<u64> = Vec::new();
+    let (mut reads, mut writes) = (0usize, 0usize);
+
+    let t0 = Instant::now();
+    for _ in 0..cfg.ops {
+        if rng.coin(cfg.read_frac) {
+            reads += 1;
+            let (u, v) = (zipf.sample(&mut rng), zipf.sample(&mut rng));
+            let tq = Instant::now();
+            std::hint::black_box(svc.query_latest(u, v));
+            query_ns.push(tq.elapsed().as_nanos() as u64);
+        } else {
+            writes += 1;
+            // Held-out family edges first; once exhausted, synthetic
+            // Zipfian pairs (duplicates and loops welcome — the service
+            // must absorb them for free).
+            let e = stream_it
+                .next()
+                .unwrap_or_else(|| (zipf.sample(&mut rng), zipf.sample(&mut rng)));
+            pending.push(e);
+            if pending.len() >= cfg.batch {
+                let tb = Instant::now();
+                svc.apply_batch(&pending);
+                batch_ns.push(tb.elapsed().as_nanos() as u64);
+                applied.extend_from_slice(&pending);
+                pending.clear();
+            }
+        }
+    }
+    if !pending.is_empty() {
+        let tb = Instant::now();
+        svc.apply_batch(&pending);
+        batch_ns.push(tb.elapsed().as_nanos() as u64);
+        applied.extend_from_slice(&pending);
+        pending.clear();
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Acceptance check: maintained partition == one-shot recompute on the
+    // accumulated graph. Sequential BFS ground truth, deliberately *not*
+    // the concurrent union–find the service itself is built on — the
+    // check must stay independent of the code under test.
+    let union = Graph::from_csr_plus_edges(&initial, &applied);
+    let verified = same_partition(svc.latest().labels(), &components(&union));
+
+    query_ns.sort_unstable();
+    batch_ns.sort_unstable();
+    let spectrum = svc.spectrum();
+    TraceOutcome {
+        workload: format!("{}/{}", cfg.family, cfg.n),
+        n,
+        m_initial: initial.m(),
+        m_final: union.m(),
+        ops: cfg.ops,
+        reads,
+        writes,
+        batches: batch_ns.len(),
+        read_frac: cfg.read_frac,
+        zipf_s: cfg.zipf_s,
+        threads: rayon::current_num_threads(),
+        elapsed_ms,
+        ops_per_s: cfg.ops as f64 / (elapsed_ms / 1e3),
+        query_p50_us: percentile_us(&query_ns, 0.50),
+        query_p90_us: percentile_us(&query_ns, 0.90),
+        query_p99_us: percentile_us(&query_ns, 0.99),
+        batch_p50_us: percentile_us(&batch_ns, 0.50),
+        batch_p90_us: percentile_us(&batch_ns, 0.90),
+        batch_p99_us: percentile_us(&batch_ns, 0.99),
+        rebuilds: spectrum.rebuilds,
+        components: spectrum.components,
+        verified,
+    }
+}
+
+/// Serialize outcomes into the `BENCH_PR4.json` document.
+pub fn report_json(emitter: &str, smoke: bool, outcomes: &[TraceOutcome]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows: Vec<String> = outcomes.iter().map(TraceOutcome::to_json).collect();
+    format!(
+        "{{\n  \"report\": \"logdiam connectivity service baseline\",\n  \"emitter\": \"{emitter}\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    )
+}
+
+/// Run the smoke trace, enforce the wall-clock cap and the verification
+/// contract, and write the report. Shared by `bench_report --smoke` (the
+/// CI guard) and `svc_driver --smoke`.
+pub fn run_smoke(emitter: &str, out_path: &str) -> TraceOutcome {
+    let cfg = TraceConfig::smoke();
+    eprintln!(
+        "svc smoke: replaying {}/{} ({} ops, {:.0}% reads)...",
+        cfg.family,
+        cfg.n,
+        cfg.ops,
+        cfg.read_frac * 100.0
+    );
+    let outcome = run_trace(&cfg);
+    assert!(
+        outcome.verified,
+        "svc smoke: maintained partition diverged from one-shot recompute"
+    );
+    assert!(
+        outcome.elapsed_ms < SMOKE_CAP_MS,
+        "svc smoke exceeded its wall-clock cap: {:.0} ms (cap {SMOKE_CAP_MS:.0} ms)",
+        outcome.elapsed_ms
+    );
+    std::fs::write(
+        out_path,
+        report_json(emitter, true, std::slice::from_ref(&outcome)),
+    )
+    .expect("cannot write svc smoke report");
+    eprintln!(
+        "svc smoke: OK — {:.0} ops/s, query p99 {:.1} µs, {} rebuilds, wrote {out_path}",
+        outcome.ops_per_s, outcome.query_p99_us, outcome.rebuilds
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_skewed() {
+        let z = Zipf::new(1000, 1.2, 7);
+        let mut a = Rng::new(3);
+        let mut b = Rng::new(3);
+        let xs: Vec<u32> = (0..64).map(|_| z.sample(&mut a)).collect();
+        let ys: Vec<u32> = (0..64).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+        // The hottest vertex should dominate a uniform draw's 1/n share.
+        let mut counts = std::collections::HashMap::new();
+        let mut rng = Rng::new(11);
+        for _ in 0..4000 {
+            *counts.entry(z.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 200, "hottest vertex drew {hottest}/4000");
+    }
+
+    #[test]
+    fn percentiles_on_tiny_inputs() {
+        assert_eq!(percentile_us(&[], 0.99), 0.0);
+        assert_eq!(percentile_us(&[5_000], 0.5), 5.0);
+        let xs = [1_000, 2_000, 3_000, 4_000];
+        assert_eq!(percentile_us(&xs, 0.0), 1.0);
+        assert_eq!(percentile_us(&xs, 1.0), 4.0);
+    }
+
+    #[test]
+    fn smoke_sized_trace_verifies() {
+        let mut cfg = TraceConfig::smoke();
+        cfg.n = 600;
+        cfg.ops = 800;
+        cfg.rebuild_threshold = 64;
+        let out = run_trace(&cfg);
+        assert!(out.verified);
+        assert_eq!(out.ops, out.reads + out.writes);
+        assert!(out.batches > 0);
+        assert!(out.rebuilds > 0, "trace too small to exercise rebuilds");
+        assert!(out.query_p99_us >= out.query_p50_us);
+    }
+}

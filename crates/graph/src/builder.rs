@@ -1,6 +1,79 @@
 //! Graph construction with deduplication and self-loop removal.
 
 use crate::csr::Graph;
+use pram_kit::PairSet;
+
+/// Seed for the incremental-merge dedup set: any fixed value keeps
+/// [`Graph::from_csr_plus_edges`] deterministic in its inputs.
+const FOLD_DEDUP_SEED: u64 = 0xF01D_5EED;
+
+impl Graph {
+    /// Canonicalize a delta edge list against this graph and a
+    /// caller-held dedup set: self-loops are dropped, each edge is
+    /// normalized to `(min, max)`, duplicates within `extra` — and across
+    /// calls sharing the same `seen` set — are collapsed (an exact
+    /// [`PairSet`] probe, so the dedup costs O(|extra|), never O(m)), and
+    /// edges already present in this graph are filtered out (binary
+    /// search on the canonical edge list). Returns the surviving new
+    /// edges in arrival order.
+    ///
+    /// This is the one normalization rule for incremental edges: both
+    /// [`Graph::from_csr_plus_edges`] and the `logdiam-svc` batch path
+    /// route through it, so "counts as a new edge" can never mean two
+    /// different things.
+    pub fn dedup_new_edges(&self, extra: &[(u32, u32)], seen: &mut PairSet) -> Vec<(u32, u32)> {
+        let n = self.n() as u32;
+        let mut fresh: Vec<(u32, u32)> = Vec::new();
+        for &(u, v) in extra {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            if u == v {
+                continue;
+            }
+            let e = (u.min(v), u.max(v));
+            if seen.insert(e.0 as u64, e.1 as u64) && self.edges().binary_search(&e).is_err() {
+                fresh.push(e);
+            }
+        }
+        fresh
+    }
+
+    /// Append a delta edge list onto an existing CSR graph and rebuild:
+    /// the incremental path used when a maintained labeling folds its
+    /// accumulated deltas back into a fresh base (`logdiam-svc` rebuilds,
+    /// regeneration loops).
+    ///
+    /// Deltas are normalized through [`Graph::dedup_new_edges`]
+    /// (loop-drop, exact dedup, already-present filter); the base's
+    /// canonical edge list is then merged with the sorted fresh edges in
+    /// one linear pass, so the whole rebuild is O(m + |extra| log
+    /// |extra|). If every extra edge is already present the base is
+    /// returned unchanged (cheap clone, no re-sort).
+    pub fn from_csr_plus_edges(base: &Graph, extra: &[(u32, u32)]) -> Graph {
+        let n = base.n() as u32;
+        let mut seen = PairSet::with_capacity(FOLD_DEDUP_SEED, extra.len());
+        let mut fresh = base.dedup_new_edges(extra, &mut seen);
+        if fresh.is_empty() {
+            return base.clone();
+        }
+        fresh.sort_unstable();
+        // Merge two sorted duplicate-free lists (disjoint by construction).
+        let old = base.edges();
+        let mut edges = Vec::with_capacity(old.len() + fresh.len());
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < fresh.len() {
+            if old[i] < fresh[j] {
+                edges.push(old[i]);
+                i += 1;
+            } else {
+                edges.push(fresh[j]);
+                j += 1;
+            }
+        }
+        edges.extend_from_slice(&old[i..]);
+        edges.extend_from_slice(&fresh[j..]);
+        Graph::from_canonical_edges(n, edges)
+    }
+}
 
 /// Accumulates edges and produces a canonical [`Graph`].
 ///
@@ -88,5 +161,66 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    /// Reference implementation: rebuild from scratch through the
+    /// one-shot builder.
+    fn rebuild_naive(base: &Graph, extra: &[(u32, u32)]) -> Graph {
+        let mut b = GraphBuilder::new(base.n());
+        for &(u, v) in base.edges() {
+            b.add_edge(u, v);
+        }
+        for &(u, v) in extra {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn incremental_merge_matches_scratch_rebuild() {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (2, 3), (5, 6)] {
+            b.add_edge(u, v);
+        }
+        let base = b.build();
+        let extra = [
+            (1, 2),
+            (2, 1), // duplicate of (1,2), other direction
+            (4, 4), // self loop
+            (0, 1), // already in base
+            (6, 7),
+            (6, 7), // duplicate within extra
+        ];
+        let merged = Graph::from_csr_plus_edges(&base, &extra);
+        assert_eq!(merged, rebuild_naive(&base, &extra));
+        assert_eq!(merged.m(), 5);
+        assert_eq!(merged.neighbors(6), &[5, 7]);
+    }
+
+    #[test]
+    fn incremental_merge_with_no_fresh_edges_is_identity() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let base = b.build();
+        assert_eq!(Graph::from_csr_plus_edges(&base, &[]), base);
+        assert_eq!(Graph::from_csr_plus_edges(&base, &[(1, 0), (3, 3)]), base);
+    }
+
+    #[test]
+    fn incremental_merge_onto_empty_base() {
+        let base = GraphBuilder::new(5).build();
+        let merged = Graph::from_csr_plus_edges(&base, &[(4, 0), (1, 2)]);
+        assert_eq!(merged.edges(), &[(0, 4), (1, 2)]);
+        assert_eq!(merged.degree(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn incremental_merge_checks_range() {
+        let base = GraphBuilder::new(3).build();
+        Graph::from_csr_plus_edges(&base, &[(0, 3)]);
     }
 }

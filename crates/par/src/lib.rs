@@ -8,7 +8,8 @@
 //!   jumping (the practical face of Liu–Tarjan '19; `fetch_min` hooks).
 //! * [`unionfind`] — lock-free concurrent union–find (CAS root splicing
 //!   with path halving), the strongest practical CC baseline
-//!   (ConnectIt-style).
+//!   (ConnectIt-style); exposes the resumable [`UnionFind`] that the
+//!   `logdiam-svc` incremental delta overlay builds on.
 //! * [`sv`] — Shiloach–Vishkin-style hook+shortcut rounds on atomics.
 //! * [`contract`] — alter-and-contract in the paper's spirit: relax labels
 //!   over edges, flatten, rewrite every edge to its component labels and
@@ -25,6 +26,8 @@ pub mod contract;
 pub mod labelprop;
 pub mod sv;
 pub mod unionfind;
+
+pub use unionfind::UnionFind;
 
 use std::sync::atomic::{AtomicU32, Ordering};
 

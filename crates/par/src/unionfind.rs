@@ -3,23 +3,111 @@
 //! cf. ConnectIt). Linearizable enough for connectivity: every successful
 //! CAS hooks a *root* onto a smaller-id vertex, so the structure stays an
 //! id-decreasing forest at all times.
+//!
+//! The structure is exposed as a resumable [`UnionFind`]: callers that
+//! maintain connectivity state across edge batches (the `logdiam-svc`
+//! delta overlay) and the one-shot [`unionfind_cc`] entry point share one
+//! implementation.
 
 use crate::{finalize_labels, find, identity_parents};
 use cc_graph::Graph;
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A resumable concurrent union–find over vertices `0..n`.
+///
+/// [`absorb`](UnionFind::absorb) takes `&self` and is safe to call from
+/// many threads at once (all mutation is CAS on atomics); it can be called
+/// any number of times, so incremental edge streams resume where the last
+/// batch left off. The forest is id-decreasing at all times, which makes
+/// every root the minimum vertex of its set — [`representative`]
+/// (UnionFind::representative) therefore returns canonical min-vertex
+/// labels directly.
+///
+/// Read methods ([`representative`](UnionFind::representative),
+/// [`same_set`](UnionFind::same_set), [`labels`](UnionFind::labels)) are
+/// deterministic in quiescent state (no concurrent `absorb`); while a
+/// batch is in flight they are still safe but may observe a prefix of its
+/// unions, so epoch-consistent readers should query a published snapshot
+/// instead (see `logdiam-svc`).
+pub struct UnionFind {
+    p: Vec<AtomicU32>,
+}
+
+impl UnionFind {
+    /// A fresh singleton partition over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            p: identity_parents(n),
+        }
+    }
+
+    /// Resume from an existing component labeling: vertex `v` starts in
+    /// the same set as every vertex with `labels[v]`'s label. Labels may
+    /// be any valid partition labeling with vertex-id values (as produced
+    /// by every CC entry point in this workspace); they are canonicalized
+    /// to min-vertex parents internally, so the forest invariant holds
+    /// regardless of which algorithm produced them.
+    pub fn from_labels(labels: &[u32]) -> Self {
+        let n = labels.len();
+        let mut min_of = vec![u32::MAX; n];
+        for (v, &l) in labels.iter().enumerate() {
+            let slot = &mut min_of[l as usize];
+            if (v as u32) < *slot {
+                *slot = v as u32;
+            }
+        }
+        let p = labels
+            .iter()
+            .map(|&l| AtomicU32::new(min_of[l as usize]))
+            .collect();
+        UnionFind { p }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// Whether the structure has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.p.is_empty()
+    }
+
+    /// Merge the endpoints of every edge in the batch, in parallel.
+    /// Self-loops are no-ops; duplicate and already-connected edges are
+    /// absorbed for free (the CAS loop exits on equal roots).
+    pub fn absorb(&self, edges: &[(u32, u32)]) {
+        edges.par_iter().for_each(|&(u, v)| {
+            unite(&self.p, u, v);
+        });
+    }
+
+    /// The canonical (minimum-vertex) representative of `v`'s set.
+    pub fn representative(&self, v: u32) -> u32 {
+        find(&self.p, v)
+    }
+
+    /// Whether `u` and `v` are currently in the same set.
+    pub fn same_set(&self, u: u32, v: u32) -> bool {
+        self.representative(u) == self.representative(v)
+    }
+
+    /// Canonical min-vertex component labels for all vertices (parallel).
+    pub fn labels(&self) -> Vec<u32> {
+        finalize_labels(&self.p)
+    }
+}
 
 /// Connected components via concurrent union–find.
 pub fn unionfind_cc(g: &Graph) -> Vec<u32> {
-    let p = identity_parents(g.n());
-    g.edges().par_iter().for_each(|&(u, v)| {
-        unite(&p, u, v);
-    });
-    finalize_labels(&p)
+    let uf = UnionFind::new(g.n());
+    uf.absorb(g.edges());
+    uf.labels()
 }
 
 /// Merge the sets of `u` and `v`.
-fn unite(p: &[std::sync::atomic::AtomicU32], u: u32, v: u32) {
+fn unite(p: &[AtomicU32], u: u32, v: u32) {
     let (mut ru, mut rv) = (find(p, u), find(p, v));
     loop {
         if ru == rv {
@@ -82,5 +170,47 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(unionfind_cc(&g), a);
         }
+    }
+
+    #[test]
+    fn absorb_resumes_across_batches() {
+        let g = gen::gnm(1200, 4000, 9);
+        let one_shot = unionfind_cc(&g);
+        let uf = UnionFind::new(g.n());
+        for chunk in g.edges().chunks(157) {
+            uf.absorb(chunk);
+        }
+        assert_eq!(uf.labels(), one_shot);
+    }
+
+    #[test]
+    fn absorb_tolerates_loops_and_duplicates() {
+        let uf = UnionFind::new(4);
+        uf.absorb(&[(2, 2), (0, 1), (1, 0), (0, 1)]);
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(1, 2));
+        assert_eq!(uf.labels(), vec![0, 0, 2, 3]);
+    }
+
+    #[test]
+    fn from_labels_resumes_a_finished_run() {
+        let g = gen::union_all(&[gen::path(6), gen::path(5)]);
+        let labels = unionfind_cc(&g); // {0..5}, {6..10}
+        let uf = UnionFind::from_labels(&labels);
+        assert_eq!(uf.labels(), labels);
+        assert!(uf.same_set(0, 5));
+        assert!(!uf.same_set(0, 6));
+        // Bridge the two components incrementally.
+        uf.absorb(&[(5, 6)]);
+        assert!(uf.same_set(0, 10));
+        assert_eq!(uf.representative(10), 0);
+    }
+
+    #[test]
+    fn from_labels_canonicalizes_non_min_labels() {
+        // A valid partition labeling whose label values are not minima:
+        // {0,2} labeled 2, {1} labeled 1.
+        let uf = UnionFind::from_labels(&[2, 1, 2]);
+        assert_eq!(uf.labels(), vec![0, 1, 0]);
     }
 }

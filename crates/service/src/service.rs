@@ -1,0 +1,373 @@
+//! The connectivity service: writer state behind a mutex, epoch snapshots
+//! behind a read-mostly ring.
+
+use crate::{Edge, Epoch, EpochError, RebuildBackend, Snapshot, SvcParams};
+use cc_graph::Graph;
+use logdiam_par::unionfind::{unionfind_cc, UnionFind};
+use pram_kit::PairSet;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Seed for the delta dedup set; fixed so replays are deterministic.
+const DELTA_DEDUP_SEED: u64 = 0xD317_A5E7;
+
+/// A connectivity service over a mutable graph: batched edge insertions
+/// mutate an epoch-versioned labeling; queries read published immutable
+/// snapshots. See the crate docs for the design.
+///
+/// Writer path ([`apply_batch`](ConnectivityService::apply_batch)) and
+/// read path ([`query`](ConnectivityService::query) and friends) are
+/// internally synchronized: the service is `Sync`, batches from
+/// concurrent callers serialize on the writer mutex, and readers only
+/// take a brief read-lock to clone an `Arc` off the snapshot ring — they
+/// never wait for an in-flight batch.
+pub struct ConnectivityService {
+    params: SvcParams,
+    inner: Mutex<Inner>,
+    /// Published snapshots for the most recent epochs, oldest first. The
+    /// back entry is always the latest epoch.
+    published: RwLock<VecDeque<Arc<Snapshot>>>,
+}
+
+/// Writer-side state: the rebuilt base plus the delta overlay on top.
+struct Inner {
+    /// The base CSR graph from the last full rebuild.
+    base: Graph,
+    /// Concurrent union–find over all n vertices, seeded from the base
+    /// labeling and advanced by every absorbed delta edge.
+    overlay: UnionFind,
+    /// Distinct delta edges absorbed since the last rebuild, in arrival
+    /// order (becomes the `extra` list of the next rebuild's CSR fold).
+    delta: Vec<Edge>,
+    /// Exact dedup set over `delta` (reset at each rebuild).
+    seen: PairSet,
+    epoch: Epoch,
+    rebuilds: u64,
+}
+
+impl ConnectivityService {
+    /// Start a service over an initial graph. The initial labeling is
+    /// computed with the configured rebuild backend and published as
+    /// epoch 0.
+    pub fn new(initial: Graph, params: SvcParams) -> Self {
+        assert!(
+            params.rebuild_threshold > 0,
+            "rebuild_threshold must be ≥ 1"
+        );
+        assert!(params.snapshot_history > 0, "snapshot_history must be ≥ 1");
+        let labels = run_backend(params.backend, &initial);
+        let overlay = UnionFind::from_labels(&labels);
+        let snapshot = Arc::new(Snapshot::new(0, overlay.labels(), initial.m(), 0, 0));
+        let inner = Inner {
+            base: initial,
+            overlay,
+            delta: Vec::new(),
+            seen: PairSet::with_capacity(DELTA_DEDUP_SEED, params.rebuild_threshold),
+            epoch: 0,
+            rebuilds: 0,
+        };
+        ConnectivityService {
+            params,
+            inner: Mutex::new(inner),
+            published: RwLock::new(VecDeque::from([snapshot])),
+        }
+    }
+
+    /// Number of vertices the service was built over.
+    pub fn n(&self) -> usize {
+        self.latest().labels().len()
+    }
+
+    /// The newest committed epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.latest().epoch()
+    }
+
+    /// Apply one batch of edge insertions and commit a new epoch.
+    ///
+    /// Self-loops are dropped; edges already present (in the base graph
+    /// or absorbed by an earlier batch since the last rebuild) don't
+    /// count toward the rebuild threshold. The surviving edges are
+    /// absorbed into the overlay union–find in parallel; if the overlay
+    /// then holds ≥ [`SvcParams::rebuild_threshold`] delta edges, the
+    /// deltas are folded into a fresh base CSR and fully recomputed with
+    /// the configured backend. Either way the new labeling is sealed into
+    /// a [`Snapshot`] and published before the epoch number is returned,
+    /// so a query at the returned epoch always succeeds (until evicted).
+    ///
+    /// An empty batch (or one that is all duplicates/loops) still commits
+    /// and publishes an epoch — callers can rely on one epoch per call.
+    pub fn apply_batch(&self, batch: &[Edge]) -> Epoch {
+        let mut inner = self.inner.lock().expect("service writer poisoned");
+        // One normalization rule shared with the rebuild fold: loop-drop,
+        // exact dedup (persistent `seen` across batches), already-in-base
+        // filter — see `Graph::dedup_new_edges`.
+        let Inner { base, seen, .. } = &mut *inner;
+        let fresh = base.dedup_new_edges(batch, seen);
+        inner.overlay.absorb(&fresh);
+        inner.delta.extend_from_slice(&fresh);
+        if inner.delta.len() >= self.params.rebuild_threshold {
+            self.rebuild(&mut inner);
+        }
+        inner.epoch += 1;
+        let snapshot = Arc::new(Snapshot::new(
+            inner.epoch,
+            inner.overlay.labels(),
+            inner.base.m(),
+            inner.delta.len(),
+            inner.rebuilds,
+        ));
+        let epoch = inner.epoch;
+        {
+            let mut ring = self.published.write().expect("snapshot ring poisoned");
+            ring.push_back(snapshot);
+            while ring.len() > self.params.snapshot_history {
+                ring.pop_front();
+            }
+        }
+        epoch
+    }
+
+    /// Fold the accumulated deltas into a fresh base CSR and recompute
+    /// the labeling from scratch with the configured backend.
+    fn rebuild(&self, inner: &mut Inner) {
+        let base = Graph::from_csr_plus_edges(&inner.base, &inner.delta);
+        let labels = run_backend(self.params.backend, &base);
+        inner.overlay = UnionFind::from_labels(&labels);
+        inner.base = base;
+        inner.delta.clear();
+        inner.seen = PairSet::with_capacity(
+            DELTA_DEDUP_SEED ^ inner.rebuilds.wrapping_add(1),
+            self.params.rebuild_threshold,
+        );
+        inner.rebuilds += 1;
+    }
+
+    /// The latest published snapshot.
+    pub fn latest(&self) -> Arc<Snapshot> {
+        self.published
+            .read()
+            .expect("snapshot ring poisoned")
+            .back()
+            .expect("ring always holds the latest snapshot")
+            .clone()
+    }
+
+    /// The snapshot published at `at`, if still retained.
+    pub fn snapshot(&self, at: Epoch) -> Result<Arc<Snapshot>, EpochError> {
+        let ring = self.published.read().expect("snapshot ring poisoned");
+        let oldest = ring.front().expect("ring never empty").epoch();
+        let latest = ring.back().expect("ring never empty").epoch();
+        if at > latest {
+            return Err(EpochError::Future {
+                requested: at,
+                latest,
+            });
+        }
+        if at < oldest {
+            return Err(EpochError::Evicted {
+                requested: at,
+                oldest,
+            });
+        }
+        Ok(ring[(at - oldest) as usize].clone())
+    }
+
+    /// Were `u` and `v` connected at epoch `at`?
+    pub fn query(&self, u: u32, v: u32, at: Epoch) -> Result<bool, EpochError> {
+        Ok(self.snapshot(at)?.connected(u, v))
+    }
+
+    /// Are `u` and `v` connected in the latest epoch?
+    pub fn query_latest(&self, u: u32, v: u32) -> bool {
+        self.latest().connected(u, v)
+    }
+
+    /// Canonical component label of `u` in the latest epoch.
+    pub fn component_of(&self, u: u32) -> u32 {
+        self.latest().component_of(u)
+    }
+
+    /// Canonical component label of `u` at epoch `at`.
+    pub fn component_of_at(&self, u: u32, at: Epoch) -> Result<u32, EpochError> {
+        Ok(self.snapshot(at)?.component_of(u))
+    }
+
+    /// Component statistics for the latest epoch.
+    pub fn spectrum(&self) -> crate::Spectrum {
+        self.latest().spectrum()
+    }
+}
+
+/// Full recompute with the selected backend; always returns canonical
+/// min-vertex labels (the `FasterSim` labeling is canonicalized through
+/// [`UnionFind::from_labels`]), so every epoch's published labels are
+/// backend- and thread-count-independent.
+fn run_backend(backend: RebuildBackend, g: &Graph) -> Vec<u32> {
+    match backend {
+        RebuildBackend::UnionFind => unionfind_cc(g),
+        RebuildBackend::FasterSim { seed } => {
+            let mut pram = pram_sim::Pram::new(pram_sim::WritePolicy::ArbitrarySeeded(seed));
+            let report = logdiam_cc::theorem3::faster_cc(
+                &mut pram,
+                g,
+                seed,
+                &logdiam_cc::theorem3::FasterParams::default(),
+            );
+            UnionFind::from_labels(&report.run.labels).labels()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::seq::{components, same_partition};
+    use cc_graph::{gen, GraphBuilder};
+
+    fn svc(initial: Graph, threshold: usize) -> ConnectivityService {
+        ConnectivityService::new(
+            initial,
+            SvcParams {
+                rebuild_threshold: threshold,
+                ..SvcParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn initial_epoch_matches_ground_truth() {
+        let g = gen::union_all(&[gen::cycle(6), gen::path(5), gen::star(4)]);
+        let truth = components(&g);
+        let svc = svc(g, 64);
+        assert_eq!(svc.epoch(), 0);
+        assert!(same_partition(svc.latest().labels(), &truth));
+        assert_eq!(svc.spectrum().components, 3);
+    }
+
+    #[test]
+    fn batches_connect_components_and_advance_epochs() {
+        // Two paths: {0..4}, {5..9}.
+        let svc = svc(gen::union_all(&[gen::path(5), gen::path(5)]), 1024);
+        assert!(!svc.query_latest(0, 9));
+        let e1 = svc.apply_batch(&[(4, 5)]);
+        assert_eq!(e1, 1);
+        assert!(svc.query_latest(0, 9));
+        assert_eq!(svc.component_of(9), 0);
+        // Historical epoch 0 still answers the pre-batch state.
+        assert!(!svc.query(0, 9, 0).unwrap());
+        assert!(svc.query(0, 9, e1).unwrap());
+        assert_eq!(svc.spectrum().components, 1);
+    }
+
+    #[test]
+    fn empty_and_duplicate_batches_commit_epochs_without_growing_deltas() {
+        let svc = svc(gen::path(4), 1024);
+        let e1 = svc.apply_batch(&[]);
+        let e2 = svc.apply_batch(&[(0, 1), (1, 0), (2, 2)]); // all dups/loops
+        assert_eq!((e1, e2), (1, 2));
+        let sp = svc.spectrum();
+        assert_eq!(sp.delta_edges, 0);
+        assert_eq!(sp.components, 1);
+        assert_eq!(svc.latest().labels(), svc.snapshot(0).unwrap().labels());
+    }
+
+    #[test]
+    fn threshold_triggers_rebuild_and_folds_deltas_into_base() {
+        let svc = svc(GraphBuilder::new(8).build(), 3);
+        svc.apply_batch(&[(0, 1)]);
+        svc.apply_batch(&[(2, 3)]);
+        assert_eq!(svc.spectrum().rebuilds, 0);
+        assert_eq!(svc.spectrum().base_m, 0);
+        assert_eq!(svc.spectrum().delta_edges, 2);
+        // Third distinct edge crosses the threshold: rebuild fires.
+        svc.apply_batch(&[(4, 5)]);
+        let sp = svc.spectrum();
+        assert_eq!(sp.rebuilds, 1);
+        assert_eq!(sp.base_m, 3);
+        assert_eq!(sp.delta_edges, 0);
+        assert_eq!(sp.components, 5); // {0,1},{2,3},{4,5},{6},{7}
+                                      // An edge that was folded into the base no longer counts as new.
+        svc.apply_batch(&[(0, 1)]);
+        assert_eq!(svc.spectrum().delta_edges, 0);
+    }
+
+    #[test]
+    fn snapshot_history_evicts_old_epochs() {
+        let svc = ConnectivityService::new(
+            gen::path(3),
+            SvcParams {
+                snapshot_history: 2,
+                ..SvcParams::default()
+            },
+        );
+        svc.apply_batch(&[]);
+        svc.apply_batch(&[]);
+        svc.apply_batch(&[]);
+        assert!(matches!(
+            svc.snapshot(0),
+            Err(EpochError::Evicted {
+                requested: 0,
+                oldest: 2
+            })
+        ));
+        assert!(svc.snapshot(2).is_ok());
+        assert!(svc.snapshot(3).is_ok());
+        assert!(matches!(
+            svc.snapshot(9),
+            Err(EpochError::Future {
+                requested: 9,
+                latest: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn faster_sim_backend_agrees_with_unionfind_backend() {
+        let initial = gen::gnm(120, 150, 5);
+        let stream = gen::gnm(120, 90, 17);
+        let mk = |backend| {
+            ConnectivityService::new(
+                initial.clone(),
+                SvcParams {
+                    backend,
+                    rebuild_threshold: 40,
+                    ..SvcParams::default()
+                },
+            )
+        };
+        let a = mk(RebuildBackend::UnionFind);
+        let b = mk(RebuildBackend::FasterSim { seed: 11 });
+        for chunk in stream.edges().chunks(25) {
+            a.apply_batch(chunk);
+            b.apply_batch(chunk);
+        }
+        // Canonical labels are *identical*, not just partition-equal.
+        assert_eq!(a.latest().labels(), b.latest().labels());
+        assert!(a.spectrum().rebuilds >= 1);
+    }
+
+    #[test]
+    fn replay_matches_one_shot_on_union_graph() {
+        let initial = gen::union_all(&[gen::path(40), gen::gnm(60, 80, 3)]);
+        let stream = gen::gnm(100, 70, 21);
+        let svc = svc(initial.clone(), 16);
+        for chunk in stream.edges().chunks(9) {
+            svc.apply_batch(chunk);
+        }
+        let union = Graph::from_csr_plus_edges(&initial, stream.edges());
+        let truth = components(&union);
+        assert!(same_partition(svc.latest().labels(), &truth));
+        let mut distinct: Vec<u32> = truth.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(svc.spectrum().components, distinct.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_batch_edge_panics() {
+        let svc = svc(gen::path(3), 8);
+        svc.apply_batch(&[(0, 3)]);
+    }
+}

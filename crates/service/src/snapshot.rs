@@ -1,0 +1,136 @@
+//! Published, immutable per-epoch state: labels plus component statistics.
+
+use crate::Epoch;
+
+/// Component-structure statistics for one epoch — the service's
+/// observability surface.
+///
+/// Everything is derived from the epoch's canonical labeling in one O(n)
+/// pass at publish time, so reading a spectrum never touches the writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Spectrum {
+    /// The epoch this spectrum describes.
+    pub epoch: Epoch,
+    /// Vertex count.
+    pub n: usize,
+    /// Edges in the rebuilt base CSR (deltas not included).
+    pub base_m: usize,
+    /// Distinct delta edges absorbed by the overlay since the last
+    /// rebuild (0 right after a rebuild).
+    pub delta_edges: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Size of the largest component (0 on an empty vertex set).
+    pub largest_component: usize,
+    /// Number of isolated vertices (components of size 1).
+    pub isolated_vertices: usize,
+    /// Full rebuilds performed over the service's lifetime.
+    pub rebuilds: u64,
+}
+
+/// One epoch's published state: canonical min-vertex component labels and
+/// the [`Spectrum`] derived from them. Immutable once published; readers
+/// hold it through an `Arc` and are therefore never invalidated by later
+/// commits.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    labels: Vec<u32>,
+    spectrum: Spectrum,
+}
+
+impl Snapshot {
+    /// Seal a labeling into a snapshot, deriving the spectrum.
+    pub(crate) fn new(
+        epoch: Epoch,
+        labels: Vec<u32>,
+        base_m: usize,
+        delta_edges: usize,
+        rebuilds: u64,
+    ) -> Self {
+        let n = labels.len();
+        let mut size = vec![0u32; n];
+        for &l in &labels {
+            size[l as usize] += 1;
+        }
+        let mut components = 0usize;
+        let mut largest = 0u32;
+        let mut isolated = 0usize;
+        for &s in &size {
+            if s > 0 {
+                components += 1;
+                largest = largest.max(s);
+                isolated += (s == 1) as usize;
+            }
+        }
+        Snapshot {
+            labels,
+            spectrum: Spectrum {
+                epoch,
+                n,
+                base_m,
+                delta_edges,
+                components,
+                largest_component: largest as usize,
+                isolated_vertices: isolated,
+                rebuilds,
+            },
+        }
+    }
+
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> Epoch {
+        self.spectrum.epoch
+    }
+
+    /// Canonical min-vertex component labels for all vertices.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The component label of `u` at this epoch.
+    pub fn component_of(&self, u: u32) -> u32 {
+        self.labels[u as usize]
+    }
+
+    /// Whether `u` and `v` were connected at this epoch.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// Component statistics at this epoch.
+    pub fn spectrum(&self) -> Spectrum {
+        self.spectrum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_counts_components_sizes_and_isolates() {
+        // {0,1,2}, {3}, {4,5} — labels are min-vertex canonical.
+        let s = Snapshot::new(7, vec![0, 0, 0, 3, 4, 4], 3, 1, 2);
+        let sp = s.spectrum();
+        assert_eq!(sp.epoch, 7);
+        assert_eq!(sp.n, 6);
+        assert_eq!(sp.base_m, 3);
+        assert_eq!(sp.delta_edges, 1);
+        assert_eq!(sp.components, 3);
+        assert_eq!(sp.largest_component, 3);
+        assert_eq!(sp.isolated_vertices, 1);
+        assert_eq!(sp.rebuilds, 2);
+        assert!(s.connected(0, 2));
+        assert!(!s.connected(2, 3));
+        assert_eq!(s.component_of(5), 4);
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_defined() {
+        let s = Snapshot::new(0, vec![], 0, 0, 0);
+        let sp = s.spectrum();
+        assert_eq!(sp.components, 0);
+        assert_eq!(sp.largest_component, 0);
+        assert_eq!(sp.isolated_vertices, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests: the service's maintained labeling is always
+//! partition-equal to a one-shot recompute on the accumulated graph.
+//!
+//! The generator draws a random initial graph, a random edge stream
+//! (including out-of-stream duplicate edges and self-loops), and a random
+//! interleaving of `apply_batch` calls (batch boundaries, interposed
+//! empty batches, re-sent batches) with a small rebuild threshold so both
+//! the overlay path and the fold-and-rebuild path are exercised; after
+//! every commit the published partition must equal sequential ground
+//! truth on the union graph so far.
+
+use cc_graph::seq::{components, same_partition};
+use cc_graph::{gen, Graph, GraphBuilder};
+use logdiam_svc::{ConnectivityService, RebuildBackend, SvcParams};
+use proptest::prelude::*;
+
+/// A replay scenario: initial graph, edge stream, interleaving choices.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    initial: Vec<(u32, u32)>,
+    stream: Vec<(u32, u32)>,
+    batch: usize,
+    rebuild_threshold: usize,
+    /// Send every k-th batch twice (duplicate-edge case across batches).
+    resend_every: usize,
+    /// Interpose an empty batch every k-th batch.
+    empty_every: usize,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        8usize..120,
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+        // Stream pairs may repeat initial edges and contain loops: the
+        // service must drop both.
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..160),
+        1usize..24,
+        1usize..32,
+        any::<u64>(),
+    )
+        .prop_map(|(n, initial, stream, batch, rebuild_threshold, seed)| {
+            let nn = n as u32;
+            let clamp = |pairs: Vec<(u32, u32)>| -> Vec<(u32, u32)> {
+                pairs.into_iter().map(|(u, v)| (u % nn, v % nn)).collect()
+            };
+            let mut stream = clamp(stream);
+            // Deterministically sprinkle a self-loop into the stream.
+            if !stream.is_empty() {
+                let i = (seed % stream.len() as u64) as usize;
+                let v = stream[i].0;
+                stream[i] = (v, v);
+            }
+            Scenario {
+                n,
+                initial: clamp(initial),
+                stream,
+                batch,
+                rebuild_threshold,
+                resend_every: 2 + (seed % 3) as usize,
+                empty_every: 2 + (seed % 2) as usize,
+            }
+        })
+}
+
+fn initial_graph(s: &Scenario) -> Graph {
+    let mut b = GraphBuilder::new(s.n);
+    for &(u, v) in &s.initial {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Run a scenario; after every batch, compare the service partition to a
+/// one-shot recompute on the union of everything applied so far.
+fn check_replay(s: &Scenario, backend: RebuildBackend) {
+    let initial = initial_graph(s);
+    let svc = ConnectivityService::new(
+        initial.clone(),
+        SvcParams {
+            backend,
+            rebuild_threshold: s.rebuild_threshold,
+            snapshot_history: 4,
+        },
+    );
+    let mut applied: Vec<(u32, u32)> = Vec::new();
+    for (i, chunk) in s.stream.chunks(s.batch.max(1)).enumerate() {
+        if i % s.empty_every == 0 {
+            svc.apply_batch(&[]);
+        }
+        svc.apply_batch(chunk);
+        if i % s.resend_every == 0 {
+            svc.apply_batch(chunk); // exact duplicates: must be a no-op
+        }
+        applied.extend_from_slice(chunk);
+        let union = Graph::from_csr_plus_edges(&initial, &applied);
+        let truth = components(&union);
+        let snap = svc.latest();
+        assert!(
+            same_partition(snap.labels(), &truth),
+            "partition diverged after batch {i} (epoch {})",
+            snap.epoch()
+        );
+        // component_of is the same canonical labeling queries see.
+        for v in 0..s.n as u32 {
+            assert_eq!(svc.component_of(v), snap.labels()[v as usize]);
+        }
+    }
+    // Final cross-check: every pairwise query on a vertex sample agrees
+    // with ground truth on the accumulated graph.
+    let union = Graph::from_csr_plus_edges(&initial, &applied);
+    let truth = components(&union);
+    for u in (0..s.n as u32).step_by(7) {
+        for v in (0..s.n as u32).step_by(11) {
+            assert_eq!(
+                svc.query_latest(u, v),
+                truth[u as usize] == truth[v as usize]
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// The workhorse: random interleavings against the practical backend.
+    #[test]
+    fn replay_equals_one_shot_unionfind(s in arb_scenario()) {
+        check_replay(&s, RebuildBackend::UnionFind);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A thinner sweep through the simulated Theorem-3 rebuild backend
+    /// (each rebuild is a full PRAM simulation, so fewer cases).
+    #[test]
+    fn replay_equals_one_shot_faster_sim(s in arb_scenario(), seed in any::<u64>()) {
+        check_replay(&s, RebuildBackend::FasterSim { seed });
+    }
+}
+
+/// Structured family replays: generator edges streamed in order onto an
+/// empty base — rebuilds fire many times and the final state must be the
+/// full family graph's partition.
+#[test]
+fn family_streams_from_empty_base() {
+    for g in [
+        gen::path(300),
+        gen::grid(12, 25),
+        gen::union_all(&[gen::complete(9), gen::star(40), gen::cycle(17)]),
+        gen::preferential_attachment(200, 3, 5),
+    ] {
+        let svc = ConnectivityService::new(
+            GraphBuilder::new(g.n()).build(),
+            SvcParams {
+                rebuild_threshold: 64,
+                ..SvcParams::default()
+            },
+        );
+        for chunk in g.edges().chunks(23) {
+            svc.apply_batch(chunk);
+        }
+        assert!(same_partition(svc.latest().labels(), &components(&g)));
+        assert!(svc.spectrum().rebuilds >= 1, "rebuild path not exercised");
+    }
+}

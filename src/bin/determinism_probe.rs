@@ -80,6 +80,44 @@ fn main() {
         return;
     }
 
+    // `svc` replays a batched edge stream through the connectivity
+    // service (small rebuild threshold so the fold-and-rebuild path runs
+    // mid-trace) and fingerprints every epoch's published labels — the
+    // whole maintained history must be identical at any thread count.
+    if algo == "svc" {
+        use logdiam::service::{ConnectivityService, SvcParams};
+        let g = graph_for(family, n, seed);
+        let mut edges = g.edges().to_vec();
+        logdiam::graph::Rng::new(seed ^ 0x57EA4).shuffle(&mut edges);
+        let (initial_edges, stream) = edges.split_at(edges.len() / 2);
+        let mut b = logdiam::graph::GraphBuilder::new(g.n());
+        for &(u, v) in initial_edges {
+            b.add_edge(u, v);
+        }
+        let svc = ConnectivityService::new(
+            b.build(),
+            SvcParams {
+                rebuild_threshold: 48,
+                snapshot_history: 4,
+                ..SvcParams::default()
+            },
+        );
+        let mut acc = fnv1a(svc.latest().labels().iter().copied());
+        for chunk in stream.chunks(17) {
+            svc.apply_batch(chunk);
+            acc = acc
+                .rotate_left(1)
+                .wrapping_add(fnv1a(svc.latest().labels().iter().copied()));
+        }
+        svc.apply_batch(&[]); // empty commit must be deterministic too
+        let sp = svc.spectrum();
+        println!(
+            "{acc:016x} epoch={} components={} rebuilds={}",
+            sp.epoch, sp.components, sp.rebuilds
+        );
+        return;
+    }
+
     let g = graph_for(family, n, seed);
     let labels: Vec<u32> = match algo.as_str() {
         // --- simulated (logdiam-cc); all on seeded-ARBITRARY machines ---

@@ -15,6 +15,7 @@
 //! | [`graph`] (`cc-graph`) | CSR graphs, workload generators, sequential ground truth |
 //! | [`algorithms`] (`logdiam-cc`) | Theorems 1–3 plus classic baselines, on the simulator |
 //! | [`parallel`] (`logdiam-par`) | practical rayon/atomics ports for wall-clock benches |
+//! | [`service`] (`logdiam-svc`) | incremental connectivity service: batched edge streams, epoch snapshots, query API |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 pub use cc_graph as graph;
 pub use logdiam_cc as algorithms;
 pub use logdiam_par as parallel;
+pub use logdiam_svc as service;
 pub use pram_kit as kit;
 pub use pram_sim as pram;
 
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use crate::algorithms::theorem3::{faster_cc, FasterParams};
     pub use crate::algorithms::verify::{check_labels, check_spanning_forest};
     pub use crate::pram::{Pram, WritePolicy};
+    pub use crate::service::{ConnectivityService, RebuildBackend, SvcParams};
 }
 
 use graph::Graph;

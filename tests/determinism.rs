@@ -1,8 +1,9 @@
 //! Thread-count determinism suite.
 //!
 //! Every public CC entry point — Theorems 1/2/3, the simulated baselines,
-//! and all `logdiam-par` shared-memory algorithms — must produce identical
-//! component labels at `RAYON_NUM_THREADS` 1, 2, and 8; and seeded
+//! all `logdiam-par` shared-memory algorithms, and the `logdiam-svc`
+//! batched-replay service — must produce identical component labels at
+//! `RAYON_NUM_THREADS` 1, 2, and 8; and seeded
 //! ARBITRARY PRAM runs must be *bit-identical* (full memory image and
 //! traffic counters), which the sharded, priority-resolved commit is
 //! designed to guarantee. The pool size is fixed per process, so each
@@ -103,6 +104,20 @@ proptest! {
         for algo in PAR_ALGOS {
             assert_thread_invariant(algo, family, n, seed);
         }
+    }
+
+    /// The connectivity service: a batched replay (with mid-trace
+    /// rebuilds and an empty commit) must publish identical labels at
+    /// every epoch regardless of thread count — the overlay union–find
+    /// races internally, but canonical min-vertex labeling erases the
+    /// interleaving.
+    #[test]
+    fn svc_replay_is_thread_invariant(
+        family in family_strategy(),
+        n in 256usize..2048,
+        seed in 0u64..1000,
+    ) {
+        assert_thread_invariant("svc", family, n, seed);
     }
 
     /// Seeded ARBITRARY PRAM runs are bit-identical across thread counts:
