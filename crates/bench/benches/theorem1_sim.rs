@@ -27,6 +27,7 @@ fn bench_theorem1(c: &mut Criterion) {
         b.iter(|| {
             let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(6));
             let st = CcState::init(&mut pram, &g);
+            let live = logdiam_cc::live::LiveSet::full(&mut pram, &st);
             let e = expand(
                 &mut pram,
                 &st,
@@ -37,6 +38,7 @@ fn bench_theorem1(c: &mut Criterion) {
                     round_cap: 16,
                 },
                 6,
+                &live,
             );
             black_box(e.rounds)
         })

@@ -1,11 +1,18 @@
 //! `bench_report` — the reproducible perf baseline.
 //!
 //! Runs a fixed workload matrix — path / grid / power-law / mixture graphs
-//! at n ∈ {1e5, 1e6} — through the paper's Theorem-3 pipeline (on the PRAM
-//! simulator, i.e. the `Pram::step` host path) and all four `logdiam-par`
-//! practical algorithms, at 1 thread and at all available cores, and
-//! writes per-(workload, algorithm, threads) wall-clock medians to
-//! `BENCH_PR3.json`. Every future perf PR is judged against this file.
+//! at n ∈ {1e5, 1e6} plus path / grid at 4e6 — through the paper's
+//! Theorem-3 pipeline (on the PRAM simulator, i.e. the `Pram::step` host
+//! path) and all four `logdiam-par` practical algorithms, at 1 thread and
+//! at all available cores, and writes per-(workload, algorithm, threads)
+//! wall-clock medians to `BENCH_PR5.json`. Every future perf PR is judged
+//! against this file.
+//!
+//! `theorem3_sim` rows additionally carry the run's charged `work`, its
+//! `rounds`, and `work_per_m_round` = work / (m · rounds) — the
+//! near-work-efficiency invariant (E9): with live-work scheduling in both
+//! the rounds *and* the controller, this ratio stays flat as n grows,
+//! which is what justifies lifting the simulated range to 4e6.
 //!
 //! Because the rayon pool size is fixed at first use, the parent process
 //! re-executes itself once per thread count (`RAYON_NUM_THREADS=k
@@ -14,22 +21,25 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH]
+//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--sim-max-n N]
 //! ```
 //!
 //! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive)
-//! and additionally runs the **wall-clock guard**: a diameter-heavy
-//! `theorem3_sim` on path/2^14 must finish under a generous cap, so the
-//! O(n+m)-per-round pathology the PR3 live-work scheduler removed can
-//! never silently return. Smoke mode also replays the connectivity-service
-//! smoke trace (the `svc_driver` workload, capped at 5 s and verified
-//! against a from-scratch recompute) and writes its `BENCH_PR4.json`-schema
-//! report to `--svc-out` (default `BENCH_PR4_SMOKE.json`), so the service
-//! baseline emitter can never silently rot either. `--out` overrides the
-//! output path (default `BENCH_PR3.json`).
+//! and additionally runs the **wall-clock guards**: diameter-heavy
+//! `theorem3_sim`, `theorem1_sim`, and `theorem2_sim` runs on path/2^14
+//! must each finish under a generous cap, so an O(n+m)-per-round pathology
+//! in any of the live-scheduled drivers can never silently return. Smoke
+//! mode also replays the connectivity-service smoke trace (the
+//! `svc_driver` workload, capped at 5 s and verified against a
+//! from-scratch recompute) and writes its `BENCH_PR4.json`-schema report
+//! to `--svc-out` (default `BENCH_PR4_SMOKE.json`). `--out` overrides the
+//! output path (default `BENCH_PR5.json`); `--sim-max-n` raises (or
+//! lowers) the largest n the full Theorem-3 simulation runs at.
 
 use cc_graph::seq::{components, same_partition};
 use cc_graph::{gen, Graph};
+use logdiam_cc::theorem1::{connected_components, Theorem1Params};
+use logdiam_cc::theorem2::spanning_forest;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
 use logdiam_par::{
     contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
@@ -40,12 +50,12 @@ use std::process::Command;
 
 const SEED: u64 = 0xBEEF_CAFE;
 
-/// Largest n the full Theorem-3 *simulation* runs at. Since the live-work
-/// scheduler made per-round cost track the live subproblem, the 1e6
-/// workloads finish in minutes instead of hours, so the whole default
-/// matrix is simulated. Anything larger is skipped with a log line, never
-/// silently.
-const SIM_MAX_N: usize = 1_000_000;
+/// Default largest n the full Theorem-3 *simulation* runs at. With both
+/// the rounds and the controller live-sized (PR 5: charged LiveIndex
+/// rebuild, stamped MAXLINK, compacted postprocess), 4e6 path/grid runs
+/// finish in minutes. Overridable with `--sim-max-n`; anything larger is
+/// skipped with a log line naming the limit and the flag, never silently.
+const DEFAULT_SIM_MAX_N: usize = 4_000_000;
 
 /// Largest n at which `theorem3_sim` is cheap enough to repeat for an
 /// honest median; above this a single rep is taken and the JSON field is
@@ -57,9 +67,16 @@ const SIM_MEDIAN_MAX_N: usize = 100_000;
 /// while the live-work scheduler finishes in seconds.
 const GUARD_N: usize = 1 << 14;
 
-/// Generous cap for the guard run (per rep, milliseconds). The pre-PR3
-/// code needed ~2 minutes for this workload; the scheduler needs ~1 s.
+/// Generous cap for the theorem3 guard run (per rep, milliseconds). The
+/// pre-PR3 code needed ~2 minutes for this workload; the scheduler needs
+/// well under a second.
 const GUARD_CAP_MS: f64 = 60_000.0;
+
+/// Caps for the Theorem-1/Theorem-2 guards (per rep, milliseconds). Both
+/// drivers run the same live discipline; Theorem 2 snapshots its
+/// expansion tables, so it gets the same generous envelope.
+const GUARD_T1_CAP_MS: f64 = 60_000.0;
+const GUARD_T2_CAP_MS: f64 = 60_000.0;
 
 /// Steps of the `pram_step` microworkload: each step runs n processors
 /// that read one cell and write another (with a deterministic per-step
@@ -81,14 +98,15 @@ fn pram_step_workload(n: usize) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_report [--smoke] [--out PATH] [--svc-out PATH]");
+    eprintln!("usage: bench_report [--smoke] [--out PATH] [--svc-out PATH] [--sim-max-n N]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
     let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
+    let mut sim_max_n = DEFAULT_SIM_MAX_N;
     let mut child = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -97,13 +115,19 @@ fn main() {
             "--child" => child = true,
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
             "--svc-out" => svc_out_path = args.next().unwrap_or_else(|| usage()),
+            "--sim-max-n" => {
+                sim_max_n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
     if child {
-        run_child(smoke);
+        run_child(smoke, sim_max_n);
     } else {
-        run_parent(smoke, &out_path, &svc_out_path);
+        run_parent(smoke, &out_path, &svc_out_path, sim_max_n);
     }
 }
 
@@ -112,7 +136,7 @@ fn sizes(smoke: bool) -> Vec<usize> {
     if smoke {
         vec![3_000]
     } else {
-        vec![100_000, 1_000_000]
+        vec![100_000, 1_000_000, 4_000_000]
     }
 }
 
@@ -121,11 +145,17 @@ const FAMILIES: [&str; 4] = ["path", "grid", "powerlaw", "mixture"];
 /// Workload names, cheap to enumerate; graphs are built one at a time by
 /// [`build_graph`] and dropped before the next workload, so a 1e6 graph's
 /// footprint never sits resident while an unrelated simulation runs
-/// (keeping RSS flat keeps the measurements independent).
+/// (keeping RSS flat keeps the measurements independent). Beyond 1e6 only
+/// path and grid run — the diameter-stress shapes the 4e6 target names —
+/// so the matrix grows where the live-work story is tested, not where
+/// graph generation dominates.
 fn workload_names(smoke: bool) -> Vec<(String, &'static str, usize)> {
     let mut out = Vec::new();
     for n in sizes(smoke) {
         for family in FAMILIES {
+            if n > 1_000_000 && !matches!(family, "path" | "grid") {
+                continue;
+            }
             out.push((format!("{family}/{n}"), family, n));
         }
     }
@@ -153,6 +183,13 @@ fn build_graph(family: &str, n: usize) -> Graph {
     }
 }
 
+/// Simulation telemetry attached to `theorem3_sim` rows.
+struct SimCost {
+    rounds: u64,
+    work: u64,
+    work_per_m_round: f64,
+}
+
 /// One measurement row, serialized as a JSON object. A median is only a
 /// median with ≥ 3 reps; single-rep rows are labeled `ms` instead of
 /// `median_ms` so the JSON never overstates its statistics (CI's smoke
@@ -165,14 +202,23 @@ struct Row {
     threads: u64,
     reps: usize,
     ms: f64,
+    sim: Option<SimCost>,
 }
 
 impl Row {
     fn to_json(&self) -> String {
         let field = if self.reps >= 3 { "median_ms" } else { "ms" };
+        let sim = match &self.sim {
+            Some(s) => format!(
+                ",\"rounds\":{},\"work\":{},\"work_per_m_round\":{:.3}",
+                s.rounds, s.work, s.work_per_m_round
+            ),
+            None => String::new(),
+        };
         format!(
-            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}}}",
-            self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}}}",
+            self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms,
+            sim
         )
     }
 }
@@ -192,9 +238,23 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     times[times.len() / 2]
 }
 
+/// One verified `faster_cc` run returning its charged-cost telemetry.
+fn faster_run(g: &Graph, check: &impl Fn(&[u32])) -> SimCost {
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+    let report = faster_cc(&mut pram, g, SEED, &FasterParams::default());
+    check(&report.run.labels);
+    let work = report.run.stats.work;
+    let rounds = report.run.rounds.max(1);
+    SimCost {
+        rounds: report.run.rounds,
+        work,
+        work_per_m_round: work as f64 / (g.m().max(1) as f64 * rounds as f64),
+    }
+}
+
 /// Child mode: run the matrix at this process's (env-pinned) thread count
 /// and print one JSON object per line.
-fn run_child(smoke: bool) {
+fn run_child(smoke: bool, sim_max_n: usize) {
     let threads = rayon::current_num_threads() as u64;
     let reps = 3;
     let stdout = std::io::stdout();
@@ -208,7 +268,7 @@ fn run_child(smoke: bool) {
                 "bench_report: {name} produced wrong labels"
             )
         };
-        let row = |algorithm: &'static str, reps: usize, ms: f64| {
+        let row = |algorithm: &'static str, reps: usize, ms: f64, sim: Option<SimCost>| {
             eprintln!("bench_report: [{name}] {algorithm}: done");
             Row {
                 workload: name.clone(),
@@ -218,79 +278,116 @@ fn run_child(smoke: bool) {
                 threads,
                 reps,
                 ms,
+                sim,
             }
         };
-        if g.n() <= SIM_MAX_N {
+        if g.n() <= sim_max_n {
             // A simulated rep is deterministic in its seed but minutes long
-            // at 1e6; repeat only where the live-work scheduler makes reps
+            // at 1e6+; repeat only where the live-work scheduler makes reps
             // cheap, and label the single-rep case honestly (see Row).
             let sim_reps = if g.n() <= SIM_MEDIAN_MAX_N { reps } else { 1 };
+            let mut cost = None;
             let ms = time_ms(sim_reps, || {
-                let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
-                let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
-                check(&report.run.labels);
+                // Identical seed per rep → identical charged cost; keep the
+                // last rep's telemetry.
+                cost = Some(faster_run(&g, &check));
             });
-            emit(row("theorem3_sim", sim_reps, ms));
+            emit(row("theorem3_sim", sim_reps, ms, cost));
         } else {
             eprintln!(
-                "bench_report: skipping theorem3_sim on {name} (n > {SIM_MAX_N}; \
-                 simulator cost would be hours — pram_step covers the step path)"
+                "bench_report: skipping theorem3_sim on {name} \
+                 (n {size} > configured sim-max-n limit {sim_max_n}; \
+                 raise with --sim-max-n N to simulate larger inputs)"
             );
         }
         emit(row(
             "pram_step",
             reps,
             time_ms(reps, || pram_step_workload(g.n())),
+            None,
         ));
         emit(row(
             "labelprop",
             reps,
             time_ms(reps, || check(&labelprop_cc(&g))),
+            None,
         ));
         emit(row(
             "unionfind",
             reps,
             time_ms(reps, || check(&unionfind_cc(&g))),
+            None,
         ));
-        emit(row("sv", reps, time_ms(reps, || check(&sv_cc(&g)))));
+        emit(row("sv", reps, time_ms(reps, || check(&sv_cc(&g))), None));
         emit(row(
             "contract",
             reps,
             time_ms(reps, || check(&contract_cc(&g))),
+            None,
         ));
     }
     if smoke {
-        // Wall-clock guard: diameter-heavy simulation under a hard cap.
+        // Wall-clock guards: diameter-heavy simulations under hard caps,
+        // one per live-scheduled driver family.
         let g = gen::path(GUARD_N);
         let truth = components(&g);
-        let ms = time_ms(reps, || {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
-            let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
+        let check = |labels: &[u32]| {
             assert!(
-                same_partition(&report.run.labels, &truth),
+                same_partition(labels, &truth),
                 "bench_report: guard workload produced wrong labels"
-            );
+            )
+        };
+        let guard_row = |algorithm: &'static str, ms: f64, sim: Option<SimCost>| Row {
+            workload: format!("path/{GUARD_N}"),
+            n: g.n(),
+            m: g.m(),
+            algorithm,
+            threads,
+            reps,
+            ms,
+            sim,
+        };
+
+        let mut cost = None;
+        let ms = time_ms(reps, || {
+            cost = Some(faster_run(&g, &check));
         });
         assert!(
             ms < GUARD_CAP_MS,
             "wall-clock guard tripped: theorem3_sim on path/{GUARD_N} took {ms:.0} ms \
              (cap {GUARD_CAP_MS:.0} ms) — per-round cost is no longer tracking live work"
         );
-        emit(Row {
-            workload: format!("path/{GUARD_N}"),
-            n: g.n(),
-            m: g.m(),
-            algorithm: "theorem3_sim",
-            threads,
-            reps,
-            ms,
+        emit(guard_row("theorem3_sim", ms, cost));
+
+        let ms = time_ms(reps, || {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+            let report = connected_components(&mut pram, &g, SEED, &Theorem1Params::default());
+            check(&report.labels);
         });
+        assert!(
+            ms < GUARD_T1_CAP_MS,
+            "wall-clock guard tripped: theorem1_sim on path/{GUARD_N} took {ms:.0} ms \
+             (cap {GUARD_T1_CAP_MS:.0} ms) — per-phase cost is no longer tracking live work"
+        );
+        emit(guard_row("theorem1_sim", ms, None));
+
+        let ms = time_ms(reps, || {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+            let report = spanning_forest(&mut pram, &g, SEED, &Theorem1Params::default());
+            check(&report.labels);
+        });
+        assert!(
+            ms < GUARD_T2_CAP_MS,
+            "wall-clock guard tripped: theorem2_sim on path/{GUARD_N} took {ms:.0} ms \
+             (cap {GUARD_T2_CAP_MS:.0} ms) — per-phase cost is no longer tracking live work"
+        );
+        emit(guard_row("theorem2_sim", ms, None));
     }
 }
 
 /// Parent mode: one child process per thread count, merged into the JSON
 /// report.
-fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str) {
+fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str, sim_max_n: usize) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -303,7 +400,9 @@ fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str) {
     for &t in &thread_counts {
         eprintln!("bench_report: measuring at {t} thread(s)...");
         let mut cmd = Command::new(&exe);
-        cmd.arg("--child").env("RAYON_NUM_THREADS", t.to_string());
+        cmd.arg("--child")
+            .args(["--sim-max-n", &sim_max_n.to_string()])
+            .env("RAYON_NUM_THREADS", t.to_string());
         if smoke {
             cmd.arg("--smoke");
         }
@@ -322,7 +421,7 @@ fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str) {
         );
     }
     let json = format!(
-        "{{\n  \"report\": \"logdiam perf baseline\",\n  \"emitter\": \"bench_report\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"thread_counts\": {thread_counts:?},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"report\": \"logdiam perf baseline\",\n  \"emitter\": \"bench_report\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"sim_max_n\": {sim_max_n},\n  \"thread_counts\": {thread_counts:?},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
         rows.join(",\n    ")
     );
     std::fs::write(out_path, &json).expect("cannot write report");

@@ -1,5 +1,11 @@
 //! Ad-hoc probe: per-round live/table/work telemetry of a Theorem-3 run
 //! on a path graph (straggler-tail diagnosis).
+//!
+//! `work` is the round's charged step work; `compact` is the charged work
+//! of the round's two live-index rebuilds (the Lemma-D.2 compaction),
+//! reported separately so the controller's own bookkeeping cost is
+//! visible. On a healthy run every column decays with the live subproblem
+//! — no column may flatline at a value scaling with n.
 
 use cc_graph::gen;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
@@ -18,8 +24,15 @@ fn main() {
     for m in &r.run.per_round {
         if m.round % 5 == 0 || m.round <= 3 || m.round + 3 >= r.run.rounds {
             eprintln!(
-                "round {:3}: work {:10} live_arcs {:7} ongoing {:7} maxlvl {} table_words {:9} dormant {:6}",
-                m.round, m.work, m.live_arcs, m.ongoing, m.max_level, m.table_words, m.dormant
+                "round {:3}: work {:10} compact {:9} live_arcs {:7} ongoing {:7} maxlvl {} table_words {:9} dormant {:6}",
+                m.round,
+                m.work,
+                m.compaction_work,
+                m.live_arcs,
+                m.ongoing,
+                m.max_level,
+                m.table_words,
+                m.dormant
             );
         }
     }
@@ -28,6 +41,16 @@ fn main() {
         r.run.rounds, r.run.stop, r.run.prepare_rounds
     );
     eprintln!("post phases {} post stop {:?}", r.post.rounds, r.post.stop);
+    let main_work: u64 = r.run.per_round.iter().map(|m| m.work).sum();
+    let compact_work: u64 = r.run.per_round.iter().map(|m| m.compaction_work).sum();
+    eprintln!(
+        "total work {} (rounds step {} + compaction {} + postprocess {} + startup {})",
+        r.run.stats.work,
+        main_work,
+        compact_work,
+        r.post_work,
+        r.run.stats.work - main_work - compact_work - r.post_work
+    );
     eprintln!("table peak words {}", r.table_peak_words);
     eprintln!("total {:?} (main+post)", main_done);
 }

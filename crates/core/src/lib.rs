@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod live;
 pub mod metrics;
 pub mod state;
 pub mod theorem1;

@@ -33,9 +33,16 @@ pub struct RoundMetrics {
     /// `O(log d)` loop of §B.3 Step 5).
     pub expand_rounds: u64,
     /// Charged work (Σ active processors × charge) executed during this
-    /// round — the live-work regression guard reads this to verify that
-    /// per-round cost tracks the live subproblem, not O(n + m).
+    /// round, *excluding* the controller's compaction work (reported
+    /// separately below) — the live-work regression guard reads this to
+    /// verify that per-round step cost tracks the live subproblem, not
+    /// O(n + m).
     pub work: u64,
+    /// Charged work of the round's live-index compaction (the Lemma-D.2
+    /// rebuild: arc/table-cell filtering, endpoint dedup, root
+    /// re-derivation). Kept distinct from `work` so the scheduler's own
+    /// bookkeeping cost is visible instead of being folded into step work.
+    pub compaction_work: u64,
     /// Live (non-loop, post-dedup) arcs at the end of the round (Theorem 3
     /// live-work scheduling) — 0 where not applicable.
     pub live_arcs: usize,

@@ -18,7 +18,18 @@
 //! The first-dormant-round of every vertex is recorded (`fdr`), because
 //! Theorem 2's TREE-LINK replays liveness per round; Theorem 1 only needs
 //! "dormant at the end" (`fdr != NULL`).
+//!
+//! **Live-work scheduling.** Every charged step iterates the caller's
+//! [`LiveSet`]: the block lottery, liveness recording, and table seeding
+//! run one processor per *ongoing* vertex (`live.verts`), the per-arc
+//! inserts and collision checks one per *live* arc (`live.arcs`), and the
+//! squaring rounds one per occupied-block cell pair (`owned` — already
+//! live-sized). The per-vertex `fdr` flag array is still allocated at `n`
+//! cells so runtime vertex ids index it directly, but allocation is
+//! uncharged host setup (arena-recycled memset) — no charged step scales
+//! with `n` or `m`.
 
+use crate::live::LiveSet;
 use crate::state::CcState;
 use pram_kit::ops::Flag;
 use pram_kit::PairwiseHash;
@@ -55,8 +66,6 @@ pub struct Expansion {
     /// First-dormant-round per vertex: `NULL` = never dormant (live),
     /// [`FDR_FULLY`] = no block, `i + 1` = became dormant in round `i`.
     pub fdr: Handle,
-    /// Ongoing flags per vertex (endpoints of non-loop arcs).
-    pub ongoing: Handle,
     /// The vertex→block hash.
     pub hb: PairwiseHash,
     /// The vertex→cell hash.
@@ -82,15 +91,21 @@ impl Expansion {
         pram.free(self.tables);
         pram.free(self.owner);
         pram.free(self.fdr);
-        pram.free(self.ongoing);
         for s in self.snapshots {
             pram.free(s);
         }
     }
 }
 
-/// Run EXPAND on the current graph (arcs of `st`); see module docs.
-pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -> Expansion {
+/// Run EXPAND on the current graph (the live arcs of `st`, scheduled over
+/// `live`); see module docs.
+pub fn expand(
+    pram: &mut Pram,
+    st: &CcState,
+    params: &ExpandParams,
+    seed: u64,
+    live: &LiveSet,
+) -> Expansion {
     let n = st.n;
     let k = params.table_size;
     let nblocks = params.nblocks;
@@ -102,41 +117,31 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
     let tables = pram.alloc_filled(nblocks * k, NULL);
     let owner = pram.alloc_filled(nblocks, NULL);
     let fdr = pram.alloc_filled(n, NULL);
-    let ongoing = pram.alloc_filled(n, 0);
     let live3 = pram.alloc_filled(n, 0);
 
-    // Ongoing flags: endpoints of non-loop arcs (Definition B.1 via
-    // Lemma B.2 — at phase start trees are flat and arcs sit on roots).
-    pram.step(st.arcs, |i, ctx| {
-        let i = i as usize;
-        let a = ctx.read(eu, i);
-        let b = ctx.read(ev, i);
-        if a != b {
-            ctx.write(ongoing, a as usize, 1);
-            ctx.write(ongoing, b as usize, 1);
-        }
-    });
+    // (There is no ongoing-flag pass: `live.verts` *is* the set of
+    // non-loop-arc endpoints — Definition B.1 via Lemma B.2 — and every
+    // consumer iterates it directly.)
 
     // Step 2: block lottery.
-    pram.step(n, |v, ctx| {
-        if ctx.read(ongoing, v as usize) == 1 {
-            ctx.write(owner, hb.eval(v) as usize, v);
-        }
+    pram.step_over(&live.verts, move |_, &v, ctx| {
+        ctx.write(owner, hb.eval(v as u64) as usize, v as u64);
     });
-    pram.step(n, |v, ctx| {
-        if ctx.read(ongoing, v as usize) == 1 && ctx.read(owner, hb.eval(v) as usize) != v {
+    pram.step_over(&live.verts, move |_, &v, ctx| {
+        if ctx.read(owner, hb.eval(v as u64) as usize) != v as u64 {
             ctx.write(fdr, v as usize, FDR_FULLY);
         }
     });
     // Record step-3 liveness (the paper's "live before Step (3)").
-    pram.step(n, |v, ctx| {
-        if ctx.read(ongoing, v as usize) == 1 && ctx.read(fdr, v as usize) == NULL {
+    pram.step_over(&live.verts, move |_, &v, ctx| {
+        if ctx.read(fdr, v as usize) == NULL {
             ctx.write(live3, v as usize, 1);
         }
     });
 
     // Step 3: seed the tables. Self-insert...
-    pram.step(n, |v, ctx| {
+    pram.step_over(&live.verts, move |_, &v, ctx| {
+        let v = v as u64;
         if ctx.read(live3, v as usize) == 1 {
             let blk = hb.eval(v);
             ctx.write(tables, blk as usize * k + hv.eval(v) as usize, v);
@@ -144,8 +149,8 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
     });
     // ...and per-arc inserts; arcs with a non-live tail mark their head
     // dormant (round 0).
-    pram.step(st.arcs, |i, ctx| {
-        let i = i as usize;
+    pram.step_over(&live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let a = ctx.read(eu, i);
         let b = ctx.read(ev, i);
         if a == b {
@@ -160,7 +165,8 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
     });
 
     // Step 4: collision detection for every hash done in step 3.
-    pram.step(n, |v, ctx| {
+    pram.step_over(&live.verts, move |_, &v, ctx| {
+        let v = v as u64;
         if ctx.read(live3, v as usize) == 1 {
             let blk = hb.eval(v);
             if ctx.read(tables, blk as usize * k + hv.eval(v) as usize) != v {
@@ -168,8 +174,8 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
             }
         }
     });
-    pram.step(st.arcs, |i, ctx| {
-        let i = i as usize;
+    pram.step_over(&live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let a = ctx.read(eu, i);
         let b = ctx.read(ev, i);
         if a == b || ctx.read(live3, a as usize) != 1 {
@@ -291,7 +297,6 @@ pub fn expand(pram: &mut Pram, st: &CcState, params: &ExpandParams, seed: u64) -
         tables,
         owner,
         fdr,
-        ongoing,
         hb,
         hv,
         owned,
@@ -310,13 +315,14 @@ mod tests {
     fn setup(g: &cc_graph::Graph, k: usize, seed: u64) -> (Pram, CcState, Expansion) {
         let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
         let st = CcState::init(&mut pram, g);
+        let live = LiveSet::full(&mut pram, &st);
         let params = ExpandParams {
             table_size: k,
             nblocks: (4 * g.n()).next_power_of_two(),
             snapshot: false,
             round_cap: 24,
         };
-        let e = expand(&mut pram, &st, &params, seed);
+        let e = expand(&mut pram, &st, &params, seed, &live);
         (pram, st, e)
     }
 
@@ -392,13 +398,14 @@ mod tests {
         let g = gen::path(40);
         let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(5));
         let st = CcState::init(&mut pram, &g);
+        let live = LiveSet::full(&mut pram, &st);
         let params = ExpandParams {
             table_size: 64,
             nblocks: (4 * g.n()).next_power_of_two(),
             snapshot: true,
             round_cap: 24,
         };
-        let e = expand(&mut pram, &st, &params, 5);
+        let e = expand(&mut pram, &st, &params, 5, &live);
         assert_eq!(e.snapshots.len() as u64, e.rounds + 1);
         for w in e.snapshots.windows(2) {
             let prev = pram.read_vec(w[0]);
@@ -411,11 +418,25 @@ mod tests {
 
     #[test]
     fn non_ongoing_vertices_stay_out() {
-        // Two components, one already contracted to loops: only real edges
-        // make vertices ongoing.
+        // Only endpoints of non-loop arcs are ongoing: the live set — the
+        // list every EXPAND step iterates — covers exactly the vertices
+        // with real edges (all of them here), and contracting a vertex's
+        // arcs to loops removes it.
         let g = gen::union_all(&[gen::path(5), gen::path(3)]);
-        let (pram, _st, e) = setup(&g, 16, 9);
-        let ongoing = pram.read_vec(e.ongoing);
-        assert!(ongoing.iter().all(|&x| x == 1)); // all have real edges here
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(9));
+        let st = CcState::init(&mut pram, &g);
+        let mut live = LiveSet::full(&mut pram, &st);
+        assert_eq!(live.verts.len(), g.n()); // all have real edges here
+                                             // Contract vertex 0's arcs to loops: it leaves the ongoing set.
+        let eu = pram.read_vec(st.eu);
+        let ev = pram.read_vec(st.ev);
+        for i in 0..st.arcs {
+            if eu[i] == 0 || ev[i] == 0 {
+                pram.set(st.eu, i, 1);
+                pram.set(st.ev, i, 1);
+            }
+        }
+        live.refresh(&mut pram, &st);
+        assert!(!live.verts.contains(&0));
     }
 }

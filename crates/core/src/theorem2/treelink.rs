@@ -18,6 +18,7 @@
 //! *original* edge joins the forest. β strictly decreases along links, so
 //! no cycle can ever form, and tree heights stay ≤ d (Lemma C.8).
 
+use crate::live::LiveSet;
 use crate::state::CcState;
 use crate::theorem1::Expansion;
 use pram_sim::{Handle, Pram, NULL};
@@ -61,30 +62,33 @@ impl TreeLink {
     }
 }
 
-/// Run TREE-LINK for one phase. Writes parent links and sets
-/// `forest[arc] = 1` for the chosen arcs. `leader` comes from VOTE.
+/// Run TREE-LINK for one phase, scheduled over `live`. Writes parent links
+/// and sets `forest[arc] = 1` for the chosen arcs. `leader` comes from
+/// VOTE. Per-vertex steps iterate the ongoing vertices, per-arc steps the
+/// live arcs; the per-block-cell steps iterate `owned`, which is already
+/// live-sized.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn tree_link(
     pram: &mut Pram,
     st: &CcState,
     e: &Expansion,
     tl: &TreeLink,
+    live: &LiveSet,
     leader: Handle,
     forest: Handle,
 ) {
-    let n = st.n;
     let k = e.k;
     let (fdr, tables_owner, hb, hv) = (e.fdr, e.owner, e.hb, e.hv);
     let owned = &e.owned;
     let (alpha, beta, gate, fail) = (tl.alpha, tl.beta, tl.gate, tl.fail);
     let (lnbr, vearc, qtab, qprime) = (tl.lnbr, tl.vearc, tl.qtab, tl.qprime);
     let (parent, eu, ev) = (st.parent, st.eu, st.ev);
-    let ongoing = e.ongoing;
 
     // Step 1: initialise α and Q for non-leader block owners.
-    pram.step(n, move |u, ctx| {
-        if ctx.read(ongoing, u as usize) != 1 || ctx.read(leader, u as usize) == 1 {
-            return; // α stays NONE (leaders and non-ongoing)
+    pram.step_over(&live.verts, move |_, &u, ctx| {
+        let u = u as u64;
+        if ctx.read(leader, u as usize) == 1 {
+            return; // α stays NONE (leaders)
         }
         let blk = hb.eval(u);
         if ctx.read(tables_owner, blk as usize) != u {
@@ -100,7 +104,7 @@ pub(crate) fn tree_link(
         let snap = e.snapshots[j as usize];
         // Gate: u participates iff α ≥ 0 and every v ∈ Q(u) was live in
         // round j (fdr encoding: live in round j ⟺ fdr ≥ j + 2).
-        pram.step(n, move |u, ctx| {
+        pram.step_over(&live.verts, move |_, &u, ctx| {
             let g = ctx.read(alpha, u as usize) != NULL;
             ctx.write(gate, u as usize, g as u64);
             ctx.write(fail, u as usize, 0);
@@ -187,9 +191,10 @@ pub(crate) fn tree_link(
         });
     }
 
-    // Step 3: leader-neighbour marking over current arcs.
-    pram.step(st.arcs, move |i, ctx| {
-        let i = i as usize;
+    // Step 3: leader-neighbour marking over current live arcs (unlisted
+    // arcs are loops, which marked nothing before either).
+    pram.step_over(&live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
         let v = ctx.read(eu, i);
         let w = ctx.read(ev, i);
         if v != w && ctx.read(leader, v as usize) == 1 {
@@ -198,10 +203,7 @@ pub(crate) fn tree_link(
     });
 
     // Step 4: β labels.
-    pram.step(n, move |u, ctx| {
-        if ctx.read(ongoing, u as usize) != 1 {
-            return;
-        }
+    pram.step_over(&live.verts, move |_, &u, ctx| {
         if ctx.read(leader, u as usize) == 1 {
             ctx.write(beta, u as usize, 0);
         }
@@ -224,22 +226,22 @@ pub(crate) fn tree_link(
     });
 
     // Step 5: choose an arc with β(v) = β(w) + 1 per vertex.
-    pram.step(st.arcs, move |i, ctx| {
-        let ai = i as usize;
-        let v = ctx.read(eu, ai);
-        let w = ctx.read(ev, ai);
+    pram.step_over(&live.arcs, move |_, &ai, ctx| {
+        let i = ai as usize;
+        let v = ctx.read(eu, i);
+        let w = ctx.read(ev, i);
         if v == w {
             return;
         }
         let bv = ctx.read(beta, v as usize);
         let bw = ctx.read(beta, w as usize);
         if bv != NULL && bw != NULL && bv == bw + 1 {
-            ctx.write(vearc, v as usize, i);
+            ctx.write(vearc, v as usize, ai as u64);
         }
     });
 
     // Step 6: link along the chosen arc and mark the original edge.
-    pram.step(n, move |u, ctx| {
+    pram.step_over(&live.verts, move |_, &u, ctx| {
         let i = ctx.read(vearc, u as usize);
         if i == NULL {
             return;

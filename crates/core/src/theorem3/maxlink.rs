@@ -10,15 +10,33 @@
 //! the `max_ops_per_proc` audit).
 //!
 //! Live-work scheduling: the invocation operates on the caller's compacted
-//! live index — candidate clearing, arc/table candidate writes, and the
-//! selection scan all iterate the live arcs / live table cells / live
-//! vertices only, so an invocation costs O(live), not O(n + m). Vertices
-//! outside the live set can keep stale candidate cells from earlier
-//! rounds: they are never read, because selection visits live vertices
-//! only and every vertex *in* the live set has its cells cleared first
-//! (the live set shrinks monotonically between invocations — arcs only
-//! ever become loops, and table edges only die or move to parents that
-//! the live index already contains).
+//! live index — arc/table candidate writes and the selection scan iterate
+//! the live arcs / live table cells / live vertices only, so an invocation
+//! costs O(live), not O(n + m).
+//!
+//! **Generation-stamped candidates (default).** Candidate cells are
+//! allocated *per invocation* at `live_verts × (L_max + 1)` — each live
+//! vertex's row is its position in the live vertex list (`vert_slot`) —
+//! and each cell carries a generation stamp: a cell is occupied in the
+//! selection scan iff its stamp equals the current iteration's generation.
+//! The stamp check substitutes for the NULL sentinel, so neither an O(n)
+//! array nor a per-iteration clear step exists; stale cells (earlier
+//! iterations, or rows recycled from an earlier invocation's allocation)
+//! fail the stamp check instead of being overwritten with NULL. Writers
+//! whose target is not in the live vertex list skip (`NO_SLOT`), exactly
+//! mirroring the clear-based path's write-to-a-never-read-cell.
+//!
+//! **Equivalence with the clear-based path.** Per logical candidate cell,
+//! both paths have the same writer set (same index lists, same processor
+//! ids, same values) and the same reader. Under resolution rules that
+//! depend only on the processor id (PRIORITY-MIN/MAX) the committed
+//! winners — hence all parent updates — are *identical*, which
+//! `stamped_matches_clear_exactly_under_priority_policies` pins. Under
+//! `ArbitrarySeeded`, the winner hash also covers the cell's address, and
+//! the two layouts place logical cells at different addresses — the two
+//! paths are then two different (equally legal) ARBITRARY machines, so
+//! equivalence is at the partition level (pinned by the driver-level
+//! proptest in `tests/live_work.rs` across dedup cadences).
 //!
 //! Tie handling: the update fires only when the best candidate's level
 //! *strictly* exceeds the current parent's — preferring the incumbent
@@ -36,10 +54,21 @@ use crate::state::CcState;
 use pram_kit::ops::Flag;
 use pram_sim::{Handle, Pram, NULL};
 
+/// "Not live" marker in the `vert_slot` map — the one sentinel shared by
+/// every live index (see [`crate::live`]).
+pub(crate) use crate::live::NO_SLOT;
+
 /// Shared context for a MAXLINK invocation.
 pub(crate) struct MaxlinkCtx<'a> {
-    /// Candidate array, `n × (max_level + 1)` cells.
+    /// Candidate array. Stamped mode: `live_verts.len() × (lmax + 1)`
+    /// cells, row = slot in `live_verts`. Clear mode: `n × (lmax + 1)`
+    /// cells, row = vertex id.
     pub cand: Handle,
+    /// Generation stamps, same shape as `cand` — `Some` selects the
+    /// stamped path, `None` the clear-based legacy path.
+    pub cstamp: Option<Handle>,
+    /// vertex → row in `cand` (stamped mode only; ignored by clear mode).
+    pub vert_slot: &'a [u32],
     /// Level array.
     pub level: Handle,
     /// Max level (array stride is `max_level + 1`).
@@ -57,20 +86,52 @@ pub(crate) struct MaxlinkCtx<'a> {
     pub heap: Handle,
 }
 
-/// One MAXLINK iteration; raises `changed` if any parent moved.
-pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, changed: &Flag) {
+/// One MAXLINK iteration; raises `changed` if any parent moved. `gen` is
+/// the iteration's generation stamp (≥ 1; unused by the clear path).
+pub(crate) fn maxlink_iter(
+    pram: &mut Pram,
+    st: &CcState,
+    mx: &MaxlinkCtx,
+    changed: &Flag,
+    gen: u64,
+) {
     let stride = mx.lmax + 1;
     let (cand, level, eoff, heap) = (mx.cand, mx.level, mx.eoff, mx.heap);
+    let cstamp = mx.cstamp;
+    let slot = mx.vert_slot;
     let parent = st.parent;
     let (eu, ev) = (st.eu, st.ev);
 
-    // Clear the candidate cells of live vertices (one processor per cell).
+    // Clear-based path only: NULL the candidate cells of live vertices
+    // (one processor per cell). The stamped path needs no clear — that is
+    // its point.
     let lv = mx.live_verts;
-    pram.step(lv.len() * stride, move |i, ctx| {
-        let i = i as usize;
-        let v = lv[i / stride] as usize;
-        ctx.write(cand, v * stride + i % stride, NULL);
-    });
+    if cstamp.is_none() {
+        pram.step(lv.len() * stride, move |i, ctx| {
+            let i = i as usize;
+            let v = lv[i / stride] as usize;
+            ctx.write(cand, v * stride + i % stride, NULL);
+        });
+    }
+
+    // A candidate write: `pb` proposed for `target` at `pb`'s level.
+    // Stamped mode maps the target through the slot map (a `NO_SLOT` miss
+    // mirrors the clear path's write to a cell no selection scan reads)
+    // and stamps the cell; all stampers write the same `gen`, so any
+    // ARBITRARY winner leaves the cell occupied.
+    let propose = move |ctx: &mut pram_sim::Ctx, target: u64, pb: u64, lpb: usize| {
+        let row = match cstamp {
+            Some(_) => match slot[target as usize] {
+                NO_SLOT => return,
+                s => s as usize,
+            },
+            None => target as usize,
+        };
+        ctx.write(cand, row * stride + lpb, pb);
+        if let Some(stamp) = cstamp {
+            ctx.write(stamp, row * stride + lpb, gen);
+        }
+    };
 
     // Arc candidates: for live arc (a, b), b's parent is a candidate for a.
     pram.step_over(mx.live_arcs, move |_, &ai, ctx| {
@@ -82,7 +143,7 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
         }
         let pb = ctx.read(parent, b as usize);
         let lpb = ctx.read(level, pb as usize) as usize;
-        ctx.write(cand, a as usize * stride + lpb, pb);
+        propose(ctx, a, pb, lpb);
     });
 
     // Table-edge candidates, both directions per live cell.
@@ -97,21 +158,31 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
         }
         let pw = ctx.read(parent, w as usize);
         let lpw = ctx.read(level, pw as usize) as usize;
-        ctx.write(cand, x as usize * stride + lpw, pw);
+        propose(ctx, x as u64, pw, lpw);
         let px = ctx.read(parent, x as usize);
         let lpx = ctx.read(level, px as usize) as usize;
-        ctx.write(cand, w as usize * stride + lpx, px);
+        propose(ctx, w, px, lpx);
     });
 
     // Selection: highest occupied level wins; update on strict improvement
     // over the current parent's level. Charged one step (see module docs);
-    // the scan is L_max+1 local reads, visible in the audit counter.
-    pram.step_over(lv, |_, &v, ctx| {
-        let p = ctx.read(parent, v as usize);
-        let lp = ctx.read(level, p as usize) as usize;
+    // the scan is L_max+1 local reads (2× in stamped mode, stamp + value),
+    // visible in the audit counter. In stamped mode the processor index
+    // *is* the vertex's row.
+    pram.step_over(lv, |p, &v, ctx| {
+        let row = match cstamp {
+            Some(_) => p as usize,
+            None => v as usize,
+        };
+        let pv = ctx.read(parent, v as usize);
+        let lp = ctx.read(level, pv as usize) as usize;
         for l in (lp + 1..stride).rev() {
-            let u = ctx.read(cand, v as usize * stride + l);
-            if u != NULL {
+            let occupied = match cstamp {
+                Some(stamp) => ctx.read(stamp, row * stride + l) == gen,
+                None => ctx.read(cand, row * stride + l) != NULL,
+            };
+            if occupied {
+                let u = ctx.read(cand, row * stride + l);
                 ctx.write(parent, v as usize, u);
                 changed.raise(ctx);
                 return;
@@ -120,10 +191,12 @@ pub(crate) fn maxlink_iter(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, chang
     });
 }
 
-/// Full MAXLINK: `iters` iterations (the paper uses 2).
+/// Full MAXLINK: `iters` iterations (the paper uses 2). Generations count
+/// up from 1 — the caller's per-invocation stamp array starts zeroed, so
+/// generation 0 can never look occupied.
 pub(crate) fn maxlink(pram: &mut Pram, st: &CcState, mx: &MaxlinkCtx, changed: &Flag, iters: u32) {
-    for _ in 0..iters {
-        maxlink_iter(pram, st, mx, changed);
+    for it in 0..iters {
+        maxlink_iter(pram, st, mx, changed, it as u64 + 1);
     }
 }
 
@@ -155,6 +228,8 @@ mod tests {
         let live_verts: Vec<u32> = (0..st.n as u32).collect();
         let mx = MaxlinkCtx {
             cand,
+            cstamp: None,
+            vert_slot: &[],
             level,
             lmax: 8,
             live_arcs: &live_arcs,
@@ -163,7 +238,7 @@ mod tests {
             eoff,
             heap,
         };
-        maxlink_iter(pram, st, &mx, &changed);
+        maxlink_iter(pram, st, &mx, &changed, 1);
         let r = changed.read(pram);
         changed.free(pram);
         pram.free(eoff);
@@ -226,6 +301,8 @@ mod tests {
         let live_verts: Vec<u32> = vec![0, 1, 2];
         let mx = MaxlinkCtx {
             cand,
+            cstamp: None,
+            vert_slot: &[],
             level,
             lmax: 8,
             live_arcs: &live,
@@ -234,7 +311,7 @@ mod tests {
             eoff,
             heap,
         };
-        maxlink_iter(&mut pram, &st, &mx, &changed);
+        maxlink_iter(&mut pram, &st, &mx, &changed, 1);
         let p = pram.read_vec(st.parent);
         assert_eq!(p, vec![0, 2, 2, 3]);
     }
@@ -267,6 +344,110 @@ mod tests {
                     l[p[v] as usize]
                 );
             }
+        }
+    }
+
+    /// Run a full MAXLINK invocation in one mode and return the parents.
+    fn run_mode(
+        policy: WritePolicy,
+        levels: &[u64],
+        stamped: bool,
+        live_verts: &[u32],
+        iters: u32,
+    ) -> Vec<u64> {
+        let g = gen::gnm(levels.len(), levels.len() * 3, 7);
+        let mut pram = Pram::new(policy);
+        let st = CcState::init(&mut pram, &g);
+        let level = pram.alloc(levels.len());
+        for (v, &l) in levels.iter().enumerate() {
+            pram.set(level, v, l);
+        }
+        let lmax = 8;
+        let stride = lmax + 1;
+        let live_arcs: Vec<u32> = (0..st.arcs as u32).collect();
+        let eoff = pram.alloc_filled(st.n, NULL);
+        let heap = pram.alloc_filled(1, NULL);
+        let changed = Flag::new(&mut pram);
+        let mut vert_slot = vec![NO_SLOT; st.n];
+        for (i, &v) in live_verts.iter().enumerate() {
+            vert_slot[v as usize] = i as u32;
+        }
+        let (cand, cstamp) = if stamped {
+            let sz = (live_verts.len() * stride).max(1);
+            (pram.alloc(sz), Some(pram.alloc(sz)))
+        } else {
+            (pram.alloc_filled(st.n * stride, NULL), None)
+        };
+        let mx = MaxlinkCtx {
+            cand,
+            cstamp,
+            vert_slot: &vert_slot,
+            level,
+            lmax,
+            live_arcs: &live_arcs,
+            live_verts,
+            table_cells: &[],
+            eoff,
+            heap,
+        };
+        maxlink(&mut pram, &st, &mx, &changed, iters);
+        changed.free(&mut pram);
+        pram.read_vec(st.parent)
+    }
+
+    #[test]
+    fn stamped_matches_clear_exactly_under_priority_policies() {
+        // The pinned-label equivalence proof: identical writer sets per
+        // logical candidate cell + address-independent write resolution ⇒
+        // identical committed winners ⇒ identical parents, bit for bit.
+        for n in [8usize, 23, 57, 96] {
+            let levels: Vec<u64> = (0..n as u64).map(|v| (v * 13 + 5) % 6).collect();
+            let live_verts: Vec<u32> = (0..n as u32).collect();
+            for policy in [WritePolicy::PriorityMin, WritePolicy::PriorityMax] {
+                for iters in [1u32, 2] {
+                    let a = run_mode(policy, &levels, false, &live_verts, iters);
+                    let b = run_mode(policy, &levels, true, &live_verts, iters);
+                    assert_eq!(a, b, "n={n} policy={policy:?} iters={iters}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stamped_skips_targets_outside_live_verts() {
+        // A target missing from the slot map must be skipped (the clear
+        // path writes a never-read cell there) — no panic, no hook.
+        let levels = vec![1, 1, 4, 1, 1, 1, 1, 1];
+        let live_verts: Vec<u32> = vec![0, 1, 2]; // rest are NO_SLOT
+        let p = run_mode(WritePolicy::PriorityMin, &levels, true, &live_verts, 2);
+        for (v, &pv) in p.iter().enumerate().skip(3) {
+            assert_eq!(pv, v as u64, "non-live vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn stale_generations_are_invisible() {
+        // Two iterations share one allocation; iteration 2's selection must
+        // not resurrect iteration 1's candidates. A path 0-1-2 where only
+        // the first iteration's arc list proposes anything for vertex 0:
+        // feed iteration 2 an empty arc list by making the arcs loops
+        // mid-way is awkward at this level, so instead check the stamp
+        // mechanics directly: after a full 2-iteration run the result obeys
+        // Lemma 3.2 (strictly increasing levels), which a stale-candidate
+        // resurrection (hooking onto a since-relabeled parent at a now-wrong
+        // level) would violate with high probability across seeds.
+        for seed in 0..20u64 {
+            let n = 40;
+            let levels: Vec<u64> = (0..n as u64).map(|v| (v * 7 + seed) % 5).collect();
+            let live_verts: Vec<u32> = (0..n as u32).collect();
+            let p = run_mode(
+                WritePolicy::ArbitrarySeeded(seed),
+                &levels,
+                true,
+                &live_verts,
+                2,
+            );
+            crate::verify::forest_heights(&p).expect("cycle created by stamped MAXLINK");
         }
     }
 }

@@ -29,6 +29,7 @@ mod maxlink;
 mod round;
 mod tables;
 
+use crate::live::LiveSet;
 use crate::metrics::{RoundMetrics, RunReport, StopReason};
 use crate::state::CcState;
 use crate::theorem1::{self, Theorem1Params};
@@ -36,9 +37,10 @@ use crate::vanilla::vanilla_phase;
 use crate::verify;
 use cc_graph::Graph;
 use pram_kit::compaction::{compact, CompactionMode};
-use pram_kit::ops::{alter, shortcut_until_flat};
+use pram_kit::ops::{alter_over, shortcut_until_flat_over};
 use pram_sim::{Pram, NULL};
 use round::{expand_maxlink_round, FasterState, LiveIndex, RoundScratch};
+use std::collections::HashMap;
 use tables::TableHeap;
 
 /// Tunable parameters (paper values in brackets; see crate docs on
@@ -79,6 +81,16 @@ pub struct FasterParams {
     /// loop filtering always runs. Purely a work/wall-clock knob — labels
     /// are unaffected (duplicate arcs write identical candidates).
     pub dedup_every: u64,
+    /// Generation-stamped MAXLINK candidate cells (default true): the
+    /// candidate array is allocated per invocation at
+    /// `live_verts × (L_max + 1)` cells and a stamp check substitutes for
+    /// the NULL sentinel, so neither the O(n)-cell array nor the
+    /// per-iteration clear step exists. `false` selects the clear-based
+    /// legacy path (kept for the pinned equivalence proof — see
+    /// [`maxlink`]'s module docs; under processor-priority write policies
+    /// the two paths produce bit-identical parents, and the partitions
+    /// match on every machine).
+    pub maxlink_stamps: bool,
     /// Parameters of the Theorem-1 postprocess.
     pub postprocess: Theorem1Params,
 }
@@ -97,6 +109,7 @@ impl Default for FasterParams {
             compact_delta0: 4.0,
             round_cap: 0,
             dedup_every: 4,
+            maxlink_stamps: true,
             postprocess: Theorem1Params::default(),
         }
     }
@@ -160,6 +173,12 @@ pub struct FasterReport {
     pub compaction_rounds: u64,
     /// Peak table-heap words over the run — the E4 measurement.
     pub table_peak_words: u64,
+    /// Charged work of the whole postprocess (frontier flatten, final
+    /// ALTER, remaining-graph materialization/rename, and the Theorem-1
+    /// run on the renamed subproblem). With the postprocess folded onto
+    /// the live lists this is o(n + m) once the frontier has shrunk — the
+    /// regression guard in `tests/live_work.rs` pins it.
+    pub post_work: u64,
 }
 
 /// Run Theorem 3's Faster Connected Components on `g`.
@@ -172,21 +191,32 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
     // ------------------------------------------------------------ COMPACT
     // Vanilla prefix until the density target (the paper's PREPARE inside
     // COMPACT), then approximate compaction renames the ongoing vertices
-    // (providing the distinct ids of Assumption 3.1).
+    // (providing the distinct ids of Assumption 3.1). The prefix runs on a
+    // LiveSet so its phases and its ongoing counts are charged at live
+    // sizes (the previous host count was an O(n + m) scan per phase).
     let leader = pram.alloc(n);
+    let mut prefix_live = LiveSet::full(pram, &st);
     let mut prepare_rounds = 0;
     let prep_cap = 4 + 2 * ((n.max(4) as f64).log2().log2().ceil() as u64);
     while params.compact_delta0 > 0.0 && prepare_rounds < prep_cap {
-        let ongoing = st.host_count_ongoing(pram);
+        let ongoing = prefix_live.verts.len();
         if ongoing == 0 || (m as f64) / (ongoing as f64) >= params.compact_delta0 {
             break;
         }
         prepare_rounds += 1;
-        vanilla_phase(pram, &st, leader, seed ^ 0xC0_4AC7 ^ prepare_rounds);
+        vanilla_phase(
+            pram,
+            &st,
+            &prefix_live,
+            leader,
+            seed ^ 0xC0_4AC7 ^ prepare_rounds,
+        );
+        prefix_live.refresh(pram, &st);
     }
     pram.free(leader);
 
-    let ongoing_now = st.host_count_ongoing(pram);
+    let ongoing_now = prefix_live.verts.len();
+    drop(prefix_live);
     let compaction_rounds = {
         // Rename ongoing vertices via approximate compaction (Lemma D.3).
         let active = pram.alloc_filled(n, 0);
@@ -242,7 +272,10 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
         t5off: pram.alloc_filled(n, NULL),
         dormant: pram.alloc_filled(n, 0),
         raised2: pram.alloc_filled(n, 0),
-        cand: pram.alloc_filled(n * (lmax + 1), NULL),
+        // The n-cell candidate array exists only on the clear-based legacy
+        // path; the stamped default allocates live-sized pairs per
+        // invocation.
+        cand: (!params.maxlink_stamps).then(|| pram.alloc_filled(n * (lmax + 1), NULL)),
         heap,
         lmax,
         budgets,
@@ -268,14 +301,18 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
         rounds += 1;
         let work_before = pram.stats().work;
         let outcome = expand_maxlink_round(pram, &mut fs, params, seed, rounds);
+        let round_work = pram.stats().work - work_before;
         per_round.push(RoundMetrics {
             round: rounds,
-            roots: fs.st.host_count_roots(pram),
+            // Ongoing roots from the live index — the previous full-parent
+            // host scan was the last per-round O(n) term.
+            roots: fs.live.roots.len(),
             ongoing: outcome.ongoing,
             max_level: outcome.max_level,
             dormant: outcome.dormant,
             table_words: outcome.table_live,
-            work: pram.stats().work - work_before,
+            work: round_work - outcome.compaction_work,
+            compaction_work: outcome.compaction_work,
             live_arcs: outcome.live_arcs,
             ..Default::default()
         });
@@ -288,45 +325,34 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
     }
 
     // ------------------------------------------------------- postprocess
-    // Flatten, move edges to roots, then hand the remaining graph (arcs +
-    // added table edges) to the Theorem-1 algorithm.
-    shortcut_until_flat(pram, fs.st.parent);
-    alter(pram, fs.st.eu, fs.st.ev, fs.st.parent);
-
-    let (eu2, ev2, arcs2, added_edges) = materialize_remaining_graph(pram, &fs);
-    let post_state = CcState {
-        n,
-        arcs: arcs2,
-        parent: fs.st.parent,
-        eu: eu2,
-        ev: ev2,
-    };
-    let post = theorem1::connected_components_on_state(
-        pram,
-        &post_state,
-        seed ^ 0x9057_9057,
-        &params.postprocess,
-        (arcs2 / 2).max(1),
-    );
+    // Folded into the final round's compacted state (the ROADMAP
+    // "postprocess cost" item): flattening, the final ALTER, and the
+    // remaining-graph materialization all run over the live lists, so
+    // post-convergence work is charged at the surviving frontier — o(n+m)
+    // once the main loop has shrunk it — never as full n/m sweeps.
+    // Finished vertices keep stale (possibly non-flat) parents; the final
+    // labeling chases roots host-side (`labels_rooted`), which is
+    // controller bookkeeping exactly like the paper's output convention.
+    let post_work0 = pram.stats().work;
+    shortcut_until_flat_over(pram, fs.st.parent, &fs.live.verts);
+    alter_over(pram, fs.st.eu, fs.st.ev, fs.st.parent, &fs.live.arcs);
+    let post = postprocess_remaining(pram, &fs, seed, params);
+    let post_work = pram.stats().work - post_work0;
 
     debug_assert!(
-        verify::forest_heights(pram.slice(post_state.parent)).is_ok(),
+        verify::forest_heights(pram.slice(fs.st.parent)).is_ok(),
         "Theorem 3 produced a cyclic labeled digraph"
     );
-    let labels = post_state.labels_rooted(pram);
+    let labels = fs.st.labels_rooted(pram);
     let stats = pram.stats();
     let table_peak_words = fs.heap.peak_words() as u64;
 
-    // Tear down. `post_state.parent` aliases `fs.st.parent` (handles are
-    // plain (base, len) pairs), so the parent array is freed exactly once.
-    let _ = added_edges;
+    // Tear down.
     let (p, e1, e2) = (fs.st.parent, fs.st.eu, fs.st.ev);
     fs.free(pram); // levels/budgets/flags/heap; does not touch CcState handles
     pram.free(e1);
     pram.free(e2);
     pram.free(p);
-    pram.free(eu2);
-    pram.free(ev2);
 
     FasterReport {
         run: RunReport {
@@ -340,45 +366,152 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
         post,
         compaction_rounds,
         table_peak_words,
+        post_work,
     }
 }
 
-/// Copy arcs + added table edges into fresh arc arrays for the
-/// postprocess (one parallel copy step).
-fn materialize_remaining_graph(
+/// The Theorem-1 postprocess over the *remaining* graph, materialized from
+/// the live lists instead of full-array sweeps.
+///
+/// The remaining connectivity lives entirely in the live arcs (dropped
+/// arcs were loops or duplicates when dropped, and stay so — ALTER maps
+/// loops to loops and duplicates to duplicates) and the live table cells
+/// (dropped cells had NULL/self values or endpoints that already shared a
+/// parent, i.e. were already connected). Both lists sit on roots after the
+/// frontier flatten + ALTER above, so the root graph they induce is
+/// renamed onto `[0, k)` (the Lemma-D.2 rename, charged at the root
+/// count), solved by Theorem 1 on a k-vertex state, and linked back with
+/// one charged step: each remaining root hooks onto its component's
+/// representative root. An empty frontier skips all of it.
+fn postprocess_remaining(
     pram: &mut Pram,
     fs: &FasterState,
-) -> (pram_sim::Handle, pram_sim::Handle, usize, usize) {
-    let eu_host = pram.read_vec(fs.st.eu);
-    let ev_host = pram.read_vec(fs.st.ev);
-    let parents = pram.read_vec(fs.st.parent);
-    let heap_handle = fs.heap.handle();
-    let mut pairs: Vec<(u64, u64)> = eu_host.into_iter().zip(ev_host).collect();
-    let mut added = 0;
-    for (v, t) in fs.host_tbl.iter().enumerate() {
-        if let Some((off, sqb)) = t {
-            for c in 0..*sqb as usize {
-                let w = pram.get(heap_handle, *off as usize + c);
-                if w != NULL && w != v as u64 {
-                    // Edges live on current parents after the final ALTER.
-                    let a = parents[v];
-                    let b = parents[w as usize];
-                    pairs.push((a, b));
-                    pairs.push((b, a));
-                    added += 2;
-                }
+    seed: u64,
+    params: &FasterParams,
+) -> RunReport {
+    // Host mirror of the compacted remaining graph (charged below as the
+    // materialization copy).
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    {
+        let eu = pram.slice(fs.st.eu);
+        let ev = pram.slice(fs.st.ev);
+        for &i in &fs.live.arcs {
+            let (a, b) = (eu[i as usize], ev[i as usize]);
+            if a != b {
+                pairs.push((a, b));
             }
         }
     }
-    let arcs2 = pairs.len().max(1);
-    let eu2 = pram.alloc_filled(arcs2, 0);
-    let ev2 = pram.alloc_filled(arcs2, 0);
-    for (i, (a, b)) in pairs.iter().enumerate() {
-        pram.set(eu2, i, *a);
-        pram.set(ev2, i, *b);
+    {
+        let eo = pram.slice(fs.eoff);
+        let hw = pram.slice(fs.heap.handle());
+        let parents = pram.slice(fs.st.parent);
+        for &(x, c) in &fs.live.table_cells {
+            let off = eo[x as usize];
+            if off == NULL {
+                continue;
+            }
+            let w = hw[off as usize + c as usize];
+            if w == NULL || w == x as u64 {
+                continue;
+            }
+            let (a, b) = (parents[x as usize], parents[w as usize]);
+            if a != b {
+                pairs.push((a, b));
+                pairs.push((b, a));
+            }
+        }
     }
-    pram.charge(arcs2, 1); // the materialization copy is one parallel step
-    (eu2, ev2, arcs2, added)
+    if pairs.is_empty() {
+        // Fully converged: nothing remains; the postprocess is free.
+        return RunReport {
+            labels: Vec::new(),
+            rounds: 0,
+            prepare_rounds: 0,
+            stop: StopReason::Converged,
+            stats: pram.stats(),
+            per_round: Vec::new(),
+        };
+    }
+
+    // Rename the remaining roots onto [0, k) — approximate compaction
+    // (Lemma D.2), charged at the root count; the map is deterministic
+    // first-seen order. Then deduplicate the renamed pairs (one charged
+    // hashing pass, the same discipline as the round dedup): thousands of
+    // live table cells can name the same root pair, and without this the
+    // postprocess would re-iterate every duplicate in every Theorem-1
+    // phase — the dedup is what keeps the whole postprocess an
+    // O(frontier) emission plus a solve on the (tiny) distinct root graph.
+    let mut rep_of: HashMap<u64, u32> = HashMap::with_capacity(pairs.len());
+    let mut reps: Vec<u64> = Vec::new();
+    let mut rename = |v: u64, reps: &mut Vec<u64>| -> u64 {
+        *rep_of.entry(v).or_insert_with(|| {
+            reps.push(v);
+            (reps.len() - 1) as u32
+        }) as u64
+    };
+    let n2 = {
+        let mut renamed = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            renamed.push((rename(a, &mut reps), rename(b, &mut reps)));
+        }
+        pairs = renamed;
+        reps.len()
+    };
+    pram.charge(n2, 4); // the rename
+    pram.charge(pairs.len(), 1); // the materialization copy
+    {
+        let emitted = pairs.len();
+        let mut set = pram_kit::PairSet::with_capacity(seed ^ 0xDED0_9057, pairs.len());
+        pairs.retain(|&(a, b)| set.insert(a, b));
+        pram.charge(emitted, 2); // the dedup hashing pass
+    }
+
+    let sub_parent = pram.alloc(n2);
+    for v in 0..n2 {
+        pram.set(sub_parent, v, v as u64);
+    }
+    let eu2 = pram.alloc(pairs.len());
+    let ev2 = pram.alloc(pairs.len());
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        pram.set(eu2, i, a);
+        pram.set(ev2, i, b);
+    }
+    let post_state = CcState {
+        n: n2,
+        arcs: pairs.len(),
+        parent: sub_parent,
+        eu: eu2,
+        ev: ev2,
+    };
+    let post = theorem1::connected_components_on_state(
+        pram,
+        &post_state,
+        seed ^ 0x9057_9057,
+        &params.postprocess,
+        (pairs.len() / 2).max(1),
+    );
+
+    // Link every remaining root to its component's representative (one
+    // charged step over the k renamed roots). Representatives stay their
+    // own roots, so the labeled digraph remains a forest.
+    let sub_labels = post_state.labels_rooted(pram);
+    {
+        let parent = fs.st.parent;
+        let reps_ref: &[u64] = &reps;
+        let labels_ref: &[u32] = &sub_labels;
+        pram.step(n2, move |p, ctx| {
+            let i = p as usize;
+            let r = labels_ref[i] as usize;
+            if r != i {
+                ctx.write(parent, reps_ref[i] as usize, reps_ref[r]);
+            }
+        });
+    }
+    pram.free(sub_parent);
+    pram.free(eu2);
+    pram.free(ev2);
+    post
 }
 
 /// Lemma 3.2 / D.4 and digraph sanity, asserted per round in tests and

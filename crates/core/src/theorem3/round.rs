@@ -45,12 +45,16 @@
 //! `ii_violated` (Step 5 found a pair at distance 2 not already in the
 //! table).
 
+use crate::live::{
+    charge_endpoint_collection, compact_live_arcs, compact_live_roots, extend_endpoints,
+    reset_endpoints,
+};
 use crate::state::CcState;
-use crate::theorem3::maxlink::{maxlink, MaxlinkCtx};
+use crate::theorem3::maxlink::{maxlink, MaxlinkCtx, NO_SLOT as NO_VSLOT};
 use crate::theorem3::tables::TableHeap;
 use crate::theorem3::FasterParams;
 use pram_kit::ops::{alter_over, shortcut_flagged_over, Flag};
-use pram_kit::{PairSet, PairwiseHash};
+use pram_kit::{compact_over, PairSet, PairwiseHash};
 use pram_sim::{Handle, Pram, NULL};
 
 /// Square root of a power-of-four budget.
@@ -67,6 +71,16 @@ const NO_SLOT: u32 = u32::MAX;
 /// paper's per-round approximate compaction (Lemma D.2). All lists are
 /// rebuilt by [`LiveIndex::compact`] from the previous live lists, in
 /// deterministic (first-seen) order.
+///
+/// The rebuild itself runs on charged `pram_kit` primitives: arc, cell,
+/// and root filtering go through [`pram_kit::compact_over`] (a predicate
+/// step plus the Lemma-D.2 placement charge, all at the previous live
+/// count), and endpoint collection is charged as one emission step over
+/// the surviving arcs/cells plus a Lemma-D.2 dedup/rename over the
+/// endpoints — so the controller's compaction cost is *visible in
+/// `Stats`* (reported per round as `compaction_work`) instead of being
+/// free host bookkeeping. The host vectors are the controller's mirror of
+/// the compacted arrays those primitives produce.
 pub(crate) struct LiveIndex {
     /// Indices of arcs that were non-loops (and, when dedup ran, the first
     /// of each duplicate group) at the last compaction.
@@ -96,8 +110,10 @@ pub(crate) struct LiveIndex {
     /// Running maximum level (levels never decrease, and only ongoing
     /// roots raise, so scanning `roots` per round keeps this exact).
     pub max_level_seen: u64,
-    /// Membership scratch for `verts` dedup; cleared after each rebuild.
-    seen: Vec<bool>,
+    /// vertex → slot in `verts` (`NO_VSLOT` = not live). Doubles as the
+    /// membership map during endpoint dedup and as the candidate-row index
+    /// of the generation-stamped MAXLINK.
+    slot: Vec<u32>,
 }
 
 impl LiveIndex {
@@ -109,8 +125,13 @@ impl LiveIndex {
             arc_verts: 0,
             roots: Vec::new(),
             max_level_seen: 0,
-            seen: vec![false; n],
+            slot: vec![NO_VSLOT; n],
         }
+    }
+
+    /// The vertex → candidate-row map of the stamped MAXLINK.
+    pub(crate) fn vert_slot(&self) -> &[u32] {
+        &self.slot
     }
 
     /// Seed the index from the full arc array (driver start-up; the only
@@ -119,7 +140,7 @@ impl LiveIndex {
     /// holds from the first round on.
     pub(crate) fn init_from_arcs(
         &mut self,
-        pram: &Pram,
+        pram: &mut Pram,
         st: &CcState,
         dedup: bool,
         dedup_seed: u64,
@@ -133,7 +154,7 @@ impl LiveIndex {
     /// table cells that became NULL/self, recollect endpoints and roots.
     pub(crate) fn compact(
         &mut self,
-        pram: &Pram,
+        pram: &mut Pram,
         st: &CcState,
         eoff: Handle,
         heap: Handle,
@@ -145,72 +166,86 @@ impl LiveIndex {
 
     fn rebuild(
         &mut self,
-        pram: &Pram,
+        pram: &mut Pram,
         st: &CcState,
         tables: Option<(Handle, Handle)>,
         dedup: bool,
         dedup_seed: u64,
     ) {
-        let eu = pram.slice(st.eu);
-        let ev = pram.slice(st.ev);
+        let parent = st.parent;
+
+        // Live arcs: charged compaction (predicate = non-loop; the helper
+        // shared with `LiveSet`), then the optional endpoint-pair dedup —
+        // the paper's hashing pass, charged at the surviving count (each
+        // survivor reads the hash function's two words and probes once).
+        let mut kept = compact_live_arcs(pram, st, &self.arcs);
         if dedup {
-            let mut set = PairSet::with_capacity(dedup_seed, self.arcs.len());
-            self.arcs.retain(|&i| {
-                let (a, b) = (eu[i as usize], ev[i as usize]);
-                a != b && set.insert(a, b)
-            });
-        } else {
-            self.arcs.retain(|&i| eu[i as usize] != ev[i as usize]);
-        }
-
-        // Clear the previous round's membership marks first (O(prev live)).
-        for &v in &self.verts {
-            self.seen[v as usize] = false;
-        }
-        self.verts.clear();
-        for &i in &self.arcs {
-            for v in [eu[i as usize], ev[i as usize]] {
-                if !self.seen[v as usize] {
-                    self.seen[v as usize] = true;
-                    self.verts.push(v as u32);
-                }
+            let survivors = kept.len();
+            {
+                let eu_h = pram.slice(st.eu);
+                let ev_h = pram.slice(st.ev);
+                let mut set = PairSet::with_capacity(dedup_seed, kept.len());
+                kept.retain(|&i| set.insert(eu_h[i as usize], ev_h[i as usize]));
             }
+            pram.charge(survivors, 2);
         }
-        self.arc_verts = self.verts.len();
+        self.arcs = kept;
 
+        // Live table cells: charged compaction. The predicate's reads are
+        // real counted memory traffic (offset, cell value, both parents).
         if let Some((eoff, heap)) = tables {
-            let eo = pram.slice(eoff);
-            let hw = pram.slice(heap);
-            let par = pram.slice(st.parent);
-            self.table_cells.retain(|&(x, c)| {
-                let off = eo[x as usize];
+            self.table_cells = compact_over(pram, &self.table_cells, move |_, &(x, c), ctx| {
+                let off = ctx.read(eoff, x as usize);
                 if off == NULL {
                     return false;
                 }
-                let w = hw[off as usize + c as usize];
-                w != NULL && w != x as u64 && par[x as usize] != par[w as usize]
+                let w = ctx.read(heap, off as usize + c as usize);
+                w != NULL
+                    && w != x as u64
+                    && ctx.read(parent, x as usize) != ctx.read(parent, w as usize)
             });
-            for &(x, c) in &self.table_cells {
-                let w = hw[eo[x as usize] as usize + c as usize];
-                for v in [x as u64, w] {
-                    if !self.seen[v as usize] {
-                        self.seen[v as usize] = true;
-                        self.verts.push(v as u32);
-                    }
-                }
-            }
         } else {
             self.table_cells.clear();
         }
 
-        let parent = pram.slice(st.parent);
-        self.roots.clear();
-        self.roots.extend(
-            self.verts
-                .iter()
-                .copied()
-                .filter(|&v| parent[v as usize] == v as u64),
+        // Endpoint collection via the shared helpers (one definition of
+        // the slot-map invariant `slot[verts[i]] == i`, which the stamped
+        // MAXLINK's candidate-row addressing relies on): arcs first, then
+        // the live table edges, charged as one emission step over the
+        // sources plus the Lemma-D.2 dedup/rename of the endpoints.
+        reset_endpoints(&mut self.slot, &mut self.verts);
+        {
+            let eu_h = pram.slice(st.eu);
+            let ev_h = pram.slice(st.ev);
+            extend_endpoints(
+                &mut self.slot,
+                &mut self.verts,
+                self.arcs
+                    .iter()
+                    .map(|&i| (eu_h[i as usize], ev_h[i as usize])),
+            );
+        }
+        self.arc_verts = self.verts.len();
+        if let Some((eoff, heap)) = tables {
+            let eo = pram.slice(eoff);
+            let hw = pram.slice(heap);
+            extend_endpoints(
+                &mut self.slot,
+                &mut self.verts,
+                self.table_cells
+                    .iter()
+                    .map(|&(x, c)| (x as u64, hw[eo[x as usize] as usize + c as usize])),
+            );
+        }
+        charge_endpoint_collection(
+            pram,
+            self.arcs.len() + self.table_cells.len(),
+            self.verts.len(),
         );
+
+        // Ongoing roots: charged compaction over the endpoints (shared
+        // helper again — one charge model for every live index).
+        self.roots = compact_live_roots(pram, st, &self.verts);
     }
 }
 
@@ -270,8 +305,11 @@ pub(crate) struct FasterState {
     /// "Raised level in Step 2" flags (ongoing-root entries only; reset
     /// per round).
     pub raised2: Handle,
-    /// MAXLINK candidate array (`n × (lmax+1)`).
-    pub cand: Handle,
+    /// MAXLINK candidate array (`n × (lmax+1)`) — clear-based legacy path
+    /// only; the default generation-stamped path allocates live-sized
+    /// candidate/stamp pairs per invocation instead (see
+    /// [`crate::theorem3::maxlink`]).
+    pub cand: Option<Handle>,
     /// The table heap.
     pub heap: TableHeap,
     /// Maximum level (budget schedule length - 1).
@@ -296,7 +334,9 @@ impl FasterState {
         pram.free(self.t5off);
         pram.free(self.dormant);
         pram.free(self.raised2);
-        pram.free(self.cand);
+        if let Some(cand) = self.cand {
+            pram.free(cand);
+        }
         self.heap.free_all(pram);
     }
 }
@@ -312,6 +352,43 @@ pub(crate) struct RoundOutcome {
     pub ongoing: usize,
     /// Live arcs at the end of the round.
     pub live_arcs: usize,
+    /// Work charged by the round's two live-index compactions (the
+    /// Lemma-D.2 rebuilds) — reported distinctly from step work.
+    pub compaction_work: u64,
+}
+
+/// Run one MAXLINK invocation over the current live index, in the mode
+/// `params` selects: generation-stamped (live-sized per-invocation
+/// candidate/stamp allocation, no clear step) or the clear-based legacy
+/// path (persistent `n × (lmax+1)` array, per-iteration clear).
+fn run_maxlink(pram: &mut Pram, fs: &FasterState, params: &FasterParams, changed: &Flag) {
+    let stride = fs.lmax + 1;
+    let (cand, cstamp) = match fs.cand {
+        Some(cand) => (cand, None),
+        None => {
+            let sz = (fs.live.verts.len() * stride).max(1);
+            // Zero-filled: stamp 0 never equals a generation (≥ 1), so
+            // recycled arena blocks cannot leak stale candidates.
+            (pram.alloc(sz), Some(pram.alloc(sz)))
+        }
+    };
+    let mx = MaxlinkCtx {
+        cand,
+        cstamp,
+        vert_slot: fs.live.vert_slot(),
+        level: fs.level,
+        lmax: fs.lmax,
+        live_arcs: &fs.live.arcs,
+        live_verts: &fs.live.verts,
+        table_cells: &fs.live.table_cells,
+        eoff: fs.eoff,
+        heap: fs.heap.handle(),
+    };
+    maxlink(pram, &fs.st, &mx, changed, params.maxlink_iters);
+    if let Some(stamp) = cstamp {
+        pram.free(cand);
+        pram.free(stamp);
+    }
 }
 
 /// Execute one EXPAND-MAXLINK round.
@@ -327,6 +404,7 @@ pub(crate) fn expand_maxlink_round(
     let dedup = params.dedup_every > 0 && round.is_multiple_of(params.dedup_every);
     let changed = Flag::new(pram);
     let ii_flag = Flag::new(pram);
+    let mut compaction_work = 0u64;
 
     let (parent, eu, ev) = (fs.st.parent, fs.st.eu, fs.st.ev);
     let (level, budget) = (fs.level, fs.budget);
@@ -335,26 +413,17 @@ pub(crate) fn expand_maxlink_round(
     let heap = fs.heap.handle();
 
     // ---- Step 1: MAXLINK; ALTER (live arcs and live tables).
-    {
-        let mx = MaxlinkCtx {
-            cand: fs.cand,
-            level,
-            lmax: fs.lmax,
-            live_arcs: &fs.live.arcs,
-            live_verts: &fs.live.verts,
-            table_cells: &fs.live.table_cells,
-            eoff,
-            heap,
-        };
-        maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
-    }
+    run_maxlink(pram, fs, params, &changed);
     alter_over(pram, eu, ev, parent, &fs.live.arcs);
     alter_tables(pram, &fs.live.table_cells, eoff, heap, parent);
 
     // ---- Compact: the mid-round live-index refresh every later step
-    // schedules over (the Lemma-D.2 role; see module docs).
+    // schedules over (the Lemma-D.2 role; see module docs). Its charged
+    // work is tallied separately for the `compaction_work` metric.
+    let cw0 = pram.stats().work;
     fs.live
         .compact(pram, &fs.st, eoff, heap, dedup, round_seed ^ 0xDED0_B001);
+    compaction_work += pram.stats().work - cw0;
 
     // ---- Step 2: random level raises on ongoing roots.
     if params.enable_sampling {
@@ -628,20 +697,10 @@ pub(crate) fn expand_maxlink_round(
 
     // ---- Step 6: MAXLINK; SHORTCUT; ALTER (live arcs + new tables).
     // `live.verts` still covers every possible candidate target: new table
-    // entries name roots that already were live-table/arc endpoints.
-    {
-        let mx = MaxlinkCtx {
-            cand: fs.cand,
-            level,
-            lmax: fs.lmax,
-            live_arcs: &fs.live.arcs,
-            live_verts: &fs.live.verts,
-            table_cells: &fs.live.table_cells,
-            eoff,
-            heap,
-        };
-        maxlink(pram, &fs.st, &mx, &changed, params.maxlink_iters);
-    }
+    // entries name roots that already were live-table/arc endpoints (a
+    // target missing from the slot map is skipped, mirroring the clear
+    // path's never-read cell).
+    run_maxlink(pram, fs, params, &changed);
     shortcut_flagged_over(pram, parent, &fs.live.verts, &changed);
     alter_over(pram, eu, ev, parent, &fs.live.arcs);
     alter_tables(pram, &fs.live.table_cells, eoff, heap, parent);
@@ -708,8 +767,10 @@ pub(crate) fn expand_maxlink_round(
     });
 
     // ---- Compact for the next round (Step 6's ALTER moved arcs/cells).
+    let cw1 = pram.stats().work;
     fs.live
         .compact(pram, &fs.st, eoff, heap, dedup, round_seed ^ 0xDED0_B002);
+    compaction_work += pram.stats().work - cw1;
 
     let outcome = RoundOutcome {
         changed: changed.read(pram),
@@ -719,6 +780,7 @@ pub(crate) fn expand_maxlink_round(
         table_live: fs.heap.live_words() as u64,
         ongoing: fs.live.arc_verts,
         live_arcs: fs.live.arcs.len(),
+        compaction_work,
     };
     changed.free(pram);
     ii_flag.free(pram);

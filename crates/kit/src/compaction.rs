@@ -20,7 +20,7 @@
 
 use crate::hashing::PairwiseHash;
 use crate::ops::{host_count, Flag};
-use pram_sim::{Handle, Pram, NULL};
+use pram_sim::{Ctx, Handle, Pram, NULL};
 
 /// Accounting mode for [`compact`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -145,6 +145,52 @@ pub fn compact(
         cap,
         rounds,
     })
+}
+
+/// Charged compaction over an *index slice* — the controller-side variant
+/// of [`compact`] that live-work schedulers use to refresh their compacted
+/// lists (the per-round Lemma-D.2 step).
+///
+/// `items` is the previous compacted list (a host mirror of the array the
+/// last compaction produced). One simulated processor per item evaluates
+/// `keep` against the pre-step memory image — every `ctx` read is counted —
+/// and flags survivors; the survivors are then placed into a dense output
+/// array, charged at the Lemma-D.2 bound (O(1) steps, here 4, at
+/// `items.len()` processors — same accounting as
+/// [`CompactionMode::ChargedO1`]; the paper's alternative is
+/// [`crate::prefix::exclusive_prefix_sum`] ranks at `Ω(log)` steps, which
+/// is exactly what limited-collision hashing avoids). The returned vector
+/// is the host mirror of that dense array, in stable first-seen order so
+/// runs stay deterministic and thread-count invariant.
+///
+/// Total charge: 1 step (predicate) + 4 steps (placement), both at
+/// `items.len()` processors — O(live), never O(n + m).
+pub fn compact_over<T, F>(pram: &mut Pram, items: &[T], keep: F) -> Vec<T>
+where
+    T: Copy + Sync,
+    F: Fn(u64, &T, &mut Ctx) -> bool + Send + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let flags = pram.alloc(items.len());
+    pram.step_over(items, |p, it, ctx| {
+        if keep(p, it, ctx) {
+            ctx.write(flags, p as usize, 1);
+        }
+    });
+    pram.charge(items.len(), 4); // Lemma D.2: placement in O(1) charged time
+    let out: Vec<T> = {
+        let fl = pram.slice(flags);
+        items
+            .iter()
+            .zip(fl)
+            .filter(|&(_, &f)| f != 0)
+            .map(|(&it, _)| it)
+            .collect()
+    };
+    pram.free(flags);
+    out
 }
 
 #[cfg(test)]
@@ -276,6 +322,50 @@ mod tests {
         // flag clears are host-side.
         assert_eq!(pram.stats().steps, 4);
         assert!(res.rounds >= 1);
+    }
+
+    #[test]
+    fn compact_over_keeps_matching_items_in_order() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let xs = pram.alloc(16);
+        for i in 0..16 {
+            pram.set(xs, i, (i % 3) as u64);
+        }
+        let items: Vec<u32> = (0..16).collect();
+        pram.reset_stats();
+        let kept = compact_over(&mut pram, &items, move |_, &i, ctx| {
+            ctx.read(xs, i as usize) == 0
+        });
+        assert_eq!(kept, vec![0, 3, 6, 9, 12, 15]);
+        // 1 predicate step + 4 charged placement steps, all at 16 procs.
+        let s = pram.stats();
+        assert_eq!(s.steps, 5);
+        assert_eq!(s.work, 16 * 5);
+    }
+
+    #[test]
+    fn compact_over_empty_is_free() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+        let items: Vec<u32> = Vec::new();
+        let kept = compact_over(&mut pram, &items, |_, &_i, _ctx| unreachable!());
+        assert!(kept.is_empty());
+        assert_eq!(pram.stats().work, 0);
+    }
+
+    #[test]
+    fn compact_over_charges_live_size_not_array_size() {
+        // The predicate reads into a huge array, but the charge tracks the
+        // (small) index slice — the whole point of the live-work variant.
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(5));
+        let big = pram.alloc(1 << 16);
+        pram.set(big, 77, 1);
+        let items: Vec<u32> = vec![3, 77, 1000];
+        pram.reset_stats();
+        let kept = compact_over(&mut pram, &items, move |_, &i, ctx| {
+            ctx.read(big, i as usize) != 0
+        });
+        assert_eq!(kept, vec![77]);
+        assert_eq!(pram.stats().work, 3 * 5);
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub mod hashing;
 pub mod ops;
 pub mod prefix;
 
-pub use compaction::{compact, CompactionMode, CompactionResult};
+pub use compaction::{compact, compact_over, CompactionMode, CompactionResult};
 pub use hashing::{PairSet, PairwiseHash};

@@ -124,6 +124,39 @@ pub fn shortcut_flagged_over(pram: &mut Pram, parent: Handle, verts: &[u32], fla
     });
 }
 
+/// One SHORTCUT round restricted to the listed vertices (no change flag).
+/// The live drivers' per-phase pointer jumping: O(live) instead of O(n).
+pub fn shortcut_over(pram: &mut Pram, parent: Handle, verts: &[u32]) {
+    pram.step_over(verts, move |_, &v, ctx| {
+        let p = ctx.read(parent, v as usize);
+        let gp = ctx.read(parent, p as usize);
+        if gp != p {
+            ctx.write(parent, v as usize, gp);
+        }
+    });
+}
+
+/// Repeat [`shortcut_over`] on `verts` until none of the listed parents
+/// changes; returns the rounds executed. At the fixpoint every listed
+/// vertex's parent is a root (its chain may pass through unlisted finished
+/// vertices — pointer jumping converges regardless). The live-work
+/// postprocess uses this to flatten only the surviving frontier instead of
+/// re-walking all `n` vertices.
+pub fn shortcut_until_flat_over(pram: &mut Pram, parent: Handle, verts: &[u32]) -> u64 {
+    let flag = Flag::new(pram);
+    let mut rounds = 0;
+    loop {
+        flag.clear(pram);
+        shortcut_flagged_over(pram, parent, verts, &flag);
+        rounds += 1;
+        if !flag.read(pram) {
+            break;
+        }
+    }
+    flag.free(pram);
+    rounds
+}
+
 /// Whether any arc is a non-loop (`eu[i] != ev[i]`): the paper's repeat-loop
 /// termination test, one flag-OR step.
 pub fn any_nonloop_arc(pram: &mut Pram, eu: Handle, ev: Handle) -> bool {
@@ -275,6 +308,25 @@ mod tests {
         flag.clear(&mut pram);
         shortcut_flagged_over(&mut pram, parent, &[1], &flag);
         assert!(!flag.read(&pram));
+    }
+
+    #[test]
+    fn shortcut_until_flat_over_flattens_listed_frontier() {
+        let mut pram = machine();
+        let parent = chain_parents(&mut pram, 16); // 0 <- 1 <- ... <- 15
+        let frontier: Vec<u32> = vec![15, 14, 13];
+        let rounds = shortcut_until_flat_over(&mut pram, parent, &frontier);
+        let p = pram.read_vec(parent);
+        for &v in &frontier {
+            assert_eq!(p[v as usize], 0, "listed vertex {v} not flat");
+        }
+        // Unlisted vertices never jump, so listed chains advance through
+        // stale intermediates — convergence is O(depth) here, not O(log):
+        // acceptable because live frontiers have short chains (Theorem 3
+        // bounds depth by the level schedule).
+        assert_eq!(p[1], 0);
+        assert_eq!(p[2], 1);
+        assert!(rounds <= 16, "rounds={rounds}");
     }
 
     #[test]

@@ -152,6 +152,23 @@ fn main() {
             .run
             .labels
         }
+        // The clear-based MAXLINK legacy path: its per-iteration clear and
+        // n-cell candidate array are a distinct scheduling of the same
+        // algorithm and must be just as thread-count invariant.
+        "theorem3_nostamp" => {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            logdiam::algorithms::theorem3::faster_cc(
+                &mut pram,
+                &g,
+                seed,
+                &logdiam::algorithms::theorem3::FasterParams {
+                    maxlink_stamps: false,
+                    ..Default::default()
+                },
+            )
+            .run
+            .labels
+        }
         "vanilla" => {
             let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::vanilla::vanilla(&mut pram, &g, seed).labels

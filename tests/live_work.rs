@@ -1,15 +1,20 @@
-//! Live-work scheduling regression guards (PR 3).
+//! Live-work scheduling regression guards (PR 3, extended by PR 5).
 //!
-//! The Theorem-3 round must charge (and execute) work proportional to the
-//! *live* subproblem — live arcs, live table cells, ongoing roots — not
-//! O(n + m). These tests pin that property so a future refactor cannot
-//! silently reintroduce full-array iteration, and verify that live-arc
-//! filtering + periodic dedup never change the computed partition.
+//! Every driver's round/phase must charge (and execute) work proportional
+//! to the *live* subproblem — live arcs, live table cells, ongoing roots —
+//! not O(n + m). These tests pin that property for the Theorem-3 rounds
+//! (including the controller's now-charged compaction and the compacted
+//! postprocess), for the Theorem-1/Theorem-2 phase drivers, and verify
+//! that live-arc filtering, periodic dedup, and the generation-stamped
+//! MAXLINK never change the computed partition.
 
+use logdiam::algorithms::theorem1::{connected_components, Theorem1Params};
+use logdiam::algorithms::theorem2::spanning_forest;
 use logdiam::algorithms::theorem3::{faster_cc, FasterParams};
 use logdiam::graph::gen;
 use logdiam::graph::seq::{components, same_partition};
 use logdiam::pram::{Pram, WritePolicy};
+use proptest::prelude::*;
 
 /// On a path graph the live subproblem shrinks geometrically; per-round
 /// charged work must follow it down instead of staying pinned at O(n + m).
@@ -92,6 +97,180 @@ fn live_filtering_and_dedup_preserve_labels() {
             assert!(
                 same_partition(&truth, &report.run.labels),
                 "graph #{gi} dedup_every={dedup_every}: wrong partition"
+            );
+        }
+    }
+}
+
+/// The controller's compaction is charged, visible, and live-sized: it
+/// must appear under `compaction_work` (not folded into step work) and
+/// decay with the live subproblem like the steps do.
+#[test]
+fn compaction_work_is_distinct_and_decays() {
+    let g = gen::path(1 << 13);
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(3));
+    let report = faster_cc(&mut pram, &g, 3, &FasterParams::default());
+    assert!(same_partition(&components(&g), &report.run.labels));
+    let pr = &report.run.per_round;
+    assert!(pr.len() >= 4);
+    for r in pr {
+        assert!(
+            r.compaction_work > 0,
+            "round {}: compaction work missing from metrics",
+            r.round
+        );
+    }
+    let first = pr[0].compaction_work;
+    let min_late = pr[pr.len() / 2..]
+        .iter()
+        .map(|r| r.compaction_work)
+        .min()
+        .unwrap();
+    assert!(
+        min_late * 10 <= first,
+        "late-round compaction still pays near-O(n+m): first {first}, min late {min_late}"
+    );
+}
+
+/// The postprocess is folded onto the final round's compacted state: its
+/// whole charge (frontier flatten + final ALTER + materialization/rename +
+/// the Theorem-1 solve on the deduplicated remaining root graph) must be
+/// sublinear in the input, never the old O(n + m) sweeps.
+#[test]
+fn postprocess_work_is_sublinear_in_input() {
+    let n: usize = 1 << 17;
+    let g = gen::path(n);
+    let m = g.m();
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(5));
+    let report = faster_cc(&mut pram, &g, 5, &FasterParams::default());
+    assert!(same_partition(&components(&g), &report.run.labels));
+    assert!(
+        report.post_work * 2 <= (n + m) as u64,
+        "postprocess charged {} against n+m = {} (must be well below — \
+         full-array flatten/ALTER/materialize has returned)",
+        report.post_work,
+        n + m
+    );
+}
+
+/// Theorem-1 per-phase work must track the live subproblem. `delta0: 0`
+/// skips PREPARE so the main loop itself does the contracting — with
+/// full-array phases every phase costs the same; with live scheduling the
+/// cheapest late phase is far below the first.
+#[test]
+fn theorem1_per_phase_work_decays_with_live() {
+    let g = gen::gnm(6000, 9000, 17);
+    let params = Theorem1Params {
+        delta0: 0.0,
+        ..Default::default()
+    };
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(23));
+    let report = connected_components(&mut pram, &g, 23, &params);
+    assert!(same_partition(&components(&g), &report.labels));
+    let pr = &report.per_round;
+    assert!(
+        pr.len() >= 3,
+        "expected a multi-phase run, got {}",
+        pr.len()
+    );
+    for r in pr {
+        eprintln!(
+            "t1 phase {:2}: work {:9} compaction {:8} live_arcs {:6} ongoing {:6}",
+            r.round, r.work, r.compaction_work, r.live_arcs, r.ongoing
+        );
+        assert!(
+            r.compaction_work > 0,
+            "phase {} missing compaction work",
+            r.round
+        );
+    }
+    let first = pr[0].work;
+    let min_late = pr[pr.len() / 2..].iter().map(|r| r.work).min().unwrap();
+    assert!(
+        min_late * 8 <= first,
+        "late phases still pay near-O(n+m): first {first}, min late {min_late}"
+    );
+}
+
+/// Same pin for the Theorem-2 spanning-forest driver.
+#[test]
+fn theorem2_per_phase_work_decays_with_live() {
+    let g = gen::gnm(4000, 6000, 29);
+    let params = Theorem1Params {
+        delta0: 0.0,
+        ..Default::default()
+    };
+    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(31));
+    let report = spanning_forest(&mut pram, &g, 31, &params);
+    assert!(same_partition(&components(&g), &report.labels));
+    let pr = &report.run.per_round;
+    assert!(
+        pr.len() >= 3,
+        "expected a multi-phase run, got {}",
+        pr.len()
+    );
+    for r in pr {
+        eprintln!(
+            "t2 phase {:2}: work {:9} compaction {:8} live_arcs {:6} ongoing {:6}",
+            r.round, r.work, r.compaction_work, r.live_arcs, r.ongoing
+        );
+        assert!(
+            r.compaction_work > 0,
+            "phase {} missing compaction work",
+            r.round
+        );
+    }
+    let first = pr[0].work;
+    let min_late = pr[pr.len() / 2..].iter().map(|r| r.work).min().unwrap();
+    assert!(
+        min_late * 8 <= first,
+        "late phases still pay near-O(n+m): first {first}, min late {min_late}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Generation-stamped MAXLINK vs the clear-based path, across dedup
+    /// cadences: the two paths are the same PRAM program modulo candidate
+    /// memory layout, so under the seeded-ARBITRARY machine (whose winner
+    /// hash covers cell addresses) they are two equally legal ARBITRARY
+    /// executions — the partitions must be identical to each other and to
+    /// ground truth for every cadence. (Bit-exact parent equality under
+    /// layout-independent PRIORITY policies is pinned at the invocation
+    /// level in `theorem3::maxlink`'s unit tests.)
+    #[test]
+    fn stamped_maxlink_matches_clear_based_partition(
+        shape in 0usize..4,
+        size in 24usize..160,
+        seed in 0u64..500,
+    ) {
+        let g = match shape {
+            0 => gen::gnm(size, 3 * size, seed),
+            1 => gen::clique_chain(size / 6 + 2, 5),
+            2 => gen::grid(size / 8 + 2, 8),
+            _ => gen::union_all(&[gen::gnm(size / 2, size, seed), gen::path(size / 3 + 2)]),
+        };
+        let truth = components(&g);
+        for dedup_every in [1u64, 2, 4, 8] {
+            let mut labels = Vec::new();
+            for stamps in [true, false] {
+                let params = FasterParams {
+                    dedup_every,
+                    maxlink_stamps: stamps,
+                    ..Default::default()
+                };
+                let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+                let r = faster_cc(&mut pram, &g, seed, &params);
+                prop_assert!(
+                    same_partition(&truth, &r.run.labels),
+                    "stamps={stamps} dedup_every={dedup_every}: wrong partition"
+                );
+                labels.push(r.run.labels);
+            }
+            prop_assert!(
+                same_partition(&labels[0], &labels[1]),
+                "dedup_every={dedup_every}: stamped and clear-based partitions diverge"
             );
         }
     }
