@@ -21,7 +21,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--sim-max-n N]
+//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH] [--sim-max-n N]
 //! ```
 //!
 //! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive)
@@ -32,9 +32,12 @@
 //! mode also replays the connectivity-service smoke trace (the
 //! `svc_driver` workload, capped at 5 s and verified against a
 //! from-scratch recompute) and writes its `BENCH_PR4.json`-schema report
-//! to `--svc-out` (default `BENCH_PR4_SMOKE.json`). `--out` overrides the
-//! output path (default `BENCH_PR5.json`); `--sim-max-n` raises (or
-//! lowers) the largest n the full Theorem-3 simulation runs at.
+//! to `--svc-out` (default `BENCH_PR4_SMOKE.json`), then the contended
+//! multi-writer/multi-reader scenario (`svc_driver --mt` workload, same
+//! cap, enqueue budget asserted) to `--mt-out` (default
+//! `BENCH_PR6_SMOKE.json`). `--out` overrides the output path (default
+//! `BENCH_PR5.json`); `--sim-max-n` raises (or lowers) the largest n the
+//! full Theorem-3 simulation runs at.
 
 use cc_graph::seq::{components, same_partition};
 use cc_graph::{gen, Graph};
@@ -98,7 +101,10 @@ fn pram_step_workload(n: usize) {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_report [--smoke] [--out PATH] [--svc-out PATH] [--sim-max-n N]");
+    eprintln!(
+        "usage: bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH] \
+         [--sim-max-n N]"
+    );
     std::process::exit(2);
 }
 
@@ -106,6 +112,7 @@ fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_PR5.json".to_string();
     let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
+    let mut mt_out_path = "BENCH_PR6_SMOKE.json".to_string();
     let mut sim_max_n = DEFAULT_SIM_MAX_N;
     let mut child = false;
     let mut args = std::env::args().skip(1);
@@ -115,6 +122,7 @@ fn main() {
             "--child" => child = true,
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
             "--svc-out" => svc_out_path = args.next().unwrap_or_else(|| usage()),
+            "--mt-out" => mt_out_path = args.next().unwrap_or_else(|| usage()),
             "--sim-max-n" => {
                 sim_max_n = args
                     .next()
@@ -127,7 +135,7 @@ fn main() {
     if child {
         run_child(smoke, sim_max_n);
     } else {
-        run_parent(smoke, &out_path, &svc_out_path, sim_max_n);
+        run_parent(smoke, &out_path, &svc_out_path, &mt_out_path, sim_max_n);
     }
 }
 
@@ -387,7 +395,13 @@ fn run_child(smoke: bool, sim_max_n: usize) {
 
 /// Parent mode: one child process per thread count, merged into the JSON
 /// report.
-fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str, sim_max_n: usize) {
+fn run_parent(
+    smoke: bool,
+    out_path: &str,
+    svc_out_path: &str,
+    mt_out_path: &str,
+    sim_max_n: usize,
+) {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -434,5 +448,9 @@ fn run_parent(smoke: bool, out_path: &str, svc_out_path: &str, sim_max_n: usize)
         // 5 s, verified against a from-scratch recompute) emitting the
         // BENCH_PR4.json schema — CI validates the written file.
         logdiam_bench::svc::run_smoke("bench_report --smoke", svc_out_path);
+        // Contended-service smoke: writers enqueue concurrently against
+        // readers, emitting the BENCH_PR6.json schema (enqueue budget and
+        // verification asserted inside) — CI validates this file too.
+        logdiam_bench::svc_mt::run_mt_smoke("bench_report --smoke", mt_out_path);
     }
 }

@@ -12,30 +12,44 @@
 //! Usage:
 //!
 //! ```text
-//! svc_driver [--smoke] [--out PATH] [--family F]... [--n N] [--ops N]
+//! svc_driver [--smoke] [--mt] [--out PATH] [--family F]... [--n N] [--ops N]
 //!            [--read-frac F] [--batch N] [--zipf S] [--seed S]
 //!            [--rebuild-threshold N]
+//!            [--writers W] [--readers R] [--shards S] [--queue Q] [--window K]
 //! ```
 //!
 //! With no flags the full matrix runs: path/grid/powerlaw/mixture at
 //! n = 1e5, 200k ops, 90% reads, batch 128, Zipf 1.0. `--smoke` replays
 //! the CI-sized mixture trace instead (same schema, seconds not minutes).
+//!
+//! `--mt` switches to the PR 6 contended scenario: `--writers` threads
+//! enqueue the batched write stream concurrently (each keeping `--window`
+//! tickets outstanding) while `--readers` threads hammer `query_latest`,
+//! and the report — `BENCH_PR6.json` by default — records enqueue vs
+//! commit latency and query latency during pipelined-rebuild windows. Each
+//! row asserts `verified`, the enqueue budget (p50 < 1/10 of the PR 4
+//! synchronous batch p50), and no reader stall beyond one batch commit
+//! during a rebuild.
 
 use logdiam_bench::svc::{report_json, run_smoke, run_trace, TraceConfig};
+use logdiam_bench::svc_mt::{mt_report_json, run_mt_smoke, run_mt_trace, MtConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svc_driver [--smoke] [--out PATH] [--family F]... [--n N] [--ops N] \
-         [--read-frac F] [--batch N] [--zipf S] [--seed S] [--rebuild-threshold N]"
+        "usage: svc_driver [--smoke] [--mt] [--out PATH] [--family F]... [--n N] [--ops N] \
+         [--read-frac F] [--batch N] [--zipf S] [--seed S] [--rebuild-threshold N] \
+         [--writers W] [--readers R] [--shards S] [--queue Q] [--window K]"
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut mt = false;
+    let mut out_path: Option<String> = None;
     let mut families: Vec<String> = Vec::new();
     let mut overrides = TraceConfig::full("mixture", 100_000);
+    let mut mt_shape = MtConfig::full("mixture", 100_000);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut next = |what: &str| -> String {
@@ -46,7 +60,15 @@ fn main() {
         };
         match a.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out_path = next("path"),
+            "--mt" => mt = true,
+            "--out" => out_path = Some(next("path")),
+            "--writers" => mt_shape.writers = next("number").parse().unwrap_or_else(|_| usage()),
+            "--readers" => mt_shape.readers = next("number").parse().unwrap_or_else(|_| usage()),
+            "--shards" => mt_shape.shard_count = next("number").parse().unwrap_or_else(|_| usage()),
+            "--queue" => {
+                mt_shape.command_queue = next("number").parse().unwrap_or_else(|_| usage())
+            }
+            "--window" => mt_shape.window = next("number").parse().unwrap_or_else(|_| usage()),
             "--family" => families.push(next("family name")),
             "--n" => overrides.n = next("number").parse().unwrap_or_else(|_| usage()),
             "--ops" => overrides.ops = next("number").parse().unwrap_or_else(|_| usage()),
@@ -63,8 +85,21 @@ fn main() {
         }
     }
 
+    let out_path = out_path.unwrap_or_else(|| {
+        if mt {
+            "BENCH_PR6.json"
+        } else {
+            "BENCH_PR4.json"
+        }
+        .to_string()
+    });
+
     if smoke {
-        run_smoke("svc_driver --smoke", &out_path);
+        if mt {
+            run_mt_smoke("svc_driver --mt --smoke", &out_path);
+        } else {
+            run_smoke("svc_driver --smoke", &out_path);
+        }
         return;
     }
 
@@ -73,6 +108,75 @@ fn main() {
             .map(String::from)
             .to_vec();
     }
+
+    if mt {
+        let mut outcomes = Vec::new();
+        for family in &families {
+            let cfg = MtConfig {
+                trace: TraceConfig {
+                    family: family.clone(),
+                    ..overrides.clone()
+                },
+                ..mt_shape.clone()
+            };
+            eprintln!(
+                "svc_driver --mt: {}/{} with {} writers × {} readers \
+                 (batch {}, shards {}, window {})...",
+                cfg.trace.family,
+                cfg.trace.n,
+                cfg.writers,
+                cfg.readers,
+                cfg.trace.batch,
+                cfg.shard_count,
+                cfg.window
+            );
+            let out = run_mt_trace(&cfg);
+            assert!(
+                out.verified,
+                "svc_driver --mt: {}: maintained partition diverged from one-shot recompute",
+                out.workload
+            );
+            assert!(
+                out.enqueue_ok,
+                "svc_driver --mt: {}: enqueue p50 {:.1} µs blew the budget",
+                out.workload, out.enqueue_p50_us
+            );
+            assert!(
+                out.rebuild_stall_ok,
+                "svc_driver --mt: {}: query p99 during rebuild ({:.1} µs) exceeded \
+                 one batch commit ({:.1} µs)",
+                out.workload, out.rebuild_query_p99_us, out.commit_p50_us
+            );
+            eprintln!(
+                "svc_driver --mt: [{}] enqueue p50/p99 {:.1}/{:.1} µs, commit p50/p99 \
+                 {:.0}/{:.0} µs, query p50/p99 {:.1}/{:.1} µs ({} during-rebuild samples, \
+                 p99 {:.1} µs), {} rebuilds, {} swaps, verified",
+                out.workload,
+                out.enqueue_p50_us,
+                out.enqueue_p99_us,
+                out.commit_p50_us,
+                out.commit_p99_us,
+                out.query_p50_us,
+                out.query_p99_us,
+                out.rebuild_samples,
+                out.rebuild_query_p99_us,
+                out.rebuilds,
+                out.overlay_swaps
+            );
+            outcomes.push(out);
+        }
+        std::fs::write(
+            &out_path,
+            mt_report_json("svc_driver --mt", false, &outcomes),
+        )
+        .expect("cannot write report");
+        eprintln!(
+            "svc_driver --mt: wrote {} measurements to {out_path}",
+            outcomes.len()
+        );
+        return;
+    }
+
     let mut outcomes = Vec::new();
     for family in &families {
         let cfg = TraceConfig {

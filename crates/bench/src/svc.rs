@@ -227,7 +227,7 @@ impl Zipf {
 }
 
 /// Latency percentile (sorted input, microseconds out).
-fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+pub(crate) fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
@@ -291,8 +291,10 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceOutcome {
                 .unwrap_or_else(|| (zipf.sample(&mut rng), zipf.sample(&mut rng)));
             pending.push(e);
             if pending.len() >= cfg.batch {
+                // Enqueue + ticket wait: end-to-end commit latency, the
+                // same observable the PR 4 synchronous API measured.
                 let tb = Instant::now();
-                svc.apply_batch(&pending);
+                svc.apply_batch(&pending).wait();
                 batch_ns.push(tb.elapsed().as_nanos() as u64);
                 applied.extend_from_slice(&pending);
                 pending.clear();
@@ -301,7 +303,7 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceOutcome {
     }
     if !pending.is_empty() {
         let tb = Instant::now();
-        svc.apply_batch(&pending);
+        svc.apply_batch(&pending).wait();
         batch_ns.push(tb.elapsed().as_nanos() as u64);
         applied.extend_from_slice(&pending);
         pending.clear();

@@ -64,7 +64,7 @@ pub struct Expansion {
     /// Block owner per block (`NULL` = unowned).
     pub owner: Handle,
     /// First-dormant-round per vertex: `NULL` = never dormant (live),
-    /// [`FDR_FULLY`] = no block, `i + 1` = became dormant in round `i`.
+    /// `FDR_FULLY` = no block, `i + 1` = became dormant in round `i`.
     pub fdr: Handle,
     /// The vertex→block hash.
     pub hb: PairwiseHash,

@@ -9,7 +9,7 @@
 //! its LINK cannot be recorded in a forest. Theorem 2 therefore:
 //!
 //! * snapshots the expansion tables per round (`H_j`),
-//! * replays them in [`treelink`] to compute exact distances `β` to the
+//! * replays them in `treelink` to compute exact distances `β` to the
 //!   nearest leader, and
 //! * links only along *current graph arcs* `(v, w)` with `β(v) = β(w)+1`,
 //!   marking each used arc's **original** input edge (`ê.f := 1`) — every

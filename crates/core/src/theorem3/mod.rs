@@ -10,7 +10,7 @@
 //! * `COMPACT` (§D): Vanilla phases shrink the ongoing-vertex count, then
 //!   approximate compaction renames the survivors so every one of them can
 //!   own a level-1 block of size `b₁` (Assumption 3.1).
-//! * Each round runs Steps (1)–(8) of [`round`] (EXPAND-MAXLINK): MAXLINK
+//! * Each round runs Steps (1)–(8) of `round` (EXPAND-MAXLINK): MAXLINK
 //!   toward higher levels, random and collision-triggered level raises,
 //!   same-budget table hashing, and table squaring. The level/budget
 //!   machinery (`b_ℓ = b₁^{κ^{ℓ-1}}`, non-roots frozen — Lemma 3.2/D.4) is
@@ -87,7 +87,7 @@ pub struct FasterParams {
     /// the NULL sentinel, so neither the O(n)-cell array nor the
     /// per-iteration clear step exists. `false` selects the clear-based
     /// legacy path (kept for the pinned equivalence proof — see
-    /// [`maxlink`]'s module docs; under processor-priority write policies
+    /// `maxlink`'s module docs; under processor-priority write policies
     /// the two paths produce bit-identical parents, and the partitions
     /// match on every machine).
     pub maxlink_stamps: bool,

@@ -165,6 +165,20 @@ pub fn compact(
 ///
 /// Total charge: 1 step (predicate) + 4 steps (placement), both at
 /// `items.len()` processors — O(live), never O(n + m).
+///
+/// # Example
+///
+/// ```
+/// use pram_kit::compaction::compact_over;
+/// use pram_sim::{Pram, WritePolicy};
+///
+/// let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(7));
+/// let items: Vec<u32> = (0..8).collect();
+/// // Keep the even items; the survivors come back dense, in first-seen
+/// // order, and the step was charged at 8 processors (the live count).
+/// let kept = compact_over(&mut pram, &items, |_p, &x, _ctx| x % 2 == 0);
+/// assert_eq!(kept, vec![0, 2, 4, 6]);
+/// ```
 pub fn compact_over<T, F>(pram: &mut Pram, items: &[T], keep: F) -> Vec<T>
 where
     T: Copy + Sync,

@@ -105,6 +105,18 @@ impl PairwiseHash {
 /// O(live), never O(m)), and fully deterministic: insertion order plus a
 /// fixed seed decide the layout, and membership is decided by exact key
 /// comparison — the hash only picks probe start points.
+///
+/// # Example
+///
+/// ```
+/// use pram_kit::hashing::PairSet;
+///
+/// let mut seen = PairSet::with_capacity(42, 4);
+/// assert!(seen.insert(3, 7)); // fresh pair
+/// assert!(!seen.insert(3, 7)); // exact duplicate: rejected
+/// assert!(seen.insert(7, 3)); // pairs are ordered: (7,3) is distinct
+/// assert_eq!(seen.len(), 2);
+/// ```
 pub struct PairSet {
     slots: Vec<(u64, u64)>,
     mask: usize,

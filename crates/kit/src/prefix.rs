@@ -4,7 +4,7 @@
 //! the Andoni et al. / Behnezhad et al. algorithms lean on for processor
 //! allocation and neighbour indexing. On a CRCW PRAM with `poly(n)`
 //! processors they require `Ω(log n / log log n)` time (Beame–Håstad,
-//! cited as [BH89]); the textbook work-efficient algorithm below takes
+//! cited as \[BH89\]); the textbook work-efficient algorithm below takes
 //! `2⌈log₂ n⌉` steps. The whole point of the paper's limited-collision
 //! hashing is to sidestep this cost — experiment E13 runs this primitive
 //! against hashing-based approximate compaction to show the gap the paper

@@ -20,9 +20,9 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// many threads at once (all mutation is CAS on atomics); it can be called
 /// any number of times, so incremental edge streams resume where the last
 /// batch left off. The forest is id-decreasing at all times, which makes
-/// every root the minimum vertex of its set — [`representative`]
-/// (UnionFind::representative) therefore returns canonical min-vertex
-/// labels directly.
+/// every root the minimum vertex of its set —
+/// [`representative`](UnionFind::representative) therefore returns
+/// canonical min-vertex labels directly.
 ///
 /// Read methods ([`representative`](UnionFind::representative),
 /// [`same_set`](UnionFind::same_set), [`labels`](UnionFind::labels)) are
@@ -30,6 +30,22 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// batch is in flight they are still safe but may observe a prefix of its
 /// unions, so epoch-consistent readers should query a published snapshot
 /// instead (see `logdiam-svc`).
+///
+/// # Example
+///
+/// ```
+/// use logdiam_par::UnionFind;
+///
+/// let uf = UnionFind::new(5);
+/// uf.absorb(&[(0, 1), (3, 4)]);
+/// assert!(uf.same_set(0, 1));
+/// assert!(!uf.same_set(1, 3));
+///
+/// // Batches resume where the last one left off, and labels are always
+/// // canonical min-vertex representatives.
+/// uf.absorb(&[(4, 1)]);
+/// assert_eq!(uf.labels(), vec![0, 0, 2, 0, 0]);
+/// ```
 pub struct UnionFind {
     p: Vec<AtomicU32>,
 }
@@ -80,6 +96,35 @@ impl UnionFind {
     pub fn absorb(&self, edges: &[(u32, u32)]) {
         edges.par_iter().for_each(|&(u, v)| {
             unite(&self.p, u, v);
+        });
+    }
+
+    /// [`absorb`](UnionFind::absorb) without the parallel fan-out: unions
+    /// run on the calling thread in slice order. This is the drain
+    /// primitive for callers that buffer edges and pay for them in one
+    /// deterministic pass (the `logdiam-svc` cross-shard pending lists);
+    /// it is also the right call for batches too small to amortize a
+    /// pool dispatch.
+    pub fn absorb_seq(&self, edges: &[(u32, u32)]) {
+        for &(u, v) in edges {
+            unite(&self.p, u, v);
+        }
+    }
+
+    /// Shard-aware absorb: one parallel task per shard bucket, each
+    /// draining its bucket sequentially.
+    ///
+    /// Callers that partition a batch by vertex range (the `logdiam-svc`
+    /// sharded overlay) get per-shard cache locality and exactly
+    /// `buckets.len()` pool tasks instead of a per-edge fan-out. The
+    /// structure is a single global forest, so a shard task *may* still
+    /// CAS a parent slot outside its range when an earlier epoch already
+    /// merged components across shards — that is safe (all mutation is
+    /// CAS on the shared atomics) and does not affect the resulting
+    /// partition, which is interleaving-independent.
+    pub fn absorb_sharded(&self, buckets: &[Vec<(u32, u32)>]) {
+        buckets.par_iter().for_each(|bucket| {
+            self.absorb_seq(bucket);
         });
     }
 
@@ -204,6 +249,26 @@ mod tests {
         uf.absorb(&[(5, 6)]);
         assert!(uf.same_set(0, 10));
         assert_eq!(uf.representative(10), 0);
+    }
+
+    #[test]
+    fn absorb_seq_and_sharded_match_parallel_absorb() {
+        let g = gen::gnm(900, 2600, 13);
+        let expected = unionfind_cc(&g);
+        // Sequential drain.
+        let seq = UnionFind::new(g.n());
+        seq.absorb_seq(g.edges());
+        assert_eq!(seq.labels(), expected);
+        // Sharded drain: bucket edges by the smaller endpoint's range.
+        let shards = 7usize;
+        let size = g.n().div_ceil(shards);
+        let mut buckets = vec![Vec::new(); shards];
+        for &(u, v) in g.edges() {
+            buckets[(u.min(v) as usize) / size].push((u, v));
+        }
+        let sharded = UnionFind::new(g.n());
+        sharded.absorb_sharded(&buckets);
+        assert_eq!(sharded.labels(), expected);
     }
 
     #[test]

@@ -208,6 +208,21 @@ impl Pram {
     /// is the processor id seen by write resolution and [`Ctx::rand`]; a
     /// deterministic host-built slice therefore yields runs that are
     /// reproducible and thread-count invariant exactly like plain steps.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pram_sim::{Pram, WritePolicy};
+    ///
+    /// let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(1));
+    /// let out = pram.alloc(10);
+    /// // One processor per *live* item — the step charges 3 processors,
+    /// // not the 10 cells the items index into.
+    /// let live: Vec<usize> = vec![2, 5, 7];
+    /// pram.step_over(&live, |_p, &i, ctx| ctx.write(out, i, 1));
+    /// assert_eq!(pram.read_vec(out).iter().sum::<u64>(), 3);
+    /// assert_eq!(pram.stats().max_procs, 3);
+    /// ```
     pub fn step_over<T, F>(&mut self, items: &[T], f: F)
     where
         T: Sync,

@@ -1,35 +1,46 @@
 //! # `logdiam-svc` — an incremental connectivity service
 //!
-//! The first subsystem in the workspace that owns *mutable* connectivity
-//! state. Every other entry point is one-shot over a static CSR graph;
+//! The subsystem in the workspace that owns *mutable* connectivity state.
+//! Every other entry point is one-shot over a static CSR graph;
 //! [`ConnectivityService`] instead maintains a component labeling under a
 //! stream of batched edge insertions and answers connectivity queries
 //! against published, immutable snapshots.
 //!
-//! The design is the hybrid the companion literature motivates:
+//! Since PR 6 the service is **sharded and pipelined** — three moving
+//! parts behind one controller handle (full contract: `ARCHITECTURE.md`):
 //!
-//! * **Fast incremental absorption** — each [`apply_batch`] folds its
-//!   edges into an *epoch delta overlay*: a concurrent union–find
-//!   ([`logdiam_par::UnionFind`], CAS root splicing on the vendored rayon
-//!   pool) resumed from the last full recompute, in the spirit of
-//!   Liu–Tarjan's concurrent label-update rules — cheap rules absorb
-//!   incremental edges between full recomputes.
-//! * **Periodic log-diameter rebuild** — once the overlay has accumulated
-//!   [`SvcParams::rebuild_threshold`] distinct new edges, the deltas are
-//!   folded into a fresh CSR ([`cc_graph::Graph::from_csr_plus_edges`])
-//!   and a full recompute runs on a selectable [`RebuildBackend`]: the
-//!   practical concurrent union–find, or the paper's Theorem-3
-//!   `faster_cc` on a simulated CRCW PRAM.
-//! * **Epoch-versioned reads** — every batch commit publishes an
-//!   immutable [`Snapshot`] (canonical min-vertex labels plus a
-//!   [`Spectrum`] of component statistics). Queries clone an `Arc` to a
-//!   published snapshot and never touch the writer's mutex, so reads
-//!   proceed while a batch commits; a bounded history ring
-//!   ([`SvcParams::snapshot_history`]) keeps recent epochs addressable.
+//! * **A dedicated writer thread** owns the state. [`apply_batch`] only
+//!   normalizes the batch, enqueues it on a bounded command channel
+//!   ([`SvcParams::command_queue`] — a full channel blocks the caller:
+//!   that is the backpressure), and returns an [`EpochTicket`] the caller
+//!   can [`wait`](EpochTicket::wait) or [`poll`](EpochTicket::poll).
+//!   The writer drains commands in FIFO order, so epoch assignment is
+//!   totally ordered however many threads enqueue concurrently.
+//! * **A sharded delta overlay** absorbs each batch: the resumable
+//!   concurrent union–find ([`logdiam_par::UnionFind`]) is partitioned by
+//!   vertex range into [`SvcParams::shard_count`] shards — intra-shard
+//!   edges are absorbed with one pool task per shard, cross-shard unions
+//!   are buffered per shard and drained by the writer in one pass per
+//!   commit. Shard count is a pure performance knob: published labels are
+//!   canonical min-vertex representatives, identical for every shard and
+//!   thread count.
+//! * **Pipelined rebuilds**: when [`SvcParams::rebuild_threshold`]
+//!   distinct new edges have accumulated, the commit *folds* them into a
+//!   fresh base CSR synchronously (cheap merge, deterministic trigger),
+//!   but the full recompute on the [`RebuildBackend`] runs on a
+//!   background worker; its labeling swaps in atomically between commits.
+//!   Neither queries nor commits ever stall behind a recompute.
+//!
+//! Queries stay wait-free throughout: every commit publishes an immutable
+//! [`Snapshot`] (canonical labels plus a [`Spectrum`] of component
+//! statistics) onto a bounded history ring
+//! ([`SvcParams::snapshot_history`]); readers clone an `Arc` off the ring
+//! and never touch the writer.
 //!
 //! Label canonicalization makes the service deterministic: for a fixed
-//! replay (initial graph + batch sequence), every epoch's labels are
-//! identical at any thread count and for either rebuild backend.
+//! replay (initial graph + batch sequence from one caller), every epoch's
+//! labels are identical at any thread count, for any shard count, and for
+//! either rebuild backend.
 //!
 //! ```
 //! use cc_graph::gen;
@@ -37,19 +48,26 @@
 //!
 //! let svc = ConnectivityService::new(gen::path(10), SvcParams::default());
 //! assert!(svc.query_latest(0, 9));
-//! let e = svc.apply_batch(&[(3, 7)]); // already connected: labels stable
+//! let ticket = svc.apply_batch(&[(3, 7), (2, 2)]); // enqueued; loop dropped
+//! let epoch = ticket.wait();                        // block until committed
+//! assert!(svc.query(0, 9, epoch).unwrap());
 //! assert_eq!(svc.component_of(9), 0);
-//! assert!(svc.query(0, 9, e).unwrap());
 //! ```
+//!
+//! [`apply_batch`]: ConnectivityService::apply_batch
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod service;
+mod shard;
 mod snapshot;
+mod ticket;
+mod writer;
 
 pub use service::ConnectivityService;
 pub use snapshot::{Snapshot, Spectrum};
+pub use ticket::EpochTicket;
 
 /// An undirected edge request: endpoints in either order, self-loops
 /// tolerated (and dropped).
@@ -57,11 +75,11 @@ pub type Edge = (u32, u32);
 
 /// A monotone version number: epoch `e` is the state after the `e`-th
 /// [`ConnectivityService::apply_batch`] commit (epoch 0 is the initial
-/// graph).
+/// graph). Epochs are assigned by the writer thread in dequeue order.
 pub type Epoch = u64;
 
-/// Which full-recompute algorithm a rebuild runs once the delta overlay
-/// exceeds its threshold.
+/// Which full-recompute algorithm a background rebuild runs once the
+/// delta overlay exceeds its threshold.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RebuildBackend {
     /// The practical lock-free concurrent union–find
@@ -70,7 +88,9 @@ pub enum RebuildBackend {
     /// The paper's Theorem-3 EXPAND–MAXLINK algorithm (`faster_cc`) on a
     /// seeded-ARBITRARY simulated CRCW PRAM — orders of magnitude slower
     /// per rebuild, but routes the service's maintenance path through the
-    /// reproduction itself.
+    /// reproduction itself. The recompute runs off the commit path, and
+    /// the swap asserts partition agreement with the live overlay, so a
+    /// diverging simulation aborts loudly instead of corrupting state.
     FasterSim {
         /// Seed for the simulated machine and the algorithm's hash draws.
         seed: u64,
@@ -83,14 +103,26 @@ pub struct SvcParams {
     /// Rebuild backend (default: [`RebuildBackend::UnionFind`]).
     pub backend: RebuildBackend,
     /// Distinct new (not in the base graph, not previously absorbed)
-    /// edges the delta overlay may accumulate before a commit triggers a
-    /// full rebuild.
+    /// edges the delta overlay may accumulate before a commit folds them
+    /// into a fresh base CSR and schedules a background recompute.
     pub rebuild_threshold: usize,
     /// How many recent epoch snapshots stay addressable by
     /// [`ConnectivityService::query`]; older epochs are evicted
     /// ([`EpochError::Evicted`]). At least 1 (the latest snapshot is
     /// always kept).
     pub snapshot_history: usize,
+    /// Vertex-range shards the overlay partitions each batch over:
+    /// intra-shard absorption runs one pool task per shard; cross-shard
+    /// unions are buffered and drained once per commit. Purely a
+    /// performance knob — published labels are identical for any value
+    /// (default 8).
+    pub shard_count: usize,
+    /// Capacity of the command channel between handles and the writer
+    /// thread. [`ConnectivityService::apply_batch`] returns as soon as
+    /// the batch is enqueued; once the writer falls this many commits
+    /// behind, further calls block until a slot frees (bounded-memory
+    /// backpressure instead of unbounded buffering; default 1024).
+    pub command_queue: usize,
 }
 
 impl Default for SvcParams {
@@ -99,6 +131,8 @@ impl Default for SvcParams {
             backend: RebuildBackend::UnionFind,
             rebuild_threshold: 4096,
             snapshot_history: 8,
+            shard_count: 8,
+            command_queue: 1024,
         }
     }
 }

@@ -1,81 +1,79 @@
-//! The connectivity service: writer state behind a mutex, epoch snapshots
-//! behind a read-mostly ring.
+//! The controller handle: enqueue commits, read published snapshots.
+//!
+//! All mutable state lives on the writer thread (see [`crate::writer`]);
+//! this module is the thin, `Sync` front the rest of the workspace talks
+//! to. The split follows the execution-controller idiom: a command
+//! channel into a state-owning thread, a handle that returns tickets.
 
-use crate::{Edge, Epoch, EpochError, RebuildBackend, Snapshot, SvcParams};
+use crate::ticket::{EpochTicket, TicketCell};
+use crate::writer::{Cmd, Ring, SharedStats, Writer};
+use crate::{Edge, Epoch, EpochError, Snapshot, SvcParams};
 use cc_graph::Graph;
-use logdiam_par::unionfind::{unionfind_cc, UnionFind};
-use pram_kit::PairSet;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, RwLock};
-
-/// Seed for the delta dedup set; fixed so replays are deterministic.
-const DELTA_DEDUP_SEED: u64 = 0xD317_A5E7;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, RwLock};
 
 /// A connectivity service over a mutable graph: batched edge insertions
 /// mutate an epoch-versioned labeling; queries read published immutable
-/// snapshots. See the crate docs for the design.
+/// snapshots. See the crate docs for the design and `ARCHITECTURE.md`
+/// for the architecture contract.
 ///
-/// Writer path ([`apply_batch`](ConnectivityService::apply_batch)) and
-/// read path ([`query`](ConnectivityService::query) and friends) are
-/// internally synchronized: the service is `Sync`, batches from
-/// concurrent callers serialize on the writer mutex, and readers only
-/// take a brief read-lock to clone an `Arc` off the snapshot ring — they
-/// never wait for an in-flight batch.
+/// This struct is only the **controller handle**. The state — base CSR,
+/// sharded delta overlay, delta list — is owned by a dedicated writer
+/// thread; [`apply_batch`](ConnectivityService::apply_batch) enqueues a
+/// normalized batch on a bounded command channel and immediately returns
+/// an [`EpochTicket`]. The writer drains commands in FIFO order, so epoch
+/// assignment is totally ordered no matter how many threads enqueue.
+/// Queries ([`query`](ConnectivityService::query) and friends) clone an
+/// `Arc` off the published snapshot ring under a brief read lock — they
+/// never wait on a committing batch, a fold, or a background rebuild.
+///
+/// Dropping the handle shuts the service down: already-enqueued batches
+/// are drained, committed, and their tickets fulfilled; then the writer
+/// joins its rebuild worker and exits. No thread outlives the handle.
 pub struct ConnectivityService {
-    params: SvcParams,
-    inner: Mutex<Inner>,
-    /// Published snapshots for the most recent epochs, oldest first. The
-    /// back entry is always the latest epoch.
-    published: RwLock<VecDeque<Arc<Snapshot>>>,
-}
-
-/// Writer-side state: the rebuilt base plus the delta overlay on top.
-struct Inner {
-    /// The base CSR graph from the last full rebuild.
-    base: Graph,
-    /// Concurrent union–find over all n vertices, seeded from the base
-    /// labeling and advanced by every absorbed delta edge.
-    overlay: UnionFind,
-    /// Distinct delta edges absorbed since the last rebuild, in arrival
-    /// order (becomes the `extra` list of the next rebuild's CSR fold).
-    delta: Vec<Edge>,
-    /// Exact dedup set over `delta` (reset at each rebuild).
-    seen: PairSet,
-    epoch: Epoch,
-    rebuilds: u64,
+    n: usize,
+    /// `Some` until Drop; taken there so the channel closes before join.
+    tx: Option<mpsc::SyncSender<Cmd>>,
+    published: Arc<Ring>,
+    stats: Arc<SharedStats>,
+    writer: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ConnectivityService {
     /// Start a service over an initial graph. The initial labeling is
-    /// computed with the configured rebuild backend and published as
-    /// epoch 0.
+    /// computed synchronously with the configured rebuild backend and
+    /// published as epoch 0 before this returns; the writer thread and
+    /// its background rebuild worker are running when it does.
     pub fn new(initial: Graph, params: SvcParams) -> Self {
         assert!(
             params.rebuild_threshold > 0,
             "rebuild_threshold must be ≥ 1"
         );
         assert!(params.snapshot_history > 0, "snapshot_history must be ≥ 1");
-        let labels = run_backend(params.backend, &initial);
-        let overlay = UnionFind::from_labels(&labels);
-        let snapshot = Arc::new(Snapshot::new(0, overlay.labels(), initial.m(), 0, 0));
-        let inner = Inner {
-            base: initial,
-            overlay,
-            delta: Vec::new(),
-            seen: PairSet::with_capacity(DELTA_DEDUP_SEED, params.rebuild_threshold),
-            epoch: 0,
-            rebuilds: 0,
-        };
+        assert!(params.shard_count > 0, "shard_count must be ≥ 1");
+        assert!(params.command_queue > 0, "command_queue must be ≥ 1");
+        let n = initial.n();
+        let published: Arc<Ring> = Arc::new(RwLock::new(VecDeque::new()));
+        let stats = Arc::new(SharedStats::default());
+        let writer_state = Writer::start(initial, params, published.clone(), stats.clone());
+        let (tx, rx) = mpsc::sync_channel(params.command_queue);
+        let writer = std::thread::Builder::new()
+            .name("logdiam-svc-writer".into())
+            .spawn(move || writer_state.run(rx))
+            .expect("cannot spawn service writer");
         ConnectivityService {
-            params,
-            inner: Mutex::new(inner),
-            published: RwLock::new(VecDeque::from([snapshot])),
+            n,
+            tx: Some(tx),
+            published,
+            stats,
+            writer: Some(writer),
         }
     }
 
     /// Number of vertices the service was built over.
     pub fn n(&self) -> usize {
-        self.latest().labels().len()
+        self.n
     }
 
     /// The newest committed epoch.
@@ -83,64 +81,73 @@ impl ConnectivityService {
         self.latest().epoch()
     }
 
-    /// Apply one batch of edge insertions and commit a new epoch.
+    /// Enqueue one batch of edge insertions; returns an [`EpochTicket`]
+    /// immediately.
     ///
-    /// Self-loops are dropped; edges already present (in the base graph
-    /// or absorbed by an earlier batch since the last rebuild) don't
-    /// count toward the rebuild threshold. The surviving edges are
-    /// absorbed into the overlay union–find in parallel; if the overlay
-    /// then holds ≥ [`SvcParams::rebuild_threshold`] delta edges, the
-    /// deltas are folded into a fresh base CSR and fully recomputed with
-    /// the configured backend. Either way the new labeling is sealed into
-    /// a [`Snapshot`] and published before the epoch number is returned,
-    /// so a query at the returned epoch always succeeds (until evicted).
+    /// The handle normalizes the batch before enqueuing (self-loops
+    /// dropped, endpoints validated — an out-of-range endpoint panics
+    /// here, on the caller); the writer applies the stateful half of the
+    /// normalization rule (exact dedup against earlier batches and the
+    /// base CSR, see [`Graph::dedup_new_edges`]) when it dequeues the
+    /// command, so edges already present never count toward the rebuild
+    /// threshold. An empty batch (or one that is all duplicates/loops)
+    /// still commits and publishes an epoch — callers can rely on one
+    /// epoch per call, assigned in dequeue (FIFO) order.
     ///
-    /// An empty batch (or one that is all duplicates/loops) still commits
-    /// and publishes an epoch — callers can rely on one epoch per call.
-    pub fn apply_batch(&self, batch: &[Edge]) -> Epoch {
-        let mut inner = self.inner.lock().expect("service writer poisoned");
-        // One normalization rule shared with the rebuild fold: loop-drop,
-        // exact dedup (persistent `seen` across batches), already-in-base
-        // filter — see `Graph::dedup_new_edges`.
-        let Inner { base, seen, .. } = &mut *inner;
-        let fresh = base.dedup_new_edges(batch, seen);
-        inner.overlay.absorb(&fresh);
-        inner.delta.extend_from_slice(&fresh);
-        if inner.delta.len() >= self.params.rebuild_threshold {
-            self.rebuild(&mut inner);
-        }
-        inner.epoch += 1;
-        let snapshot = Arc::new(Snapshot::new(
-            inner.epoch,
-            inner.overlay.labels(),
-            inner.base.m(),
-            inner.delta.len(),
-            inner.rebuilds,
-        ));
-        let epoch = inner.epoch;
-        {
-            let mut ring = self.published.write().expect("snapshot ring poisoned");
-            ring.push_back(snapshot);
-            while ring.len() > self.params.snapshot_history {
-                ring.pop_front();
+    /// **Backpressure:** the command channel is bounded
+    /// ([`SvcParams::command_queue`]); when the writer is
+    /// [`SvcParams::command_queue`] commits behind, this call blocks
+    /// until a slot frees instead of buffering unboundedly. The returned
+    /// ticket can be [`wait`](EpochTicket::wait)ed (block until the
+    /// epoch's snapshot is published) or [`poll`](EpochTicket::poll)ed
+    /// (non-blocking).
+    pub fn apply_batch(&self, batch: &[Edge]) -> EpochTicket {
+        let n = self.n as u32;
+        let mut edges = Vec::with_capacity(batch.len());
+        for &(u, v) in batch {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            if u != v {
+                edges.push((u, v));
             }
         }
-        epoch
+        let cell = TicketCell::new();
+        self.send(Cmd::Apply {
+            edges,
+            ticket: cell.clone(),
+        });
+        EpochTicket::new(cell)
     }
 
-    /// Fold the accumulated deltas into a fresh base CSR and recompute
-    /// the labeling from scratch with the configured backend.
-    fn rebuild(&self, inner: &mut Inner) {
-        let base = Graph::from_csr_plus_edges(&inner.base, &inner.delta);
-        let labels = run_backend(self.params.backend, &base);
-        inner.overlay = UnionFind::from_labels(&labels);
-        inner.base = base;
-        inner.delta.clear();
-        inner.seen = PairSet::with_capacity(
-            DELTA_DEDUP_SEED ^ inner.rebuilds.wrapping_add(1),
-            self.params.rebuild_threshold,
-        );
-        inner.rebuilds += 1;
+    /// Block until every batch enqueued before this call has committed.
+    /// Does **not** wait for an in-flight background rebuild — rebuild
+    /// completion is a representation change invisible to queries (see
+    /// [`rebuild_in_flight`](ConnectivityService::rebuild_in_flight)).
+    pub fn flush(&self) {
+        let (done_tx, done_rx) = mpsc::sync_channel(1);
+        self.send(Cmd::Flush(done_tx));
+        done_rx.recv().expect("service writer gone");
+    }
+
+    fn send(&self, cmd: Cmd) {
+        self.tx
+            .as_ref()
+            .expect("service handle already shut down")
+            .send(cmd)
+            .expect("service writer gone");
+    }
+
+    /// Whether a background rebuild (fold already published, recompute
+    /// still running or awaiting its swap) is currently in flight.
+    /// Observability only: the value depends on worker timing and is
+    /// *not* part of the deterministic per-epoch surface.
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.stats.rebuild_in_flight.load(Ordering::Acquire)
+    }
+
+    /// Background recomputes whose labelings were swapped into the
+    /// overlay so far (observability only, timing-dependent).
+    pub fn overlay_swaps(&self) -> u64 {
+        self.stats.overlay_swaps.load(Ordering::Relaxed)
     }
 
     /// The latest published snapshot.
@@ -199,22 +206,14 @@ impl ConnectivityService {
     }
 }
 
-/// Full recompute with the selected backend; always returns canonical
-/// min-vertex labels (the `FasterSim` labeling is canonicalized through
-/// [`UnionFind::from_labels`]), so every epoch's published labels are
-/// backend- and thread-count-independent.
-fn run_backend(backend: RebuildBackend, g: &Graph) -> Vec<u32> {
-    match backend {
-        RebuildBackend::UnionFind => unionfind_cc(g),
-        RebuildBackend::FasterSim { seed } => {
-            let mut pram = pram_sim::Pram::new(pram_sim::WritePolicy::ArbitrarySeeded(seed));
-            let report = logdiam_cc::theorem3::faster_cc(
-                &mut pram,
-                g,
-                seed,
-                &logdiam_cc::theorem3::FasterParams::default(),
-            );
-            UnionFind::from_labels(&report.run.labels).labels()
+impl Drop for ConnectivityService {
+    fn drop(&mut self) {
+        // Closing the channel ends the writer's drain loop *after* every
+        // buffered command is processed; join so shutdown is clean even
+        // when a rebuild was mid-flight.
+        drop(self.tx.take());
+        if let Some(writer) = self.writer.take() {
+            writer.join().expect("service writer panicked");
         }
     }
 }
@@ -222,6 +221,7 @@ fn run_backend(backend: RebuildBackend, g: &Graph) -> Vec<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{RebuildBackend, SvcParams};
     use cc_graph::seq::{components, same_partition};
     use cc_graph::{gen, GraphBuilder};
 
@@ -250,7 +250,7 @@ mod tests {
         // Two paths: {0..4}, {5..9}.
         let svc = svc(gen::union_all(&[gen::path(5), gen::path(5)]), 1024);
         assert!(!svc.query_latest(0, 9));
-        let e1 = svc.apply_batch(&[(4, 5)]);
+        let e1 = svc.apply_batch(&[(4, 5)]).wait();
         assert_eq!(e1, 1);
         assert!(svc.query_latest(0, 9));
         assert_eq!(svc.component_of(9), 0);
@@ -261,10 +261,23 @@ mod tests {
     }
 
     #[test]
+    fn tickets_resolve_in_enqueue_order_and_poll_converges() {
+        let svc = svc(gen::path(64), 1 << 20);
+        let tickets: Vec<_> = (0..32u32)
+            .map(|i| svc.apply_batch(&[(i, i + 32)]))
+            .collect();
+        // FIFO epoch assignment: ticket i commits as epoch i + 1.
+        for (i, t) in tickets.iter().enumerate() {
+            assert_eq!(t.wait(), i as Epoch + 1);
+            assert_eq!(t.poll(), Some(i as Epoch + 1));
+        }
+    }
+
+    #[test]
     fn empty_and_duplicate_batches_commit_epochs_without_growing_deltas() {
         let svc = svc(gen::path(4), 1024);
-        let e1 = svc.apply_batch(&[]);
-        let e2 = svc.apply_batch(&[(0, 1), (1, 0), (2, 2)]); // all dups/loops
+        let e1 = svc.apply_batch(&[]).wait();
+        let e2 = svc.apply_batch(&[(0, 1), (1, 0), (2, 2)]).wait(); // all dups/loops
         assert_eq!((e1, e2), (1, 2));
         let sp = svc.spectrum();
         assert_eq!(sp.delta_edges, 0);
@@ -273,22 +286,24 @@ mod tests {
     }
 
     #[test]
-    fn threshold_triggers_rebuild_and_folds_deltas_into_base() {
+    fn threshold_triggers_fold_and_merges_deltas_into_base() {
         let svc = svc(GraphBuilder::new(8).build(), 3);
-        svc.apply_batch(&[(0, 1)]);
-        svc.apply_batch(&[(2, 3)]);
+        svc.apply_batch(&[(0, 1)]).wait();
+        svc.apply_batch(&[(2, 3)]).wait();
         assert_eq!(svc.spectrum().rebuilds, 0);
         assert_eq!(svc.spectrum().base_m, 0);
         assert_eq!(svc.spectrum().delta_edges, 2);
-        // Third distinct edge crosses the threshold: rebuild fires.
-        svc.apply_batch(&[(4, 5)]);
+        // Third distinct edge crosses the threshold: the fold happens
+        // synchronously at that commit (deterministically), even though
+        // the recompute itself is pipelined onto the background worker.
+        svc.apply_batch(&[(4, 5)]).wait();
         let sp = svc.spectrum();
         assert_eq!(sp.rebuilds, 1);
         assert_eq!(sp.base_m, 3);
         assert_eq!(sp.delta_edges, 0);
         assert_eq!(sp.components, 5); // {0,1},{2,3},{4,5},{6},{7}
                                       // An edge that was folded into the base no longer counts as new.
-        svc.apply_batch(&[(0, 1)]);
+        svc.apply_batch(&[(0, 1)]).wait();
         assert_eq!(svc.spectrum().delta_edges, 0);
     }
 
@@ -301,9 +316,9 @@ mod tests {
                 ..SvcParams::default()
             },
         );
-        svc.apply_batch(&[]);
-        svc.apply_batch(&[]);
-        svc.apply_batch(&[]);
+        svc.apply_batch(&[]).wait();
+        svc.apply_batch(&[]).wait();
+        svc.apply_batch(&[]).wait();
         assert!(matches!(
             svc.snapshot(0),
             Err(EpochError::Evicted {
@@ -339,8 +354,8 @@ mod tests {
         let a = mk(RebuildBackend::UnionFind);
         let b = mk(RebuildBackend::FasterSim { seed: 11 });
         for chunk in stream.edges().chunks(25) {
-            a.apply_batch(chunk);
-            b.apply_batch(chunk);
+            a.apply_batch(chunk).wait();
+            b.apply_batch(chunk).wait();
         }
         // Canonical labels are *identical*, not just partition-equal.
         assert_eq!(a.latest().labels(), b.latest().labels());
@@ -353,7 +368,7 @@ mod tests {
         let stream = gen::gnm(100, 70, 21);
         let svc = svc(initial.clone(), 16);
         for chunk in stream.edges().chunks(9) {
-            svc.apply_batch(chunk);
+            svc.apply_batch(chunk).wait();
         }
         let union = Graph::from_csr_plus_edges(&initial, stream.edges());
         let truth = components(&union);
@@ -365,9 +380,77 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_enqueue_then_flush_commits_everything() {
+        let g = gen::gnm(400, 600, 7);
+        let svc = ConnectivityService::new(
+            GraphBuilder::new(g.n()).build(),
+            SvcParams {
+                rebuild_threshold: 64,
+                ..SvcParams::default()
+            },
+        );
+        // Fire the whole stream without waiting any individual ticket.
+        let tickets: Vec<_> = g.edges().chunks(31).map(|c| svc.apply_batch(c)).collect();
+        svc.flush();
+        // Every ticket is now fulfilled without blocking.
+        for t in &tickets {
+            assert!(t.poll().is_some());
+        }
+        assert_eq!(svc.epoch(), tickets.len() as Epoch);
+        assert!(same_partition(svc.latest().labels(), &components(&g)));
+        assert!(svc.spectrum().rebuilds >= 1);
+    }
+
+    #[test]
+    fn shard_counts_do_not_change_published_labels() {
+        let initial = gen::gnm(300, 400, 2);
+        let stream = gen::gnm(300, 500, 4);
+        let replay = |shard_count| {
+            let svc = ConnectivityService::new(
+                initial.clone(),
+                SvcParams {
+                    shard_count,
+                    rebuild_threshold: 96,
+                    ..SvcParams::default()
+                },
+            );
+            let mut per_epoch = Vec::new();
+            for chunk in stream.edges().chunks(13) {
+                svc.apply_batch(chunk).wait();
+                per_epoch.push(svc.latest().labels().to_vec());
+            }
+            per_epoch
+        };
+        let one = replay(1);
+        assert_eq!(one, replay(3));
+        assert_eq!(one, replay(8));
+        assert_eq!(one, replay(1024));
+    }
+
+    #[test]
+    fn cross_unions_accumulate_deterministically() {
+        // 2 shards of 2: (0,2) and (1,3) cross, (0,1) and (2,3) do not.
+        let mk = || {
+            let svc = ConnectivityService::new(
+                GraphBuilder::new(4).build(),
+                SvcParams {
+                    shard_count: 2,
+                    ..SvcParams::default()
+                },
+            );
+            svc.apply_batch(&[(0, 2), (0, 1)]).wait();
+            svc.apply_batch(&[(1, 3), (2, 3)]).wait();
+            let sp = svc.spectrum();
+            (sp.shards, sp.cross_unions)
+        };
+        assert_eq!(mk(), (2, 2));
+        assert_eq!(mk(), (2, 2));
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
-    fn out_of_range_batch_edge_panics() {
+    fn out_of_range_batch_edge_panics_on_the_caller() {
         let svc = svc(gen::path(3), 8);
-        svc.apply_batch(&[(0, 3)]);
+        let _ = svc.apply_batch(&[(0, 3)]);
     }
 }

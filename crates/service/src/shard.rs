@@ -1,0 +1,177 @@
+//! The sharded delta overlay: a global union–find whose batch absorption
+//! is partitioned by vertex range.
+//!
+//! Edges whose endpoints fall in the same shard are bucketed per shard and
+//! absorbed in parallel — one pool task per shard, each draining its
+//! bucket sequentially ([`UnionFind::absorb_sharded`]), so a contended
+//! batch costs `shard_count` task dispatches instead of a per-edge
+//! fan-out and each task's finds stay range-local in the common case.
+//! Edges that *cross* shards are buffered on the shard of their smaller
+//! endpoint and drained by the writer in **one sequential pass per
+//! commit** — cross-shard traffic, not total `n`, is what the drain pays
+//! for, and the deterministic drain order means the per-commit union
+//! schedule is a pure function of the batch.
+//!
+//! Correctness does not depend on the partition at all: the parent array
+//! is one global id-decreasing CAS forest, so any interleaving of the
+//! shard tasks yields the same components, and
+//! [`labels`](ShardedOverlay::labels) canonicalizes to min-vertex
+//! representatives. Shard count is therefore a pure performance knob —
+//! per-epoch label fingerprints are identical for any
+//! [`SvcParams::shard_count`](crate::SvcParams::shard_count) at any
+//! thread count (pinned by the workspace determinism suite).
+
+use logdiam_par::UnionFind;
+
+/// The writer-owned overlay: shard-partitioned absorption over one global
+/// resumable union–find.
+pub(crate) struct ShardedOverlay {
+    uf: UnionFind,
+    shard_size: usize,
+    /// Per-shard buckets of intra-shard edges; reused across commits.
+    intra: Vec<Vec<(u32, u32)>>,
+    /// Per-shard pending cross-shard unions (keyed by the smaller
+    /// endpoint's shard), drained once per commit; reused across commits.
+    pending: Vec<Vec<(u32, u32)>>,
+    /// Cross-shard unions drained over this overlay's lifetime.
+    cross_unions: u64,
+}
+
+impl ShardedOverlay {
+    /// A fresh singleton overlay over `n` vertices in `shard_count`
+    /// ranges of `ceil(n / shard_count)` vertices each.
+    #[cfg(test)]
+    pub(crate) fn new(n: usize, shard_count: usize) -> Self {
+        Self::with_uf(UnionFind::new(n), n, shard_count)
+    }
+
+    /// Resume from a component labeling (the last full recompute's), as
+    /// [`UnionFind::from_labels`] — used both at service start and at the
+    /// atomic swap that retires an overlay after a background rebuild.
+    pub(crate) fn from_labels(labels: &[u32], shard_count: usize) -> Self {
+        Self::with_uf(UnionFind::from_labels(labels), labels.len(), shard_count)
+    }
+
+    fn with_uf(uf: UnionFind, n: usize, shard_count: usize) -> Self {
+        let shard_count = shard_count.max(1);
+        let shard_size = n.div_ceil(shard_count).max(1);
+        ShardedOverlay {
+            uf,
+            shard_size,
+            intra: vec![Vec::new(); shard_count],
+            pending: vec![Vec::new(); shard_count],
+            cross_unions: 0,
+        }
+    }
+
+    fn shard_of(&self, v: u32) -> usize {
+        v as usize / self.shard_size
+    }
+
+    /// Absorb one batch: partition by shard, parallel intra-shard
+    /// absorption, then drain the cross-shard pending lists in one
+    /// sequential pass. On return every union in `edges` is applied (the
+    /// buffering is within-commit, never across commits), so the labels
+    /// sealed into the epoch's snapshot are complete. Returns the number
+    /// of cross-shard unions drained — a pure function of the batch and
+    /// the shard geometry, so callers may fold it into deterministic
+    /// statistics.
+    pub(crate) fn absorb(&mut self, edges: &[(u32, u32)]) -> u64 {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut cross = 0u64;
+        for &(u, v) in edges {
+            let (su, sv) = (self.shard_of(u), self.shard_of(v));
+            if su == sv {
+                self.intra[su].push((u, v));
+            } else {
+                self.pending[su.min(sv)].push((u, v));
+            }
+        }
+        self.uf.absorb_sharded(&self.intra);
+        for bucket in &mut self.intra {
+            bucket.clear();
+        }
+        // The charged cross-shard pass: one drain per commit, sequential
+        // and in deterministic (shard-major, arrival-order) order.
+        for bucket in &mut self.pending {
+            cross += bucket.len() as u64;
+            self.uf.absorb_seq(bucket);
+            bucket.clear();
+        }
+        self.cross_unions += cross;
+        cross
+    }
+
+    /// Canonical min-vertex labels of the current partition.
+    pub(crate) fn labels(&self) -> Vec<u32> {
+        self.uf.labels()
+    }
+
+    /// Shard count this overlay partitions over.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.intra.len()
+    }
+
+    /// Cross-shard unions drained since this overlay was built.
+    #[cfg(test)]
+    pub(crate) fn cross_unions(&self) -> u64 {
+        self.cross_unions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::{gen, seq};
+
+    #[test]
+    fn sharded_absorb_matches_ground_truth_for_any_shard_count() {
+        let g = gen::union_all(&[gen::gnm(400, 900, 3), gen::path(200)]);
+        let truth = seq::components(&g);
+        for shard_count in [1, 2, 3, 8, 64, 1024] {
+            let mut ov = ShardedOverlay::new(g.n(), shard_count);
+            for chunk in g.edges().chunks(37) {
+                ov.absorb(chunk);
+            }
+            assert!(
+                seq::same_partition(&ov.labels(), &truth),
+                "shard_count={shard_count}"
+            );
+            assert_eq!(ov.shard_count(), shard_count);
+        }
+    }
+
+    #[test]
+    fn labels_identical_across_shard_counts() {
+        let g = gen::gnm(600, 1400, 9);
+        let base: Vec<Vec<u32>> = [1usize, 4, 16]
+            .iter()
+            .map(|&s| {
+                let mut ov = ShardedOverlay::new(g.n(), s);
+                ov.absorb(g.edges());
+                ov.labels()
+            })
+            .collect();
+        assert_eq!(base[0], base[1]);
+        assert_eq!(base[0], base[2]);
+    }
+
+    #[test]
+    fn cross_unions_counts_only_range_crossing_edges() {
+        // 8 vertices, 2 shards of 4: (0,1) intra, (1,6) cross, (6,7) intra.
+        let mut ov = ShardedOverlay::new(8, 2);
+        ov.absorb(&[(0, 1), (1, 6), (6, 7)]);
+        assert_eq!(ov.cross_unions(), 1);
+        assert_eq!(ov.labels(), vec![0, 0, 2, 3, 4, 5, 0, 0]);
+    }
+
+    #[test]
+    fn from_labels_resumes_and_more_shards_than_vertices_is_fine() {
+        let labels = vec![0, 0, 2, 2, 4];
+        let mut ov = ShardedOverlay::from_labels(&labels, 64);
+        ov.absorb(&[(1, 4)]);
+        assert_eq!(ov.labels(), vec![0, 0, 2, 2, 0]);
+    }
+}

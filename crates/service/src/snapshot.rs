@@ -24,8 +24,18 @@ pub struct Spectrum {
     pub largest_component: usize,
     /// Number of isolated vertices (components of size 1).
     pub isolated_vertices: usize,
-    /// Full rebuilds performed over the service's lifetime.
+    /// Rebuild folds triggered over the service's lifetime (a fold
+    /// synchronously merges the deltas into a fresh base CSR; the
+    /// recompute it schedules runs on the background worker and is not
+    /// observable here — see `ARCHITECTURE.md` on why the deterministic
+    /// surface must not depend on worker timing).
     pub rebuilds: u64,
+    /// Vertex-range shards the delta overlay partitions batches over.
+    pub shards: usize,
+    /// Cumulative cross-shard unions drained by commits up to this epoch
+    /// (deterministic: counted at first absorption, a pure function of
+    /// the replay and the shard geometry).
+    pub cross_unions: u64,
 }
 
 /// One epoch's published state: canonical min-vertex component labels and
@@ -46,6 +56,8 @@ impl Snapshot {
         base_m: usize,
         delta_edges: usize,
         rebuilds: u64,
+        shards: usize,
+        cross_unions: u64,
     ) -> Self {
         let n = labels.len();
         let mut size = vec![0u32; n];
@@ -73,6 +85,8 @@ impl Snapshot {
                 largest_component: largest as usize,
                 isolated_vertices: isolated,
                 rebuilds,
+                shards,
+                cross_unions,
             },
         }
     }
@@ -110,7 +124,7 @@ mod tests {
     #[test]
     fn spectrum_counts_components_sizes_and_isolates() {
         // {0,1,2}, {3}, {4,5} — labels are min-vertex canonical.
-        let s = Snapshot::new(7, vec![0, 0, 0, 3, 4, 4], 3, 1, 2);
+        let s = Snapshot::new(7, vec![0, 0, 0, 3, 4, 4], 3, 1, 2, 4, 9);
         let sp = s.spectrum();
         assert_eq!(sp.epoch, 7);
         assert_eq!(sp.n, 6);
@@ -120,6 +134,8 @@ mod tests {
         assert_eq!(sp.largest_component, 3);
         assert_eq!(sp.isolated_vertices, 1);
         assert_eq!(sp.rebuilds, 2);
+        assert_eq!(sp.shards, 4);
+        assert_eq!(sp.cross_unions, 9);
         assert!(s.connected(0, 2));
         assert!(!s.connected(2, 3));
         assert_eq!(s.component_of(5), 4);
@@ -127,7 +143,7 @@ mod tests {
 
     #[test]
     fn empty_snapshot_is_well_defined() {
-        let s = Snapshot::new(0, vec![], 0, 0, 0);
+        let s = Snapshot::new(0, vec![], 0, 0, 0, 1, 0);
         let sp = s.spectrum();
         assert_eq!(sp.components, 0);
         assert_eq!(sp.largest_component, 0);

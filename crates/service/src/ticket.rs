@@ -1,0 +1,124 @@
+//! Epoch tickets: the caller's handle on an enqueued-but-not-yet-committed
+//! batch.
+//!
+//! [`ConnectivityService::apply_batch`](crate::ConnectivityService::apply_batch)
+//! returns immediately after enqueuing the batch on the writer's command
+//! channel; the [`EpochTicket`] it hands back is fulfilled by the writer
+//! thread at commit time, after the epoch's [`Snapshot`](crate::Snapshot)
+//! is published. A fulfilled ticket therefore guarantees the epoch is
+//! queryable (until it falls off the bounded history ring).
+
+use crate::Epoch;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shared slot the writer fulfills at commit time.
+#[derive(Debug)]
+pub(crate) struct TicketCell {
+    state: Mutex<Option<Epoch>>,
+    cv: Condvar,
+}
+
+impl TicketCell {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketCell {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Writer side: record the committed epoch and wake every waiter.
+    /// Called exactly once per ticket, *after* the snapshot is published.
+    pub(crate) fn fulfill(&self, epoch: Epoch) {
+        let mut slot = self.state.lock().expect("ticket poisoned");
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(epoch);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on a future epoch: returned by
+/// [`apply_batch`](crate::ConnectivityService::apply_batch) at enqueue
+/// time, fulfilled by the writer thread when the batch commits.
+///
+/// Epoch numbers are assigned by the writer in dequeue order, so tickets
+/// from one caller resolve in the order the batches were enqueued. The
+/// ticket outlives the service handle: batches already enqueued when the
+/// handle drops are still drained, committed, and fulfilled before the
+/// writer exits, so a [`wait`](EpochTicket::wait) on a live writer never
+/// hangs.
+///
+/// ```
+/// use cc_graph::gen;
+/// use logdiam_svc::{ConnectivityService, SvcParams};
+///
+/// let svc = ConnectivityService::new(gen::path(8), SvcParams::default());
+/// let ticket = svc.apply_batch(&[(0, 7)]); // enqueue only: returns fast
+/// let epoch = ticket.wait();               // block until committed
+/// assert!(svc.query(0, 7, epoch).unwrap());
+/// ```
+#[derive(Debug)]
+#[must_use = "an unawaited ticket gives no ordering guarantee; call wait() or poll()"]
+pub struct EpochTicket {
+    cell: Arc<TicketCell>,
+}
+
+impl EpochTicket {
+    pub(crate) fn new(cell: Arc<TicketCell>) -> Self {
+        EpochTicket { cell }
+    }
+
+    /// Non-blocking probe: `Some(epoch)` once the batch has committed and
+    /// its snapshot is published, `None` while it is still queued or
+    /// in flight.
+    pub fn poll(&self) -> Option<Epoch> {
+        *self.cell.state.lock().expect("ticket poisoned")
+    }
+
+    /// Block until the batch commits; returns the epoch it was assigned.
+    /// The epoch's snapshot is published before the ticket is fulfilled,
+    /// so an immediate [`query`](crate::ConnectivityService::query) at the
+    /// returned epoch succeeds — unless later commits have already pushed
+    /// it off the history ring (see
+    /// [`EpochError::Evicted`](crate::EpochError::Evicted)).
+    pub fn wait(&self) -> Epoch {
+        let mut slot = self.cell.state.lock().expect("ticket poisoned");
+        loop {
+            if let Some(epoch) = *slot {
+                return epoch;
+            }
+            slot = self.cv_wait(slot);
+        }
+    }
+
+    fn cv_wait<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, Option<Epoch>>,
+    ) -> std::sync::MutexGuard<'a, Option<Epoch>> {
+        self.cell.cv.wait(guard).expect("ticket poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_then_fulfill_then_wait() {
+        let cell = TicketCell::new();
+        let ticket = EpochTicket::new(cell.clone());
+        assert_eq!(ticket.poll(), None);
+        cell.fulfill(7);
+        assert_eq!(ticket.poll(), Some(7));
+        assert_eq!(ticket.wait(), 7);
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled_from_another_thread() {
+        let cell = TicketCell::new();
+        let ticket = EpochTicket::new(cell.clone());
+        let t = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.fulfill(3);
+        assert_eq!(t.join().unwrap(), 3);
+    }
+}

@@ -1,0 +1,330 @@
+//! The dedicated writer thread that owns all mutable service state, and
+//! the background rebuild worker it pipelines full recomputes onto.
+//!
+//! # Commit path
+//!
+//! [`ConnectivityService`](crate::ConnectivityService) is only a
+//! controller handle: it enqueues [`Cmd`]s on a bounded command channel
+//! and reads published snapshots. The writer thread drains the channel in
+//! FIFO order, so **epoch assignment is totally ordered by the writer** —
+//! the one invariant the async split must preserve for the per-epoch
+//! determinism fingerprints to survive (see `ARCHITECTURE.md`).
+//!
+//! Per [`Cmd::Apply`] the writer: normalizes the batch against the base
+//! CSR and the persistent dedup set, absorbs the surviving edges into the
+//! sharded overlay ([`ShardedOverlay::absorb`]), folds the delta list
+//! into a fresh base CSR when the rebuild threshold is crossed (the
+//! *fold* is synchronous and deterministic; only the *recompute* is
+//! pipelined), seals and publishes the epoch's [`Snapshot`], and then —
+//! and only then — fulfills the caller's ticket.
+//!
+//! # Pipelined rebuilds
+//!
+//! A threshold crossing sends the freshly folded CSR to the rebuild
+//! worker and keeps committing. When the worker's labeling comes back,
+//! the writer swaps in a new overlay built from those labels plus a
+//! replay of the deltas that accumulated meanwhile — an O(n + |delta|)
+//! splice between two commits, never a stall across one. A recompute
+//! whose base was re-folded while it ran is discarded and the newest fold
+//! is resubmitted, so the worker always converges to the current base.
+//! The swap cannot change any published label: the retiring overlay and
+//! the incoming one describe the same partition, which the writer asserts
+//! at swap time (this is also what keeps the
+//! [`RebuildBackend::FasterSim`] route honest — a diverging backend
+//! aborts instead of silently disagreeing).
+
+use crate::shard::ShardedOverlay;
+use crate::ticket::TicketCell;
+use crate::{Edge, Epoch, RebuildBackend, Snapshot, SvcParams};
+use cc_graph::Graph;
+use logdiam_par::UnionFind;
+use pram_kit::PairSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+
+/// Seed for the delta dedup set; fixed so replays are deterministic.
+const DELTA_DEDUP_SEED: u64 = 0xD317_A5E7;
+
+/// The published snapshot ring, shared between the writer (publisher) and
+/// every handle (readers). Oldest epoch at the front, latest at the back.
+pub(crate) type Ring = RwLock<VecDeque<Arc<Snapshot>>>;
+
+/// A command enqueued by the handle, drained by the writer in FIFO order.
+pub(crate) enum Cmd {
+    /// Commit one (handle-normalized) batch and fulfill the ticket.
+    Apply {
+        /// Loop-free edges with validated endpoints.
+        edges: Vec<Edge>,
+        /// Fulfilled with the assigned epoch after the snapshot publishes.
+        ticket: Arc<TicketCell>,
+    },
+    /// Rendezvous: reply once every previously enqueued command committed.
+    Flush(mpsc::SyncSender<()>),
+}
+
+/// Non-deterministic observability counters shared with the handles.
+/// Deliberately *not* part of [`Snapshot`]/[`Spectrum`](crate::Spectrum):
+/// everything here depends on rebuild-worker timing, which the
+/// deterministic surface must not.
+#[derive(Debug, Default)]
+pub(crate) struct SharedStats {
+    /// True between a fold being sent to the rebuild worker and its
+    /// (or a successor's) labeling being swapped in.
+    pub(crate) rebuild_in_flight: AtomicBool,
+    /// Background recomputes whose labelings were swapped in.
+    pub(crate) overlay_swaps: AtomicU64,
+    /// Background recomputes discarded because their base was re-folded
+    /// while they ran.
+    pub(crate) stale_rebuilds: AtomicU64,
+}
+
+/// A fold shipped to the rebuild worker: the new base CSR and the fold
+/// generation (= the writer's `rebuilds` counter at fold time).
+struct RebuildJob {
+    generation: u64,
+    base: Arc<Graph>,
+}
+
+/// The worker's reply: the recomputed labeling for `generation`'s base.
+struct RebuildDone {
+    generation: u64,
+    labels: Vec<u32>,
+}
+
+/// Everything the writer thread owns.
+pub(crate) struct Writer {
+    params: SvcParams,
+    base: Arc<Graph>,
+    overlay: ShardedOverlay,
+    /// Distinct delta edges absorbed since the last fold, arrival order.
+    delta: Vec<Edge>,
+    /// Exact dedup set over `delta` (reseeded at each fold).
+    seen: PairSet,
+    epoch: Epoch,
+    /// Folds triggered (deterministic: a pure function of the replay).
+    rebuilds: u64,
+    /// Cross-shard unions drained, cumulative and deterministic (counted
+    /// at first absorption, not re-counted by swap replays).
+    cross_unions: u64,
+    published: Arc<Ring>,
+    stats: Arc<SharedStats>,
+    rb_tx: mpsc::SyncSender<RebuildJob>,
+    rb_rx: mpsc::Receiver<RebuildDone>,
+    rb_worker: Option<std::thread::JoinHandle<()>>,
+    /// Generation currently on the worker, if any.
+    inflight: Option<u64>,
+    /// Newest fold waiting for the worker slot (at most one: newer folds
+    /// replace it — only the latest base is worth recomputing).
+    queued: Option<RebuildJob>,
+}
+
+impl Writer {
+    /// Build the initial state (epoch 0 published synchronously) and the
+    /// rebuild worker, before the writer thread starts.
+    pub(crate) fn start(
+        initial: Graph,
+        params: SvcParams,
+        published: Arc<Ring>,
+        stats: Arc<SharedStats>,
+    ) -> Self {
+        let labels = run_backend(params.backend, &initial);
+        let overlay = ShardedOverlay::from_labels(&labels, params.shard_count);
+        let snapshot = Arc::new(Snapshot::new(
+            0,
+            overlay.labels(),
+            initial.m(),
+            0,
+            0,
+            overlay.shard_count(),
+            0,
+        ));
+        published
+            .write()
+            .expect("snapshot ring poisoned")
+            .push_back(snapshot);
+        let (rb_tx, job_rx) = mpsc::sync_channel::<RebuildJob>(1);
+        let (done_tx, rb_rx) = mpsc::sync_channel::<RebuildDone>(1);
+        let backend = params.backend;
+        let rb_worker = std::thread::Builder::new()
+            .name("logdiam-svc-rebuild".into())
+            .spawn(move || rebuild_worker(job_rx, done_tx, backend))
+            .expect("cannot spawn rebuild worker");
+        Writer {
+            seen: PairSet::with_capacity(DELTA_DEDUP_SEED, params.rebuild_threshold),
+            params,
+            base: Arc::new(initial),
+            overlay,
+            delta: Vec::new(),
+            epoch: 0,
+            rebuilds: 0,
+            cross_unions: 0,
+            published,
+            stats,
+            rb_tx,
+            rb_rx,
+            rb_worker: Some(rb_worker),
+            inflight: None,
+            queued: None,
+        }
+    }
+
+    /// The writer thread's main loop: drain commands until every handle
+    /// has dropped, then shut the rebuild pipeline down and exit. All
+    /// commands buffered at handle-drop time are still drained and their
+    /// tickets fulfilled (std mpsc delivers queued messages before
+    /// reporting disconnection).
+    pub(crate) fn run(mut self, rx: mpsc::Receiver<Cmd>) {
+        while let Ok(cmd) = rx.recv() {
+            self.poll_rebuild();
+            match cmd {
+                Cmd::Apply { edges, ticket } => {
+                    let epoch = self.commit(&edges);
+                    ticket.fulfill(epoch);
+                }
+                Cmd::Flush(done) => {
+                    let _ = done.send(());
+                }
+            }
+        }
+        // Shutdown: close the job channel, let an in-flight recompute
+        // finish (its result is simply dropped), and join the worker so
+        // no thread outlives the service.
+        drop(self.rb_tx);
+        drop(self.rb_rx);
+        if let Some(worker) = self.rb_worker.take() {
+            worker.join().expect("rebuild worker panicked");
+        }
+    }
+
+    /// Commit one normalized batch: absorb, maybe fold, publish, in that
+    /// order. Returns the assigned epoch.
+    fn commit(&mut self, edges: &[Edge]) -> Epoch {
+        let fresh = self.base.dedup_new_edges(edges, &mut self.seen);
+        self.cross_unions += self.overlay.absorb(&fresh);
+        self.delta.extend_from_slice(&fresh);
+        if self.delta.len() >= self.params.rebuild_threshold {
+            self.fold();
+        }
+        self.epoch += 1;
+        let snapshot = Arc::new(Snapshot::new(
+            self.epoch,
+            self.overlay.labels(),
+            self.base.m(),
+            self.delta.len(),
+            self.rebuilds,
+            self.overlay.shard_count(),
+            self.cross_unions,
+        ));
+        let mut ring = self.published.write().expect("snapshot ring poisoned");
+        ring.push_back(snapshot);
+        while ring.len() > self.params.snapshot_history {
+            ring.pop_front();
+        }
+        self.epoch
+    }
+
+    /// The synchronous, deterministic half of a rebuild: merge the delta
+    /// list into a fresh base CSR, reset the delta segment, and hand the
+    /// recompute to the worker (or queue it behind an in-flight one).
+    fn fold(&mut self) {
+        self.base = Arc::new(Graph::from_csr_plus_edges(&self.base, &self.delta));
+        self.delta.clear();
+        self.rebuilds += 1;
+        self.seen = PairSet::with_capacity(
+            DELTA_DEDUP_SEED ^ self.rebuilds,
+            self.params.rebuild_threshold,
+        );
+        let job = RebuildJob {
+            generation: self.rebuilds,
+            base: self.base.clone(),
+        };
+        self.stats.rebuild_in_flight.store(true, Ordering::Release);
+        if self.inflight.is_none() {
+            self.inflight = Some(job.generation);
+            self.rb_tx.send(job).expect("rebuild worker gone");
+        } else {
+            self.queued = Some(job);
+        }
+    }
+
+    /// Apply any finished background recompute. Called between commands;
+    /// never blocks.
+    fn poll_rebuild(&mut self) {
+        while let Ok(done) = self.rb_rx.try_recv() {
+            debug_assert_eq!(Some(done.generation), self.inflight);
+            self.inflight = None;
+            if done.generation == self.rebuilds {
+                self.swap_overlay(done.labels);
+            } else {
+                // The base was re-folded while this recompute ran: its
+                // labeling describes a stale graph. Discard it.
+                self.stats.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(job) = self.queued.take() {
+                self.inflight = Some(job.generation);
+                self.rb_tx.send(job).expect("rebuild worker gone");
+            }
+        }
+        if self.inflight.is_none() && self.queued.is_none() {
+            self.stats.rebuild_in_flight.store(false, Ordering::Release);
+        }
+    }
+
+    /// Retire the overlay for a fresh one built from the recompute's
+    /// labels plus a replay of the deltas absorbed since the fold. Pure
+    /// representation change: the partition — and therefore every future
+    /// published label — is unchanged, which is asserted.
+    fn swap_overlay(&mut self, labels: Vec<u32>) {
+        let mut next = ShardedOverlay::from_labels(&labels, self.params.shard_count);
+        next.absorb(&self.delta);
+        assert_eq!(
+            next.labels(),
+            self.overlay.labels(),
+            "background rebuild disagrees with the live overlay partition"
+        );
+        self.overlay = next;
+        self.stats.overlay_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The rebuild worker thread: full recomputes, one at a time, off the
+/// commit path. Exits when the writer closes the job channel.
+fn rebuild_worker(
+    jobs: mpsc::Receiver<RebuildJob>,
+    done: mpsc::SyncSender<RebuildDone>,
+    backend: RebuildBackend,
+) {
+    while let Ok(job) = jobs.recv() {
+        let labels = run_backend(backend, &job.base);
+        if done
+            .send(RebuildDone {
+                generation: job.generation,
+                labels,
+            })
+            .is_err()
+        {
+            return; // writer shut down mid-recompute
+        }
+    }
+}
+
+/// Full recompute with the selected backend; always returns canonical
+/// min-vertex labels (the `FasterSim` labeling is canonicalized through
+/// [`UnionFind::from_labels`]), so every epoch's published labels are
+/// backend- and thread-count-independent.
+pub(crate) fn run_backend(backend: RebuildBackend, g: &Graph) -> Vec<u32> {
+    match backend {
+        RebuildBackend::UnionFind => logdiam_par::unionfind::unionfind_cc(g),
+        RebuildBackend::FasterSim { seed } => {
+            let mut pram = pram_sim::Pram::new(pram_sim::WritePolicy::ArbitrarySeeded(seed));
+            let report = logdiam_cc::theorem3::faster_cc(
+                &mut pram,
+                g,
+                seed,
+                &logdiam_cc::theorem3::FasterParams::default(),
+            );
+            UnionFind::from_labels(&report.run.labels).labels()
+        }
+    }
+}

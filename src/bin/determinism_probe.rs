@@ -81,9 +81,12 @@ fn main() {
     }
 
     // `svc` replays a batched edge stream through the connectivity
-    // service (small rebuild threshold so the fold-and-rebuild path runs
-    // mid-trace) and fingerprints every epoch's published labels — the
-    // whole maintained history must be identical at any thread count.
+    // service (small rebuild threshold so the fold-and-pipelined-rebuild
+    // path runs mid-trace) once per shard count, and fingerprints every
+    // epoch's published labels plus the deterministic spectrum counters —
+    // the whole maintained history must be identical at any thread count
+    // AND for every shard count (the async split's core invariant: epoch
+    // assignment is totally ordered by the writer, labels are canonical).
     if algo == "svc" {
         use logdiam::service::{ConnectivityService, SvcParams};
         let g = graph_for(family, n, seed);
@@ -94,26 +97,38 @@ fn main() {
         for &(u, v) in initial_edges {
             b.add_edge(u, v);
         }
-        let svc = ConnectivityService::new(
-            b.build(),
-            SvcParams {
-                rebuild_threshold: 48,
-                snapshot_history: 4,
-                ..SvcParams::default()
-            },
-        );
-        let mut acc = fnv1a(svc.latest().labels().iter().copied());
-        for chunk in stream.chunks(17) {
-            svc.apply_batch(chunk);
+        let initial = b.build();
+        let mut acc = 0u64;
+        let mut last = (0, 0, 0);
+        for shard_count in [1usize, 3, 8] {
+            let svc = ConnectivityService::new(
+                initial.clone(),
+                SvcParams {
+                    rebuild_threshold: 48,
+                    snapshot_history: 4,
+                    shard_count,
+                    ..SvcParams::default()
+                },
+            );
             acc = acc
-                .rotate_left(1)
+                .rotate_left(7)
                 .wrapping_add(fnv1a(svc.latest().labels().iter().copied()));
+            for chunk in stream.chunks(17) {
+                svc.apply_batch(chunk).wait();
+                acc = acc
+                    .rotate_left(1)
+                    .wrapping_add(fnv1a(svc.latest().labels().iter().copied()));
+            }
+            svc.apply_batch(&[]).wait(); // empty commit must be deterministic too
+            let sp = svc.spectrum();
+            // cross_unions is shard-geometry-dependent but must be a pure
+            // function of (replay, shard_count): fold it in per shard run.
+            acc = acc.rotate_left(3).wrapping_add(sp.cross_unions);
+            last = (sp.epoch, sp.components, sp.rebuilds);
         }
-        svc.apply_batch(&[]); // empty commit must be deterministic too
-        let sp = svc.spectrum();
         println!(
             "{acc:016x} epoch={} components={} rebuilds={}",
-            sp.epoch, sp.components, sp.rebuilds
+            last.0, last.1, last.2
         );
         return;
     }

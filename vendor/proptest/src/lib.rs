@@ -3,9 +3,9 @@
 //! This workspace builds in environments with no access to a cargo
 //! registry, so the real `proptest` cannot be fetched. This shim implements
 //! the API subset the workspace's property tests use: the [`proptest!`]
-//! macro (with `#![proptest_config(..)]`), [`Strategy`] with `prop_map`,
-//! range / tuple / `any` / [`Just`] strategies, [`prop_oneof!`],
-//! [`collection::vec`] / [`collection::hash_set`], and the
+//! macro (with `#![proptest_config(..)]`), `Strategy` with `prop_map`,
+//! range / tuple / `any` / `Just` strategies, `prop_oneof!`,
+//! `collection::vec` / `collection::hash_set`, and the
 //! `prop_assert*` macros.
 //!
 //! Differences from the real crate, chosen for simplicity:

@@ -5,7 +5,7 @@
 //! exact API subset the workspace uses — `par_iter` / `into_par_iter`,
 //! `for_each`, `map`, `enumerate`, `flat_map_iter`, rayon-style two-closure
 //! `fold`, `reduce`, `sum`, `collect`, and [`current_num_threads`] — backed
-//! by a real global thread pool ([`pool`]): `available_parallelism()`
+//! by a real global thread pool (`pool`): `available_parallelism()`
 //! workers (overridable with `RAYON_NUM_THREADS`), lazily spawned on first
 //! use.
 //!
@@ -15,7 +15,7 @@
 //! (an integer range, a slice, a `Vec`) composed with per-item adapters.
 //! A terminal operation splits the source index space into contiguous
 //! chunks (about four per pool thread, never smaller than
-//! [`MIN_CHUNK_LEN`]), runs the adapter pipeline sequentially within each
+//! `MIN_CHUNK_LEN`), runs the adapter pipeline sequentially within each
 //! chunk on the pool, and recombines chunk results **in index order** —
 //! so `collect` preserves ordering exactly like rayon's indexed collect,
 //! while `for_each` observes items in an unspecified interleaving, exactly
@@ -28,7 +28,7 @@
 //! so code written against this shim compiles unchanged against crates.io
 //! rayon.
 //!
-//! This crate contains no `unsafe` outside the [`pool`] module, where the
+//! This crate contains no `unsafe` outside the `pool` module, where the
 //! narrow lifetime-erasure required by a persistent pool is isolated and
 //! documented.
 //!
@@ -110,7 +110,7 @@ where
 ///
 /// `split_into(n)` partitions the remaining index space into at most `n`
 /// non-empty, order-contiguous sequential iterators; the provided terminal
-/// methods ship those chunks to the pool via [`drive`].
+/// methods ship those chunks to the pool via `drive`.
 pub trait ParallelIterator: Sized + Send {
     /// The type of the items yielded.
     type Item: Send;
