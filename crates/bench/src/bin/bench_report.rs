@@ -21,7 +21,8 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH] [--sim-max-n N]
+//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH]
+//!              [--durable-out PATH] [--sim-max-n N]
 //! ```
 //!
 //! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive)
@@ -35,7 +36,10 @@
 //! to `--svc-out` (default `BENCH_PR4_SMOKE.json`), then the contended
 //! multi-writer/multi-reader scenario (`svc_driver --mt` workload, same
 //! cap, enqueue budget asserted) to `--mt-out` (default
-//! `BENCH_PR6_SMOKE.json`). `--out` overrides the output path (default
+//! `BENCH_PR6_SMOKE.json`), then the durable-store smoke (one short
+//! crash-safe trace per fsync policy, recovered and verified against a
+//! from-scratch recompute) to `--durable-out` (default
+//! `BENCH_PR7_SMOKE.json`). `--out` overrides the output path (default
 //! `BENCH_PR5.json`); `--sim-max-n` raises (or lowers) the largest n the
 //! full Theorem-3 simulation runs at.
 
@@ -103,7 +107,7 @@ fn pram_step_workload(n: usize) {
 fn usage() -> ! {
     eprintln!(
         "usage: bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH] \
-         [--sim-max-n N]"
+         [--durable-out PATH] [--sim-max-n N]"
     );
     std::process::exit(2);
 }
@@ -113,6 +117,7 @@ fn main() {
     let mut out_path = "BENCH_PR5.json".to_string();
     let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
     let mut mt_out_path = "BENCH_PR6_SMOKE.json".to_string();
+    let mut durable_out_path = "BENCH_PR7_SMOKE.json".to_string();
     let mut sim_max_n = DEFAULT_SIM_MAX_N;
     let mut child = false;
     let mut args = std::env::args().skip(1);
@@ -123,6 +128,7 @@ fn main() {
             "--out" => out_path = args.next().unwrap_or_else(|| usage()),
             "--svc-out" => svc_out_path = args.next().unwrap_or_else(|| usage()),
             "--mt-out" => mt_out_path = args.next().unwrap_or_else(|| usage()),
+            "--durable-out" => durable_out_path = args.next().unwrap_or_else(|| usage()),
             "--sim-max-n" => {
                 sim_max_n = args
                     .next()
@@ -135,7 +141,14 @@ fn main() {
     if child {
         run_child(smoke, sim_max_n);
     } else {
-        run_parent(smoke, &out_path, &svc_out_path, &mt_out_path, sim_max_n);
+        run_parent(
+            smoke,
+            &out_path,
+            &svc_out_path,
+            &mt_out_path,
+            &durable_out_path,
+            sim_max_n,
+        );
     }
 }
 
@@ -400,6 +413,7 @@ fn run_parent(
     out_path: &str,
     svc_out_path: &str,
     mt_out_path: &str,
+    durable_out_path: &str,
     sim_max_n: usize,
 ) {
     let cores = std::thread::available_parallelism()
@@ -452,5 +466,10 @@ fn run_parent(
         // readers, emitting the BENCH_PR6.json schema (enqueue budget and
         // verification asserted inside) — CI validates this file too.
         logdiam_bench::svc_mt::run_mt_smoke("bench_report --smoke", mt_out_path);
+        // Durable-store smoke: one short crash-safe trace per fsync
+        // policy (always / batch / off), each reopened and verified
+        // against a from-scratch recompute, emitting the BENCH_PR7.json
+        // schema — CI validates this file too.
+        logdiam_bench::svc_durable::run_durable_smoke("bench_report --smoke", durable_out_path);
     }
 }

@@ -12,7 +12,8 @@
 //! Usage:
 //!
 //! ```text
-//! svc_driver [--smoke] [--mt] [--out PATH] [--family F]... [--n N] [--ops N]
+//! svc_driver [--smoke] [--mt] [--durable DIR] [--fsync always|batch[=N]|off]
+//!            [--out PATH] [--family F]... [--n N] [--ops N]
 //!            [--read-frac F] [--batch N] [--zipf S] [--seed S]
 //!            [--rebuild-threshold N]
 //!            [--writers W] [--readers R] [--shards S] [--queue Q] [--window K]
@@ -30,13 +31,27 @@
 //! row asserts `verified`, the enqueue budget (p50 < 1/10 of the PR 4
 //! synchronous batch p50), and no reader stall beyond one batch commit
 //! during a rebuild.
+//!
+//! `--durable DIR` switches to the PR 7 durability scenario: stores are
+//! created under `DIR` (one subdirectory per row, wiped first), the write
+//! stream commits through the WAL under `--fsync {always,batch[=N],off}`
+//! (all three policies when the flag is omitted), and the report —
+//! `BENCH_PR7.json` by default — records commit latency, WAL/snapshot
+//! footprint, and cold-reopen time. Each row asserts `verified`: the live
+//! and the recovered partitions must both match a from-scratch recompute.
 
 use logdiam_bench::svc::{report_json, run_smoke, run_trace, TraceConfig};
+use logdiam_bench::svc_durable::{
+    durable_report_json, run_durable_smoke, run_durable_trace, DurableConfig,
+};
 use logdiam_bench::svc_mt::{mt_report_json, run_mt_smoke, run_mt_trace, MtConfig};
+use logdiam_svc::FsyncPolicy;
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: svc_driver [--smoke] [--mt] [--out PATH] [--family F]... [--n N] [--ops N] \
+        "usage: svc_driver [--smoke] [--mt] [--durable DIR] [--fsync always|batch[=N]|off] \
+         [--out PATH] [--family F]... [--n N] [--ops N] \
          [--read-frac F] [--batch N] [--zipf S] [--seed S] [--rebuild-threshold N] \
          [--writers W] [--readers R] [--shards S] [--queue Q] [--window K]"
     );
@@ -46,6 +61,8 @@ fn usage() -> ! {
 fn main() {
     let mut smoke = false;
     let mut mt = false;
+    let mut durable_dir: Option<PathBuf> = None;
+    let mut fsync: Option<FsyncPolicy> = None;
     let mut out_path: Option<String> = None;
     let mut families: Vec<String> = Vec::new();
     let mut overrides = TraceConfig::full("mixture", 100_000);
@@ -61,6 +78,10 @@ fn main() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--mt" => mt = true,
+            "--durable" => durable_dir = Some(PathBuf::from(next("directory"))),
+            "--fsync" => {
+                fsync = Some(FsyncPolicy::parse(&next("policy")).unwrap_or_else(|| usage()))
+            }
             "--out" => out_path = Some(next("path")),
             "--writers" => mt_shape.writers = next("number").parse().unwrap_or_else(|_| usage()),
             "--readers" => mt_shape.readers = next("number").parse().unwrap_or_else(|_| usage()),
@@ -86,7 +107,9 @@ fn main() {
     }
 
     let out_path = out_path.unwrap_or_else(|| {
-        if mt {
+        if durable_dir.is_some() {
+            "BENCH_PR7.json"
+        } else if mt {
             "BENCH_PR6.json"
         } else {
             "BENCH_PR4.json"
@@ -95,7 +118,10 @@ fn main() {
     });
 
     if smoke {
-        if mt {
+        if let Some(_dir) = durable_dir {
+            // The smoke owns its scratch stores; DIR only marks the mode.
+            run_durable_smoke("svc_driver --durable --smoke", &out_path);
+        } else if mt {
             run_mt_smoke("svc_driver --mt --smoke", &out_path);
         } else {
             run_smoke("svc_driver --smoke", &out_path);
@@ -107,6 +133,58 @@ fn main() {
         families = ["path", "grid", "powerlaw", "mixture"]
             .map(String::from)
             .to_vec();
+    }
+
+    if let Some(root) = durable_dir {
+        let policies: Vec<FsyncPolicy> = match fsync {
+            Some(p) => vec![p],
+            None => vec![FsyncPolicy::Always, FsyncPolicy::Batch(8), FsyncPolicy::Off],
+        };
+        let mut outcomes = Vec::new();
+        for family in &families {
+            for &policy in &policies {
+                let mut cfg = DurableConfig::full(family, overrides.n, policy);
+                cfg.batch = overrides.batch;
+                cfg.rebuild_threshold = overrides.rebuild_threshold;
+                cfg.seed = overrides.seed;
+                eprintln!(
+                    "svc_driver --durable: {}/{} × {} batches under fsync={policy}...",
+                    cfg.family, cfg.n, cfg.batches
+                );
+                let dir = root.join(format!("{family}-{policy}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let out = run_durable_trace(&cfg, &dir);
+                assert!(
+                    out.verified,
+                    "svc_driver --durable: {} under fsync={}: recovery diverged \
+                     from one-shot recompute (epoch {})",
+                    out.workload, out.fsync, out.recovered_epoch
+                );
+                eprintln!(
+                    "svc_driver --durable: [{} fsync={}] commit p50/p99 {:.1}/{:.1} µs, \
+                     {:.0} commits/s, wal {} B, {} snapshots, reopen {:.1} ms, verified",
+                    out.workload,
+                    out.fsync,
+                    out.commit_p50_us,
+                    out.commit_p99_us,
+                    out.commits_per_s,
+                    out.wal_bytes,
+                    out.snapshots,
+                    out.reopen_ms
+                );
+                outcomes.push(out);
+            }
+        }
+        std::fs::write(
+            &out_path,
+            durable_report_json("svc_driver --durable", false, &outcomes),
+        )
+        .expect("cannot write report");
+        eprintln!(
+            "svc_driver --durable: wrote {} measurements to {out_path}",
+            outcomes.len()
+        );
+        return;
     }
 
     if mt {

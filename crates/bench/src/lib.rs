@@ -14,6 +14,7 @@
 
 pub mod experiments;
 pub mod svc;
+pub mod svc_durable;
 pub mod svc_mt;
 pub mod table;
 

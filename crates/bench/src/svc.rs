@@ -294,7 +294,7 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceOutcome {
                 // Enqueue + ticket wait: end-to-end commit latency, the
                 // same observable the PR 4 synchronous API measured.
                 let tb = Instant::now();
-                svc.apply_batch(&pending).wait();
+                svc.apply_batch(&pending).wait().expect("writer died");
                 batch_ns.push(tb.elapsed().as_nanos() as u64);
                 applied.extend_from_slice(&pending);
                 pending.clear();
@@ -303,7 +303,7 @@ pub fn run_trace(cfg: &TraceConfig) -> TraceOutcome {
     }
     if !pending.is_empty() {
         let tb = Instant::now();
-        svc.apply_batch(&pending).wait();
+        svc.apply_batch(&pending).wait().expect("writer died");
         batch_ns.push(tb.elapsed().as_nanos() as u64);
         applied.extend_from_slice(&pending);
         pending.clear();

@@ -1,0 +1,397 @@
+//! Durable connectivity-service benchmark: the cost of crash safety.
+//!
+//! Each trace streams a deterministic write workload (same family
+//! generators and edge split as the PR 4 replay) into a service created
+//! with [`ConnectivityService::create`] under one [`FsyncPolicy`],
+//! measures per-batch commit latency, then drops the handle and times a
+//! cold [`ConnectivityService::open`] of the same directory. The
+//! recovered partition is verified against a from-scratch sequential BFS
+//! on the accumulated graph — the row is only `verified` if both the
+//! live partition and the recovered one match, and the recovered epoch
+//! equals the number of committed batches. Rows serialize into the
+//! `BENCH_PR7.json` schema shared by `svc_driver --durable` (full runs)
+//! and `bench_report --smoke` (the CI guard).
+//!
+//! The module also owns the deterministic workload of the `crash_probe`
+//! binary ([`probe_initial`] / [`probe_batches`]): parent and child
+//! processes must agree bit-for-bit on what was applied, so the
+//! generator lives here, not in the binary.
+
+use crate::svc::{family_graph, percentile_us};
+use cc_graph::seq::{components, same_partition};
+use cc_graph::{Graph, GraphBuilder, Rng};
+use logdiam_svc::{ConnectivityService, FsyncPolicy, SvcParams};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Base seed shared by the default durable configurations.
+pub const DURABLE_SEED: u64 = 0xD04_B1E;
+
+/// Wall-clock cap for the whole durable smoke (milliseconds): three
+/// policies, one short trace each, in CI seconds.
+pub const DURABLE_SMOKE_CAP_MS: f64 = 20_000.0;
+
+/// One durable write trace: workload, batching, and durability knobs.
+#[derive(Clone, Debug)]
+pub struct DurableConfig {
+    /// Workload family (`path` / `grid` / `powerlaw` / `mixture`).
+    pub family: String,
+    /// Vertex count of the generated family graph.
+    pub n: usize,
+    /// Batches committed (one WAL record + ticket wait each).
+    pub batches: usize,
+    /// Edges per batch.
+    pub batch: usize,
+    /// Fraction of the family graph's edges placed in the genesis CSR;
+    /// the rest become the write stream.
+    pub initial_frac: f64,
+    /// Service rebuild threshold (distinct delta edges).
+    pub rebuild_threshold: usize,
+    /// Commits between durable snapshots.
+    pub snapshot_every: u64,
+    /// Fsync policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// RNG seed for the edge split and synthetic tail edges.
+    pub seed: u64,
+}
+
+impl DurableConfig {
+    /// The full-run configuration for one family under one fsync policy.
+    pub fn full(family: &str, n: usize, fsync: FsyncPolicy) -> Self {
+        DurableConfig {
+            family: family.to_string(),
+            n,
+            batches: 256,
+            batch: 256,
+            initial_frac: 0.5,
+            rebuild_threshold: 4096,
+            snapshot_every: 64,
+            fsync,
+            seed: DURABLE_SEED,
+        }
+    }
+
+    /// The CI smoke configuration: the same shape, seconds not minutes.
+    pub fn smoke(fsync: FsyncPolicy) -> Self {
+        DurableConfig {
+            family: "mixture".to_string(),
+            n: 2_000,
+            batches: 48,
+            batch: 64,
+            initial_frac: 0.5,
+            rebuild_threshold: 256,
+            snapshot_every: 16,
+            fsync,
+            seed: DURABLE_SEED,
+        }
+    }
+}
+
+/// The measured result of one durable trace — one row of `BENCH_PR7.json`.
+#[derive(Clone, Debug)]
+pub struct DurableOutcome {
+    /// `family/n`.
+    pub workload: String,
+    /// Fsync policy, in the `--fsync` spelling (`always` / `batch=N` / `off`).
+    pub fsync: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Edges in the genesis CSR.
+    pub m_initial: usize,
+    /// Edges in the accumulated (genesis + applied) graph.
+    pub m_final: usize,
+    /// Batches committed.
+    pub batches: usize,
+    /// Edges per batch.
+    pub batch: usize,
+    /// Commits between durable snapshots.
+    pub snapshot_every: u64,
+    /// Wall clock for the commit loop, milliseconds.
+    pub elapsed_ms: f64,
+    /// Batch commits per second over the loop.
+    pub commits_per_s: f64,
+    /// Median end-to-end commit latency (enqueue → ticket), microseconds.
+    pub commit_p50_us: f64,
+    /// 90th-percentile commit latency, microseconds.
+    pub commit_p90_us: f64,
+    /// 99th-percentile commit latency, microseconds.
+    pub commit_p99_us: f64,
+    /// WAL size on disk after the clean shutdown, bytes.
+    pub wal_bytes: u64,
+    /// Durable snapshot files left on disk after pruning.
+    pub snapshots: usize,
+    /// Cold `open()` (recovery) wall clock, milliseconds.
+    pub reopen_ms: f64,
+    /// Epoch reported by the recovered service.
+    pub recovered_epoch: u64,
+    /// Whether the live AND the recovered partitions both matched a
+    /// from-scratch sequential recompute, and the recovered epoch was
+    /// exactly the committed batch count.
+    pub verified: bool,
+}
+
+impl DurableOutcome {
+    /// Serialize as one JSON object (no external deps, like `bench_report`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"fsync\":\"{}\",\"n\":{},\"m_initial\":{},\
+             \"m_final\":{},\"batches\":{},\"batch\":{},\"snapshot_every\":{},\
+             \"elapsed_ms\":{:.3},\"commits_per_s\":{:.1},\
+             \"commit_p50_us\":{:.3},\"commit_p90_us\":{:.3},\"commit_p99_us\":{:.3},\
+             \"wal_bytes\":{},\"snapshots\":{},\"reopen_ms\":{:.3},\
+             \"recovered_epoch\":{},\"verified\":{}}}",
+            self.workload,
+            self.fsync,
+            self.n,
+            self.m_initial,
+            self.m_final,
+            self.batches,
+            self.batch,
+            self.snapshot_every,
+            self.elapsed_ms,
+            self.commits_per_s,
+            self.commit_p50_us,
+            self.commit_p90_us,
+            self.commit_p99_us,
+            self.wal_bytes,
+            self.snapshots,
+            self.reopen_ms,
+            self.recovered_epoch,
+            self.verified,
+        )
+    }
+}
+
+/// The write stream for one durable trace: the held-out family edges in
+/// shuffled order, padded with synthetic seeded pairs once exhausted, cut
+/// into `batches` chunks of `batch` edges.
+fn trace_batches(cfg: &DurableConfig, stream: &[(u32, u32)], n: usize) -> Vec<Vec<(u32, u32)>> {
+    let mut rng = Rng::new(cfg.seed ^ 0x0B5);
+    let mut it = stream.iter().copied();
+    (0..cfg.batches)
+        .map(|_| {
+            (0..cfg.batch)
+                .map(|_| {
+                    it.next()
+                        .unwrap_or_else(|| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run one durable trace in `dir` (created fresh; the caller owns
+/// cleanup) and measure it. Panics if `dir` already holds a store.
+pub fn run_durable_trace(cfg: &DurableConfig, dir: &Path) -> DurableOutcome {
+    let g_full = family_graph(&cfg.family, cfg.n, cfg.seed);
+    let n = g_full.n();
+    let mut edges: Vec<(u32, u32)> = g_full.edges().to_vec();
+    Rng::new(cfg.seed ^ 0x5417).shuffle(&mut edges);
+    let cut = ((edges.len() as f64) * cfg.initial_frac).round() as usize;
+    let (initial_edges, stream) = edges.split_at(cut.min(edges.len()));
+    let mut b = GraphBuilder::with_capacity(n, initial_edges.len());
+    for &(u, v) in initial_edges {
+        b.add_edge(u, v);
+    }
+    let initial = b.build();
+    let batches = trace_batches(cfg, stream, n);
+
+    let params = SvcParams {
+        rebuild_threshold: cfg.rebuild_threshold,
+        fsync: cfg.fsync,
+        snapshot_every: cfg.snapshot_every,
+        ..SvcParams::default()
+    };
+    let svc = ConnectivityService::create(dir, initial.clone(), params)
+        .expect("cannot create durable store");
+
+    let mut commit_ns: Vec<u64> = Vec::with_capacity(cfg.batches);
+    let t0 = Instant::now();
+    for chunk in &batches {
+        let tb = Instant::now();
+        svc.apply_batch(chunk).wait().expect("writer died");
+        commit_ns.push(tb.elapsed().as_nanos() as u64);
+    }
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Ground truth: sequential BFS on the accumulated graph, independent
+    // of the concurrent structures under test.
+    let applied: Vec<(u32, u32)> = batches.iter().flatten().copied().collect();
+    let union = Graph::from_csr_plus_edges(&initial, &applied);
+    let truth = components(&union);
+    let live_ok = same_partition(svc.latest().labels(), &truth);
+    drop(svc); // clean shutdown: final WAL sync, writer joined
+
+    let t1 = Instant::now();
+    let recovered = ConnectivityService::open(dir, params).expect("recovery failed");
+    let reopen_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let recovered_epoch = recovered.epoch();
+    let recovered_ok = same_partition(recovered.latest().labels(), &truth);
+    drop(recovered);
+
+    let wal_bytes = std::fs::metadata(dir.join("wal.bin"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let snapshots = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.starts_with("snap-") && name.ends_with(".bin")
+                })
+                .count()
+        })
+        .unwrap_or(0);
+
+    commit_ns.sort_unstable();
+    DurableOutcome {
+        workload: format!("{}/{}", cfg.family, cfg.n),
+        fsync: cfg.fsync.to_string(),
+        n,
+        m_initial: initial.m(),
+        m_final: union.m(),
+        batches: cfg.batches,
+        batch: cfg.batch,
+        snapshot_every: cfg.snapshot_every,
+        elapsed_ms,
+        commits_per_s: cfg.batches as f64 / (elapsed_ms / 1e3),
+        commit_p50_us: percentile_us(&commit_ns, 0.50),
+        commit_p90_us: percentile_us(&commit_ns, 0.90),
+        commit_p99_us: percentile_us(&commit_ns, 0.99),
+        wal_bytes,
+        snapshots,
+        reopen_ms,
+        recovered_epoch,
+        verified: live_ok && recovered_ok && recovered_epoch == cfg.batches as u64,
+    }
+}
+
+/// Serialize outcomes into the `BENCH_PR7.json` document.
+pub fn durable_report_json(emitter: &str, smoke: bool, outcomes: &[DurableOutcome]) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows: Vec<String> = outcomes.iter().map(DurableOutcome::to_json).collect();
+    format!(
+        "{{\n  \"report\": \"logdiam durable connectivity service baseline\",\n  \"emitter\": \"{emitter}\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
+        rows.join(",\n    ")
+    )
+}
+
+/// A scratch directory under the system temp dir, unique per process and
+/// tag; any stale leftover from a crashed previous run is removed first.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("logdiam_durable_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The three-policy smoke: one short trace per fsync policy, verification
+/// and the wall-clock cap enforced, report written. Shared by
+/// `bench_report --smoke` (the CI guard) and `svc_driver --durable --smoke`.
+pub fn run_durable_smoke(emitter: &str, out_path: &str) -> Vec<DurableOutcome> {
+    let policies = [FsyncPolicy::Always, FsyncPolicy::Batch(8), FsyncPolicy::Off];
+    let t0 = Instant::now();
+    let outcomes: Vec<DurableOutcome> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, &fsync)| {
+            let cfg = DurableConfig::smoke(fsync);
+            eprintln!(
+                "durable smoke: {}/{} × {} batches under fsync={}...",
+                cfg.family, cfg.n, cfg.batches, fsync
+            );
+            let dir = scratch_dir(&format!("smoke{i}"));
+            let out = run_durable_trace(&cfg, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        })
+        .collect();
+    let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for out in &outcomes {
+        assert!(
+            out.verified,
+            "durable smoke: fsync={} row failed verification (epoch {})",
+            out.fsync, out.recovered_epoch
+        );
+    }
+    assert!(
+        total_ms < DURABLE_SMOKE_CAP_MS,
+        "durable smoke exceeded its wall-clock cap: {total_ms:.0} ms (cap {DURABLE_SMOKE_CAP_MS:.0} ms)"
+    );
+    std::fs::write(out_path, durable_report_json(emitter, true, &outcomes))
+        .expect("cannot write durable smoke report");
+    eprintln!(
+        "durable smoke: OK — commit p50 {:.1} µs (always) vs {:.1} µs (off), wrote {out_path}",
+        outcomes[0].commit_p50_us, outcomes[2].commit_p50_us
+    );
+    outcomes
+}
+
+// ---------------------------------------------------------------------
+// crash_probe workload: deterministic, shared by parent and child.
+// ---------------------------------------------------------------------
+
+/// The crash probe's genesis graph: an edgeless vertex set, so every
+/// component merge observed after recovery is attributable to a WAL
+/// record that survived the abort.
+pub fn probe_initial(n: usize) -> Graph {
+    GraphBuilder::new(n).build()
+}
+
+/// The crash probe's write stream: `total` batches of `batch` seeded
+/// pairs each. Pure function of `(n, total, batch, seed)` — the child
+/// applies a prefix before aborting, the parent replays the same prefix
+/// into a one-shot recompute to judge the recovered labels.
+pub fn probe_batches(n: usize, total: usize, batch: usize, seed: u64) -> Vec<Vec<(u32, u32)>> {
+    let mut rng = Rng::new(seed ^ 0xC4A5_4B0B);
+    (0..total)
+        .map(|_| {
+            (0..batch)
+                .map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_durable_trace_verifies_under_each_policy() {
+        for (i, fsync) in [FsyncPolicy::Off, FsyncPolicy::Batch(4), FsyncPolicy::Always]
+            .into_iter()
+            .enumerate()
+        {
+            let mut cfg = DurableConfig::smoke(fsync);
+            cfg.n = 400;
+            cfg.batches = 10;
+            cfg.batch = 16;
+            cfg.rebuild_threshold = 32;
+            cfg.snapshot_every = 4;
+            let dir = scratch_dir(&format!("unit{i}"));
+            let out = run_durable_trace(&cfg, &dir);
+            let _ = std::fs::remove_dir_all(&dir);
+            assert!(out.verified, "fsync={} failed", out.fsync);
+            assert_eq!(out.recovered_epoch, 10);
+            assert!(out.wal_bytes > 0);
+            assert!(out.snapshots >= 1);
+            assert!(out.commit_p99_us >= out.commit_p50_us);
+        }
+    }
+
+    #[test]
+    fn probe_workload_is_deterministic() {
+        let a = probe_batches(500, 6, 32, 42);
+        let b = probe_batches(500, 6, 32, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        assert!(a.iter().all(|c| c.len() == 32));
+        assert!(a
+            .iter()
+            .flatten()
+            .all(|&(u, v)| (u as usize) < 500 && (v as usize) < 500));
+    }
+}

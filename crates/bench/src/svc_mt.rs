@@ -234,7 +234,7 @@ struct ReaderLog {
 /// latency (the commit latency the window is sized to hide).
 fn await_oldest(inflight: &mut VecDeque<(Instant, EpochTicket)>, commit_ns: &mut Vec<u64>) {
     let (sent, ticket) = inflight.pop_front().expect("non-empty window");
-    ticket.wait();
+    ticket.wait().expect("writer died");
     commit_ns.push(sent.elapsed().as_nanos() as u64);
 }
 
@@ -368,7 +368,7 @@ pub fn run_mt_trace(cfg: &MtConfig) -> MtOutcome {
     // batch contents.
     let applied: Vec<(u32, u32)> = batches.iter().flatten().copied().collect();
     let union = Graph::from_csr_plus_edges(&initial, &applied);
-    svc.flush();
+    svc.flush().expect("writer died");
     let verified = same_partition(svc.latest().labels(), &components(&union));
 
     let mut enqueue_ns: Vec<u64> = writer_logs

@@ -1,0 +1,32 @@
+//! End-to-end crash-recovery proof through a real process boundary: the
+//! `crash_probe` binary kills a child with `SIGABRT` after each acked
+//! batch prefix and asserts the reopened store recovered exactly that
+//! prefix. Complements the in-process fault injection in
+//! `crates/service/tests/recovery.rs`, which models crashes by
+//! truncating copies of the WAL — here the kernel, not the test, decides
+//! what hit the disk.
+
+use std::process::Command;
+
+#[test]
+fn crash_probe_matrix_recovers_every_prefix() {
+    let dir = std::env::temp_dir().join(format!("logdiam_probe_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let status = Command::new(env!("CARGO_BIN_EXE_crash_probe"))
+        .args([
+            "--n",
+            "400",
+            "--total",
+            "4",
+            "--batch",
+            "32",
+            "--seed",
+            "11",
+            "--dir",
+            dir.to_str().expect("non-UTF-8 temp dir"),
+        ])
+        .status()
+        .expect("cannot spawn crash_probe");
+    assert!(status.success(), "crash_probe matrix failed: {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

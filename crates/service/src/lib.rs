@@ -42,6 +42,16 @@
 //! labels are identical at any thread count, for any shard count, and for
 //! either rebuild backend.
 //!
+//! Since PR 7 the service can also be **durable**: opened on a
+//! directory ([`ConnectivityService::create`] /
+//! [`ConnectivityService::open`]), the writer appends every normalized
+//! batch to a CRC32-checksummed write-ahead log *before* applying it and
+//! periodically installs atomic epoch snapshots, so a crash — at any
+//! point, including mid-append — recovers to a prefix of the committed
+//! epochs that is bit-identical to the uninterrupted run. Writer-thread
+//! death (a contained panic) is a typed error ([`WriterDead`]) on every
+//! ticket and [`flush`](ConnectivityService::flush), never a hang.
+//!
 //! ```
 //! use cc_graph::gen;
 //! use logdiam_svc::{ConnectivityService, SvcParams};
@@ -49,7 +59,7 @@
 //! let svc = ConnectivityService::new(gen::path(10), SvcParams::default());
 //! assert!(svc.query_latest(0, 9));
 //! let ticket = svc.apply_batch(&[(3, 7), (2, 2)]); // enqueued; loop dropped
-//! let epoch = ticket.wait();                        // block until committed
+//! let epoch = ticket.wait().unwrap();               // block until committed
 //! assert!(svc.query(0, 9, epoch).unwrap());
 //! assert_eq!(svc.component_of(9), 0);
 //! ```
@@ -59,12 +69,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod persist;
 mod service;
 mod shard;
 mod snapshot;
 mod ticket;
+mod wal;
 mod writer;
 
+pub use persist::{FsyncPolicy, PersistError};
 pub use service::ConnectivityService;
 pub use snapshot::{Snapshot, Spectrum};
 pub use ticket::EpochTicket;
@@ -123,6 +136,19 @@ pub struct SvcParams {
     /// behind, further calls block until a slot frees (bounded-memory
     /// backpressure instead of unbounded buffering; default 1024).
     pub command_queue: usize,
+    /// When the durable layer fsyncs the write-ahead log (default
+    /// [`FsyncPolicy::Always`]). Ignored by memory-only services
+    /// ([`ConnectivityService::new`]).
+    pub fsync: FsyncPolicy,
+    /// Commits between durable epoch snapshots (default 256). A smaller
+    /// cadence bounds recovery replay at the cost of snapshot I/O on the
+    /// commit path. Ignored by memory-only services.
+    pub snapshot_every: u64,
+    /// Durable snapshots retained on disk (default 3, minimum 1). Older
+    /// snapshots are recovery fallbacks when the newest one is corrupt;
+    /// the genesis file is kept forever regardless, so full replay is
+    /// always the last resort. Ignored by memory-only services.
+    pub snapshots_kept: usize,
 }
 
 impl Default for SvcParams {
@@ -133,6 +159,9 @@ impl Default for SvcParams {
             snapshot_history: 8,
             shard_count: 8,
             command_queue: 1024,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 256,
+            snapshots_kept: 3,
         }
     }
 }
@@ -176,3 +205,40 @@ impl std::fmt::Display for EpochError {
 }
 
 impl std::error::Error for EpochError {}
+
+/// The writer thread died (a panic on the commit path, contained by the
+/// service), carrying the panic payload.
+///
+/// Once the writer is dead the service is read-only: every published
+/// snapshot stays queryable, but every outstanding and future
+/// [`EpochTicket`] resolves to this error and
+/// [`ConnectivityService::flush`] returns it. Nothing blocks forever —
+/// the dead writer keeps draining its command channel, poisoning tickets,
+/// until the handles drop.
+///
+/// For durable services the writer treats storage failures (a WAL append
+/// or snapshot write that errors) as fatal and panics: fail-stop, so a
+/// service that cannot persist a batch never acknowledges it.
+#[derive(Clone, Debug)]
+pub struct WriterDead {
+    payload: String,
+}
+
+impl WriterDead {
+    pub(crate) fn new(payload: String) -> Self {
+        WriterDead { payload }
+    }
+
+    /// The panic payload the writer died with (stringified).
+    pub fn payload(&self) -> &str {
+        &self.payload
+    }
+}
+
+impl std::fmt::Display for WriterDead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service writer thread died: {}", self.payload)
+    }
+}
+
+impl std::error::Error for WriterDead {}

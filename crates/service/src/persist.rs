@@ -1,0 +1,621 @@
+//! Durable epoch snapshots, the genesis file, and the recovery state
+//! machine.
+//!
+//! # Directory layout
+//!
+//! A durable service dir holds exactly three kinds of file:
+//!
+//! ```text
+//! genesis.bin            the initial graph (written once at create time)
+//! wal.bin                the write-ahead edge log (see crate::wal)
+//! snap-<epoch>.bin       durable epoch snapshots, newest few retained
+//! snap-<epoch>.bin.tmp   in-flight snapshot writes (deleted on recovery)
+//! ```
+//!
+//! Snapshots are written to the `.tmp` name, fsynced, and atomically
+//! renamed into place, so a crash mid-snapshot leaves either the old
+//! file set or the new one — never a half-written snapshot under the
+//! real name. Every file is CRC32-checksummed over its payload.
+//!
+//! # Recovery state machine
+//!
+//! [`recover`] rebuilds the newest provable state:
+//!
+//! 1. Read `genesis.bin` (hard error if missing or corrupt: without it
+//!    the vertex count itself is unknown).
+//! 2. Open the WAL, which scans its longest valid record prefix and
+//!    truncates any torn tail (see [`crate::wal`]).
+//! 3. Walk snapshots newest-first. A snapshot is *usable* iff its
+//!    checksum and shape validate **and** the WAL can extend it: the
+//!    snapshot's recorded WAL offset must be a record boundary the scan
+//!    actually reached ([`WalScan::boundary_after`]). A snapshot from a
+//!    newer epoch than the surviving WAL covers is skipped — recovery
+//!    falls back to an older snapshot or to genesis + full replay,
+//!    never to a state the log cannot prove.
+//!    (Exception: if the WAL has no valid records at all, the newest
+//!    valid snapshot wins outright and the log is reset — an empty log
+//!    extends any state.)
+//! 4. Replay the WAL records beyond the chosen snapshot through the
+//!    ordinary commit path.
+//!
+//! The result is always a prefix of the committed epochs: the newest
+//! state the surviving bytes can prove, bit-identical (labels *and*
+//! spectrum) to the uninterrupted run at that epoch.
+
+use crate::wal::{crc32, Wal, WalRecord};
+use crate::{Edge, Epoch};
+use cc_graph::{Graph, GraphBuilder};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SNAP_MAGIC: &[u8; 8] = b"LDIAMSNP";
+const GENESIS_MAGIC: &[u8; 8] = b"LDIAMGEN";
+const FORMAT_VERSION: u32 = 1;
+
+/// When the durable layer calls `fdatasync` on the write-ahead log.
+///
+/// The policy trades commit latency against the window of batches a
+/// *power loss* can lose; an ordinary process crash (panic, OOM-kill,
+/// `kill -9`) loses nothing under any policy, because appends go
+/// straight to the file, not through a userspace buffer. Snapshot files
+/// are always synced before their atomic rename (except under
+/// [`FsyncPolicy::Off`]), so a snapshot can never name a WAL offset the
+/// disk does not have.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record: a fulfilled ticket means the
+    /// batch survives power loss. The default.
+    Always,
+    /// Sync every `0`-th… no — sync once per this many appended records
+    /// (and before every snapshot): bounded loss window, most of the
+    /// throughput of `Off`.
+    Batch(u32),
+    /// Never sync: the OS flushes when it pleases. Survives process
+    /// crashes, not power loss. The right choice for tests and for
+    /// workloads that treat the WAL as best-effort.
+    Off,
+}
+
+impl FsyncPolicy {
+    /// Parse the `svc_driver --fsync` spellings: `always`, `batch`,
+    /// `batch=N`, `off`.
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "off" => Some(FsyncPolicy::Off),
+            "batch" => Some(FsyncPolicy::Batch(64)),
+            _ => s
+                .strip_prefix("batch=")
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n > 0)
+                .map(FsyncPolicy::Batch),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Batch(n) => write!(f, "batch={n}"),
+            FsyncPolicy::Off => write!(f, "off"),
+        }
+    }
+}
+
+/// Why a durable directory could not be created or recovered.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A file that must be trusted (genesis, WAL header) failed
+    /// validation, or no combination of snapshot + WAL can prove a
+    /// state. Unlike a torn WAL tail — which recovery rolls back over
+    /// silently — this is unrecoverable without operator action.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "durable store i/o error: {e}"),
+            PersistError::Corrupt(msg) => write!(f, "durable store corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Everything a durable snapshot file captures: the full writer state at
+/// one epoch, sufficient to resume *exactly* (same future dedup
+/// decisions, fold triggers, and spectrum counters — not merely the same
+/// partition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SnapshotFile {
+    pub(crate) epoch: Epoch,
+    /// WAL byte offset where the record for `epoch + 1` begins; the tail
+    /// from here replays on top of this state.
+    pub(crate) wal_offset: u64,
+    pub(crate) rebuilds: u64,
+    pub(crate) cross_unions: u64,
+    /// Canonical edge list of the folded base CSR.
+    pub(crate) base_edges: Vec<Edge>,
+    /// Distinct delta edges since the last fold, in arrival order (the
+    /// order matters: the dedup seen-set is rebuilt by re-inserting
+    /// them, and a future fold merges them in this order).
+    pub(crate) delta: Vec<Edge>,
+    /// The canonical min-vertex labels published at `epoch`.
+    pub(crate) labels: Vec<u32>,
+}
+
+/// The state [`recover`] proved, ready to seed a writer.
+pub(crate) struct Recovered {
+    pub(crate) base: Graph,
+    pub(crate) delta: Vec<Edge>,
+    /// `None` when recovery fell all the way back to genesis — the
+    /// caller recomputes the initial labeling with its backend.
+    pub(crate) labels: Option<Vec<u32>>,
+    pub(crate) epoch: Epoch,
+    pub(crate) rebuilds: u64,
+    pub(crate) cross_unions: u64,
+    /// The open WAL, truncated to its valid prefix and positioned for
+    /// appending.
+    pub(crate) wal: Wal,
+    /// Valid WAL records beyond the recovered epoch, to be replayed
+    /// through the normal commit path.
+    pub(crate) replay: Vec<WalRecord>,
+}
+
+pub(crate) fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("wal.bin")
+}
+
+fn genesis_path(dir: &Path) -> PathBuf {
+    dir.join("genesis.bin")
+}
+
+fn snapshot_path(dir: &Path, epoch: Epoch) -> PathBuf {
+    dir.join(format!("snap-{epoch:020}.bin"))
+}
+
+/// `[magic 8][version u32][crc u32][payload]` — the frame shared by the
+/// genesis and snapshot files.
+fn write_framed(
+    path: &Path,
+    magic: &[u8; 8],
+    payload: &[u8],
+    fsync: bool,
+) -> Result<(), PersistError> {
+    let mut file = File::create(path)?;
+    file.write_all(magic)?;
+    file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    file.write_all(&crc32(payload).to_le_bytes())?;
+    file.write_all(payload)?;
+    if fsync {
+        file.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Validate the frame and return the payload, or `None` when the file is
+/// malformed (the caller decides whether that is skippable or fatal).
+fn read_framed(path: &Path, magic: &[u8; 8]) -> Result<Option<Vec<u8>>, PersistError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 16 || &bytes[..8] != magic {
+        return Ok(None);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    let payload = &bytes[16..];
+    if version != FORMAT_VERSION || crc32(payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+/// Durability for the rename itself: fsync the directory so the new
+/// name survives power loss. Ignored where directories cannot be opened
+/// (non-POSIX filesystems) — the data file was already synced.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Write `genesis.bin` (create-time only; fails if present).
+pub(crate) fn write_genesis(dir: &Path, g: &Graph, fsync: bool) -> Result<(), PersistError> {
+    let path = genesis_path(dir);
+    if path.exists() {
+        return Err(PersistError::Corrupt(format!(
+            "{} already exists — a durable dir is created once; use open() to restart",
+            path.display()
+        )));
+    }
+    let mut payload = Vec::with_capacity(12 + 8 * g.m());
+    payload.extend_from_slice(&(g.n() as u32).to_le_bytes());
+    payload.extend_from_slice(&(g.m() as u64).to_le_bytes());
+    for &(u, v) in g.edges() {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    write_framed(&path, GENESIS_MAGIC, &payload, fsync)?;
+    if fsync {
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// Read and validate `genesis.bin`. Hard error when missing or corrupt:
+/// nothing else records the vertex count, so nothing can be recovered
+/// without it.
+pub(crate) fn read_genesis(dir: &Path) -> Result<Graph, PersistError> {
+    let path = genesis_path(dir);
+    let payload = read_framed(&path, GENESIS_MAGIC)?
+        .ok_or_else(|| PersistError::Corrupt(format!("{}: bad genesis frame", path.display())))?;
+    let mut r = Reader::new(&payload);
+    let n = r.u32()? as usize;
+    let m = r.u64()? as usize;
+    let edges = r.edge_list(m, n)?;
+    r.done()?;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serialize and durably install `snap-<epoch>.bin` via temp file +
+/// atomic rename.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    snap: &SnapshotFile,
+    fsync: bool,
+) -> Result<(), PersistError> {
+    let n = snap.labels.len();
+    let mut payload =
+        Vec::with_capacity(44 + 8 * (snap.base_edges.len() + snap.delta.len()) + 4 * n);
+    payload.extend_from_slice(&snap.epoch.to_le_bytes());
+    payload.extend_from_slice(&snap.wal_offset.to_le_bytes());
+    payload.extend_from_slice(&snap.rebuilds.to_le_bytes());
+    payload.extend_from_slice(&snap.cross_unions.to_le_bytes());
+    payload.extend_from_slice(&(n as u32).to_le_bytes());
+    payload.extend_from_slice(&(snap.base_edges.len() as u64).to_le_bytes());
+    for &(u, v) in &snap.base_edges {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    payload.extend_from_slice(&(snap.delta.len() as u64).to_le_bytes());
+    for &(u, v) in &snap.delta {
+        payload.extend_from_slice(&u.to_le_bytes());
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    for &l in &snap.labels {
+        payload.extend_from_slice(&l.to_le_bytes());
+    }
+    let final_path = snapshot_path(dir, snap.epoch);
+    let tmp_path = final_path.with_extension("bin.tmp");
+    write_framed(&tmp_path, SNAP_MAGIC, &payload, fsync)?;
+    std::fs::rename(&tmp_path, &final_path)?;
+    if fsync {
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// Decode one snapshot file; `Ok(None)` when it fails any validation
+/// (recovery skips it and falls back).
+pub(crate) fn read_snapshot(path: &Path, n: usize) -> Result<Option<SnapshotFile>, PersistError> {
+    let Some(payload) = read_framed(path, SNAP_MAGIC)? else {
+        return Ok(None);
+    };
+    let parse = |payload: &[u8]| -> Result<SnapshotFile, PersistError> {
+        let mut r = Reader::new(payload);
+        let epoch = r.u64()?;
+        let wal_offset = r.u64()?;
+        let rebuilds = r.u64()?;
+        let cross_unions = r.u64()?;
+        let snap_n = r.u32()? as usize;
+        if snap_n != n {
+            return Err(PersistError::Corrupt("n mismatch".into()));
+        }
+        let base_count = r.u64()? as usize;
+        let base_edges = r.edge_list(base_count, n)?;
+        let delta_count = r.u64()? as usize;
+        let delta = r.edge_list(delta_count, n)?;
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = r.u32()?;
+            if l as usize >= n.max(1) {
+                return Err(PersistError::Corrupt("label out of range".into()));
+            }
+            labels.push(l);
+        }
+        r.done()?;
+        Ok(SnapshotFile {
+            epoch,
+            wal_offset,
+            rebuilds,
+            cross_unions,
+            base_edges,
+            delta,
+            labels,
+        })
+    };
+    Ok(parse(&payload).ok())
+}
+
+/// Snapshot files present in `dir`, newest epoch first. The zero-padded
+/// name encodes the epoch; files that do not parse are ignored.
+pub(crate) fn list_snapshots(dir: &Path) -> Result<Vec<(Epoch, PathBuf)>, PersistError> {
+    let mut snaps = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        if let Some(num) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".bin"))
+        {
+            if let Ok(epoch) = num.parse::<Epoch>() {
+                snaps.push((epoch, path));
+            }
+        }
+    }
+    snaps.sort_unstable_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+    Ok(snaps)
+}
+
+/// Delete all but the newest `keep` snapshots (and any stale `.tmp`
+/// leftovers from interrupted writes). Deletion failures are ignored —
+/// an undeletable old snapshot costs disk, not correctness.
+pub(crate) fn prune_snapshots(dir: &Path, keep: usize) -> Result<(), PersistError> {
+    for (_, path) in list_snapshots(dir)?.into_iter().skip(keep.max(1)) {
+        let _ = std::fs::remove_file(path);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tmp") {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+/// The recovery state machine (see the module docs): genesis, WAL scan,
+/// newest usable snapshot, replay tail.
+pub(crate) fn recover(dir: &Path) -> Result<Recovered, PersistError> {
+    let genesis = read_genesis(dir)?;
+    let n = genesis.n();
+    let (mut wal, scan) = Wal::open(&wal_path(dir), n)?;
+    // Newest-first: the first snapshot the WAL can extend wins.
+    for (epoch, path) in list_snapshots(dir)? {
+        let Some(snap) = read_snapshot(&path, n)? else {
+            continue; // corrupt snapshot: fall back to an older one
+        };
+        debug_assert_eq!(snap.epoch, epoch);
+        if scan.records.is_empty() {
+            // No log survives; the newest intact snapshot is the best
+            // provable state. Reset the log so future records extend it,
+            // and rewrite the snapshot's WAL offset to match the reset
+            // log — otherwise a *second* recovery would find a snapshot
+            // whose stored offset points into the discarded log and
+            // wrongly skip it.
+            wal.reset()?;
+            let mut snap = snap;
+            if snap.wal_offset != crate::wal::WAL_HEADER_LEN {
+                snap.wal_offset = crate::wal::WAL_HEADER_LEN;
+                write_snapshot(dir, &snap, true)?;
+            }
+            return Ok(from_snapshot(snap, wal, Vec::new()));
+        }
+        if scan.boundary_after(snap.epoch) == Some(snap.wal_offset) {
+            let replay = scan
+                .records
+                .iter()
+                .filter(|r| r.epoch > snap.epoch)
+                .cloned()
+                .collect();
+            return Ok(from_snapshot(snap, wal, replay));
+        }
+        // The WAL cannot extend this snapshot (e.g. the snapshot is from
+        // a newer epoch than the surviving log covers): fall back.
+    }
+    // Genesis + full replay. Only sound if the log actually starts at
+    // epoch 1 — after a log reset it will not, and losing *both* the
+    // post-reset snapshots and the pre-reset log is unrecoverable.
+    if let Some(first) = scan.records.first() {
+        if first.epoch != 1 {
+            return Err(PersistError::Corrupt(format!(
+                "no usable snapshot and the WAL starts at epoch {} (full replay needs epoch 1)",
+                first.epoch
+            )));
+        }
+    }
+    Ok(Recovered {
+        base: genesis,
+        delta: Vec::new(),
+        labels: None,
+        epoch: 0,
+        rebuilds: 0,
+        cross_unions: 0,
+        wal,
+        replay: scan.records,
+    })
+}
+
+fn from_snapshot(snap: SnapshotFile, wal: Wal, replay: Vec<WalRecord>) -> Recovered {
+    let n = snap.labels.len();
+    let mut b = GraphBuilder::with_capacity(n, snap.base_edges.len());
+    for (u, v) in snap.base_edges {
+        b.add_edge(u, v);
+    }
+    Recovered {
+        base: b.build(),
+        delta: snap.delta,
+        labels: Some(snap.labels),
+        epoch: snap.epoch,
+        rebuilds: snap.rebuilds,
+        cross_unions: snap.cross_unions,
+        wal,
+        replay,
+    }
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], PersistError> {
+        if self.bytes.len() - self.at < len {
+            return Err(PersistError::Corrupt("payload truncated".into()));
+        }
+        let s = &self.bytes[self.at..self.at + len];
+        self.at += len;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn edge_list(&mut self, count: usize, n: usize) -> Result<Vec<Edge>, PersistError> {
+        // Bound first so a corrupt count cannot drive a huge allocation.
+        let bytes = self.take(
+            count
+                .checked_mul(8)
+                .ok_or_else(|| PersistError::Corrupt("edge count overflow".into()))?,
+        )?;
+        let mut edges = Vec::with_capacity(count);
+        for c in bytes.chunks_exact(8) {
+            let u = u32::from_le_bytes(c[..4].try_into().expect("4"));
+            let v = u32::from_le_bytes(c[4..].try_into().expect("4"));
+            if u as usize >= n || v as usize >= n {
+                return Err(PersistError::Corrupt("edge endpoint out of range".into()));
+            }
+            edges.push((u, v));
+        }
+        Ok(edges)
+    }
+
+    fn done(&self) -> Result<(), PersistError> {
+        if self.at != self.bytes.len() {
+            return Err(PersistError::Corrupt("trailing bytes in payload".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_graph::gen;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("logdiam_persist_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn genesis_roundtrip_and_double_create_rejected() {
+        let dir = tmpdir("genesis");
+        let g = gen::union_all(&[gen::path(6), gen::star(4)]);
+        write_genesis(&dir, &g, false).unwrap();
+        let h = read_genesis(&dir).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+        assert!(matches!(
+            write_genesis(&dir, &g, false),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_roundtrip_listing_and_pruning() {
+        let dir = tmpdir("snap");
+        for epoch in [3u64, 12, 7] {
+            let snap = SnapshotFile {
+                epoch,
+                wal_offset: 16 + epoch,
+                rebuilds: 1,
+                cross_unions: 2,
+                base_edges: vec![(0, 1)],
+                delta: vec![(1, 2)],
+                labels: vec![0, 0, 0, 3],
+            };
+            write_snapshot(&dir, &snap, false).unwrap();
+        }
+        let listed = list_snapshots(&dir).unwrap();
+        let epochs: Vec<_> = listed.iter().map(|&(e, _)| e).collect();
+        assert_eq!(epochs, vec![12, 7, 3]);
+        let snap = read_snapshot(&listed[1].1, 4).unwrap().unwrap();
+        assert_eq!(snap.epoch, 7);
+        assert_eq!(snap.delta, vec![(1, 2)]);
+        prune_snapshots(&dir, 2).unwrap();
+        let epochs: Vec<_> = list_snapshots(&dir)
+            .unwrap()
+            .iter()
+            .map(|&(e, _)| e)
+            .collect();
+        assert_eq!(epochs, vec![12, 7]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_reads_as_none_not_error() {
+        let dir = tmpdir("corrupt");
+        let snap = SnapshotFile {
+            epoch: 5,
+            wal_offset: 40,
+            rebuilds: 0,
+            cross_unions: 0,
+            base_edges: vec![],
+            delta: vec![],
+            labels: vec![0, 1],
+        };
+        write_snapshot(&dir, &snap, false).unwrap();
+        let path = snapshot_path(&dir, 5);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path, 2).unwrap().is_none());
+        // Wrong n is also a skip, not a hard error.
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path, 3).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_driver_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("off"), Some(FsyncPolicy::Off));
+        assert_eq!(FsyncPolicy::parse("batch"), Some(FsyncPolicy::Batch(64)));
+        assert_eq!(FsyncPolicy::parse("batch=7"), Some(FsyncPolicy::Batch(7)));
+        assert_eq!(FsyncPolicy::parse("batch=0"), None);
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+        assert_eq!(FsyncPolicy::Batch(7).to_string(), "batch=7");
+    }
+}

@@ -5,11 +5,14 @@
 //! to. The split follows the execution-controller idiom: a command
 //! channel into a state-owning thread, a handle that returns tickets.
 
+use crate::persist;
 use crate::ticket::{EpochTicket, TicketCell};
-use crate::writer::{Cmd, Ring, SharedStats, Writer};
-use crate::{Edge, Epoch, EpochError, Snapshot, SvcParams};
+use crate::wal::{Wal, WalRecord};
+use crate::writer::{Cmd, Durable, Ring, SharedStats, Writer, WriterSeed};
+use crate::{Edge, Epoch, EpochError, FsyncPolicy, PersistError, Snapshot, SvcParams, WriterDead};
 use cc_graph::Graph;
 use std::collections::VecDeque;
+use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, RwLock};
 
@@ -41,11 +44,71 @@ pub struct ConnectivityService {
 }
 
 impl ConnectivityService {
-    /// Start a service over an initial graph. The initial labeling is
-    /// computed synchronously with the configured rebuild backend and
-    /// published as epoch 0 before this returns; the writer thread and
-    /// its background rebuild worker are running when it does.
+    /// Start a **memory-only** service over an initial graph. The initial
+    /// labeling is computed synchronously with the configured rebuild
+    /// backend and published as epoch 0 before this returns; the writer
+    /// thread and its background rebuild worker are running when it does.
+    /// Nothing is persisted — use [`create`](ConnectivityService::create)
+    /// / [`open`](ConnectivityService::open) for a durable service.
     pub fn new(initial: Graph, params: SvcParams) -> Self {
+        Self::launch(WriterSeed::fresh(initial), params, &[])
+    }
+
+    /// Create a **durable** service in `dir` (made if absent, which must
+    /// not already hold one): writes the genesis file (the initial graph,
+    /// the full-replay anchor; never pruned) and an empty write-ahead
+    /// log, then starts the service exactly like
+    /// [`new`](ConnectivityService::new). Every subsequent batch is
+    /// WAL-appended before it is applied; snapshots land every
+    /// [`SvcParams::snapshot_every`] commits. Restart with
+    /// [`open`](ConnectivityService::open).
+    pub fn create(
+        dir: impl AsRef<Path>,
+        initial: Graph,
+        params: SvcParams,
+    ) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(PersistError::Io)?;
+        let fsync = params.fsync != FsyncPolicy::Off;
+        persist::write_genesis(dir, &initial, fsync)?;
+        let wal = Wal::create(&persist::wal_path(dir), initial.n())?;
+        let mut seed = WriterSeed::fresh(initial);
+        seed.durable = Some(Durable::new(dir.to_path_buf(), wal));
+        Ok(Self::launch(seed, params, &[]))
+    }
+
+    /// Reopen a durable service after a shutdown or crash: the
+    /// first-class restart constructor.
+    ///
+    /// Recovery loads the newest snapshot the surviving WAL can extend
+    /// (falling back to older snapshots, then to genesis + full replay),
+    /// truncates any torn WAL tail at the first bad checksum, and replays
+    /// the tail through the ordinary commit path *before this returns* —
+    /// so the recovered state is bit-identical (labels and spectrum) to
+    /// the uninterrupted run at the same epoch: a prefix of the committed
+    /// history, specifically every batch whose WAL record survived
+    /// (under [`FsyncPolicy::Always`], every batch whose ticket was
+    /// fulfilled — and possibly the one in flight at the crash).
+    ///
+    /// Errors only on unrecoverable storage state (missing/corrupt
+    /// genesis, unreadable dir, or no snapshot the log can extend); torn
+    /// tails and corrupt snapshots are recovered over silently.
+    pub fn open(dir: impl AsRef<Path>, params: SvcParams) -> Result<Self, PersistError> {
+        let dir = dir.as_ref();
+        let rec = persist::recover(dir)?;
+        let seed = WriterSeed {
+            base: rec.base,
+            delta: rec.delta,
+            labels: rec.labels,
+            epoch: rec.epoch,
+            rebuilds: rec.rebuilds,
+            cross_unions: rec.cross_unions,
+            durable: Some(Durable::new(dir.to_path_buf(), rec.wal)),
+        };
+        Ok(Self::launch(seed, params, &rec.replay))
+    }
+
+    fn launch(seed: WriterSeed, params: SvcParams, replay: &[WalRecord]) -> Self {
         assert!(
             params.rebuild_threshold > 0,
             "rebuild_threshold must be ≥ 1"
@@ -53,10 +116,13 @@ impl ConnectivityService {
         assert!(params.snapshot_history > 0, "snapshot_history must be ≥ 1");
         assert!(params.shard_count > 0, "shard_count must be ≥ 1");
         assert!(params.command_queue > 0, "command_queue must be ≥ 1");
-        let n = initial.n();
+        assert!(params.snapshot_every > 0, "snapshot_every must be ≥ 1");
+        assert!(params.snapshots_kept > 0, "snapshots_kept must be ≥ 1");
+        let n = seed.base.n();
         let published: Arc<Ring> = Arc::new(RwLock::new(VecDeque::new()));
         let stats = Arc::new(SharedStats::default());
-        let writer_state = Writer::start(initial, params, published.clone(), stats.clone());
+        let mut writer_state = Writer::start(seed, params, published.clone(), stats.clone());
+        writer_state.replay(replay);
         let (tx, rx) = mpsc::sync_channel(params.command_queue);
         let writer = std::thread::Builder::new()
             .name("logdiam-svc-writer".into())
@@ -101,6 +167,13 @@ impl ConnectivityService {
     /// ticket can be [`wait`](EpochTicket::wait)ed (block until the
     /// epoch's snapshot is published) or [`poll`](EpochTicket::poll)ed
     /// (non-blocking).
+    ///
+    /// **Writer death:** if the writer thread has died (contained panic —
+    /// see [`WriterDead`]), this does not block on the channel at all: it
+    /// returns a ticket already poisoned with the cause of death. A
+    /// batch enqueued concurrently with the death is drained and its
+    /// ticket poisoned by the dying writer; either way the ticket
+    /// resolves, it never hangs.
     pub fn apply_batch(&self, batch: &[Edge]) -> EpochTicket {
         let n = self.n as u32;
         let mut edges = Vec::with_capacity(batch.len());
@@ -111,6 +184,10 @@ impl ConnectivityService {
             }
         }
         let cell = TicketCell::new();
+        if let Some(err) = self.writer_dead() {
+            cell.poison(err);
+            return EpochTicket::new(cell);
+        }
         self.send(Cmd::Apply {
             edges,
             ticket: cell.clone(),
@@ -122,10 +199,28 @@ impl ConnectivityService {
     /// Does **not** wait for an in-flight background rebuild — rebuild
     /// completion is a representation change invisible to queries (see
     /// [`rebuild_in_flight`](ConnectivityService::rebuild_in_flight)).
-    pub fn flush(&self) {
+    /// Errors instead of hanging when the writer thread has died.
+    pub fn flush(&self) -> Result<(), WriterDead> {
         let (done_tx, done_rx) = mpsc::sync_channel(1);
         self.send(Cmd::Flush(done_tx));
-        done_rx.recv().expect("service writer gone");
+        done_rx.recv().map_err(|_| {
+            self.writer_dead()
+                .unwrap_or_else(|| WriterDead::new("writer thread terminated".into()))
+        })
+    }
+
+    /// `Some(cause)` if the writer thread has died (contained panic).
+    /// The service is then read-only: queries keep working off the
+    /// published ring, but every ticket resolves to the error.
+    pub fn writer_dead(&self) -> Option<WriterDead> {
+        self.stats.dead.lock().expect("dead flag poisoned").clone()
+    }
+
+    /// Test-only fault injection: make the writer thread panic on its
+    /// commit path, exercising the real containment machinery.
+    #[doc(hidden)]
+    pub fn inject_writer_panic(&self) {
+        self.send(Cmd::Crash);
     }
 
     fn send(&self, cmd: Cmd) {
@@ -250,7 +345,7 @@ mod tests {
         // Two paths: {0..4}, {5..9}.
         let svc = svc(gen::union_all(&[gen::path(5), gen::path(5)]), 1024);
         assert!(!svc.query_latest(0, 9));
-        let e1 = svc.apply_batch(&[(4, 5)]).wait();
+        let e1 = svc.apply_batch(&[(4, 5)]).wait().unwrap();
         assert_eq!(e1, 1);
         assert!(svc.query_latest(0, 9));
         assert_eq!(svc.component_of(9), 0);
@@ -268,16 +363,16 @@ mod tests {
             .collect();
         // FIFO epoch assignment: ticket i commits as epoch i + 1.
         for (i, t) in tickets.iter().enumerate() {
-            assert_eq!(t.wait(), i as Epoch + 1);
-            assert_eq!(t.poll(), Some(i as Epoch + 1));
+            assert_eq!(t.wait().unwrap(), i as Epoch + 1);
+            assert_eq!(t.poll().unwrap(), Some(i as Epoch + 1));
         }
     }
 
     #[test]
     fn empty_and_duplicate_batches_commit_epochs_without_growing_deltas() {
         let svc = svc(gen::path(4), 1024);
-        let e1 = svc.apply_batch(&[]).wait();
-        let e2 = svc.apply_batch(&[(0, 1), (1, 0), (2, 2)]).wait(); // all dups/loops
+        let e1 = svc.apply_batch(&[]).wait().unwrap();
+        let e2 = svc.apply_batch(&[(0, 1), (1, 0), (2, 2)]).wait().unwrap(); // all dups/loops
         assert_eq!((e1, e2), (1, 2));
         let sp = svc.spectrum();
         assert_eq!(sp.delta_edges, 0);
@@ -288,22 +383,22 @@ mod tests {
     #[test]
     fn threshold_triggers_fold_and_merges_deltas_into_base() {
         let svc = svc(GraphBuilder::new(8).build(), 3);
-        svc.apply_batch(&[(0, 1)]).wait();
-        svc.apply_batch(&[(2, 3)]).wait();
+        svc.apply_batch(&[(0, 1)]).wait().unwrap();
+        svc.apply_batch(&[(2, 3)]).wait().unwrap();
         assert_eq!(svc.spectrum().rebuilds, 0);
         assert_eq!(svc.spectrum().base_m, 0);
         assert_eq!(svc.spectrum().delta_edges, 2);
         // Third distinct edge crosses the threshold: the fold happens
         // synchronously at that commit (deterministically), even though
         // the recompute itself is pipelined onto the background worker.
-        svc.apply_batch(&[(4, 5)]).wait();
+        svc.apply_batch(&[(4, 5)]).wait().unwrap();
         let sp = svc.spectrum();
         assert_eq!(sp.rebuilds, 1);
         assert_eq!(sp.base_m, 3);
         assert_eq!(sp.delta_edges, 0);
         assert_eq!(sp.components, 5); // {0,1},{2,3},{4,5},{6},{7}
                                       // An edge that was folded into the base no longer counts as new.
-        svc.apply_batch(&[(0, 1)]).wait();
+        svc.apply_batch(&[(0, 1)]).wait().unwrap();
         assert_eq!(svc.spectrum().delta_edges, 0);
     }
 
@@ -316,9 +411,9 @@ mod tests {
                 ..SvcParams::default()
             },
         );
-        svc.apply_batch(&[]).wait();
-        svc.apply_batch(&[]).wait();
-        svc.apply_batch(&[]).wait();
+        svc.apply_batch(&[]).wait().unwrap();
+        svc.apply_batch(&[]).wait().unwrap();
+        svc.apply_batch(&[]).wait().unwrap();
         assert!(matches!(
             svc.snapshot(0),
             Err(EpochError::Evicted {
@@ -354,8 +449,8 @@ mod tests {
         let a = mk(RebuildBackend::UnionFind);
         let b = mk(RebuildBackend::FasterSim { seed: 11 });
         for chunk in stream.edges().chunks(25) {
-            a.apply_batch(chunk).wait();
-            b.apply_batch(chunk).wait();
+            a.apply_batch(chunk).wait().unwrap();
+            b.apply_batch(chunk).wait().unwrap();
         }
         // Canonical labels are *identical*, not just partition-equal.
         assert_eq!(a.latest().labels(), b.latest().labels());
@@ -368,7 +463,7 @@ mod tests {
         let stream = gen::gnm(100, 70, 21);
         let svc = svc(initial.clone(), 16);
         for chunk in stream.edges().chunks(9) {
-            svc.apply_batch(chunk).wait();
+            svc.apply_batch(chunk).wait().unwrap();
         }
         let union = Graph::from_csr_plus_edges(&initial, stream.edges());
         let truth = components(&union);
@@ -391,10 +486,10 @@ mod tests {
         );
         // Fire the whole stream without waiting any individual ticket.
         let tickets: Vec<_> = g.edges().chunks(31).map(|c| svc.apply_batch(c)).collect();
-        svc.flush();
+        svc.flush().unwrap();
         // Every ticket is now fulfilled without blocking.
         for t in &tickets {
-            assert!(t.poll().is_some());
+            assert!(t.poll().unwrap().is_some());
         }
         assert_eq!(svc.epoch(), tickets.len() as Epoch);
         assert!(same_partition(svc.latest().labels(), &components(&g)));
@@ -416,7 +511,7 @@ mod tests {
             );
             let mut per_epoch = Vec::new();
             for chunk in stream.edges().chunks(13) {
-                svc.apply_batch(chunk).wait();
+                svc.apply_batch(chunk).wait().unwrap();
                 per_epoch.push(svc.latest().labels().to_vec());
             }
             per_epoch
@@ -438,8 +533,8 @@ mod tests {
                     ..SvcParams::default()
                 },
             );
-            svc.apply_batch(&[(0, 2), (0, 1)]).wait();
-            svc.apply_batch(&[(1, 3), (2, 3)]).wait();
+            svc.apply_batch(&[(0, 2), (0, 1)]).wait().unwrap();
+            svc.apply_batch(&[(1, 3), (2, 3)]).wait().unwrap();
             let sp = svc.spectrum();
             (sp.shards, sp.cross_unions)
         };

@@ -7,14 +7,21 @@
 //! thread at commit time, after the epoch's [`Snapshot`](crate::Snapshot)
 //! is published. A fulfilled ticket therefore guarantees the epoch is
 //! queryable (until it falls off the bounded history ring).
+//!
+//! A ticket resolves exactly once, to one of two ends: the committed
+//! epoch, or [`WriterDead`] when the writer thread died (contained panic)
+//! before this batch could commit. It never hangs: a dead writer keeps
+//! draining its channel and poisons every ticket it dequeues.
 
-use crate::Epoch;
+use crate::{Epoch, WriterDead};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// Shared slot the writer fulfills at commit time.
+type TicketState = Option<Result<Epoch, WriterDead>>;
+
+/// Shared slot the writer fulfills (or poisons) at commit time.
 #[derive(Debug)]
 pub(crate) struct TicketCell {
-    state: Mutex<Option<Epoch>>,
+    state: Mutex<TicketState>,
     cv: Condvar,
 }
 
@@ -31,8 +38,19 @@ impl TicketCell {
     pub(crate) fn fulfill(&self, epoch: Epoch) {
         let mut slot = self.state.lock().expect("ticket poisoned");
         debug_assert!(slot.is_none(), "ticket fulfilled twice");
-        *slot = Some(epoch);
+        *slot = Some(Ok(epoch));
         self.cv.notify_all();
+    }
+
+    /// Writer side: the batch will never commit — the writer died first.
+    /// A no-op on an already-fulfilled ticket (a committed epoch stays
+    /// committed even if the writer dies on a later batch).
+    pub(crate) fn poison(&self, err: WriterDead) {
+        let mut slot = self.state.lock().expect("ticket poisoned");
+        if slot.is_none() {
+            *slot = Some(Err(err));
+            self.cv.notify_all();
+        }
     }
 }
 
@@ -44,8 +62,9 @@ impl TicketCell {
 /// from one caller resolve in the order the batches were enqueued. The
 /// ticket outlives the service handle: batches already enqueued when the
 /// handle drops are still drained, committed, and fulfilled before the
-/// writer exits, so a [`wait`](EpochTicket::wait) on a live writer never
-/// hangs.
+/// writer exits. A [`wait`](EpochTicket::wait) never hangs — if the
+/// writer thread dies (contained panic, including a durable-storage
+/// failure), the ticket resolves to [`WriterDead`] instead.
 ///
 /// ```
 /// use cc_graph::gen;
@@ -53,7 +72,7 @@ impl TicketCell {
 ///
 /// let svc = ConnectivityService::new(gen::path(8), SvcParams::default());
 /// let ticket = svc.apply_batch(&[(0, 7)]); // enqueue only: returns fast
-/// let epoch = ticket.wait();               // block until committed
+/// let epoch = ticket.wait().unwrap();      // block until committed
 /// assert!(svc.query(0, 7, epoch).unwrap());
 /// ```
 #[derive(Debug)]
@@ -67,33 +86,42 @@ impl EpochTicket {
         EpochTicket { cell }
     }
 
-    /// Non-blocking probe: `Some(epoch)` once the batch has committed and
-    /// its snapshot is published, `None` while it is still queued or
-    /// in flight.
-    pub fn poll(&self) -> Option<Epoch> {
-        *self.cell.state.lock().expect("ticket poisoned")
+    /// Non-blocking probe: `Ok(Some(epoch))` once the batch has committed
+    /// and its snapshot is published, `Ok(None)` while it is still queued
+    /// or in flight, `Err(WriterDead)` if the writer died before this
+    /// batch committed.
+    pub fn poll(&self) -> Result<Option<Epoch>, WriterDead> {
+        match &*self.cell.state.lock().expect("ticket poisoned") {
+            None => Ok(None),
+            Some(Ok(epoch)) => Ok(Some(*epoch)),
+            Some(Err(dead)) => Err(dead.clone()),
+        }
     }
 
-    /// Block until the batch commits; returns the epoch it was assigned.
-    /// The epoch's snapshot is published before the ticket is fulfilled,
-    /// so an immediate [`query`](crate::ConnectivityService::query) at the
-    /// returned epoch succeeds — unless later commits have already pushed
-    /// it off the history ring (see
+    /// Block until the batch commits (returning the epoch it was
+    /// assigned) or the writer dies (returning [`WriterDead`]).
+    ///
+    /// On success the epoch's snapshot is published before the ticket is
+    /// fulfilled, so an immediate
+    /// [`query`](crate::ConnectivityService::query) at the returned epoch
+    /// succeeds — unless later commits have already pushed it off the
+    /// history ring (see
     /// [`EpochError::Evicted`](crate::EpochError::Evicted)).
-    pub fn wait(&self) -> Epoch {
+    pub fn wait(&self) -> Result<Epoch, WriterDead> {
         let mut slot = self.cell.state.lock().expect("ticket poisoned");
         loop {
-            if let Some(epoch) = *slot {
-                return epoch;
+            match &*slot {
+                Some(Ok(epoch)) => return Ok(*epoch),
+                Some(Err(dead)) => return Err(dead.clone()),
+                None => slot = self.cv_wait(slot),
             }
-            slot = self.cv_wait(slot);
         }
     }
 
     fn cv_wait<'a>(
         &self,
-        guard: std::sync::MutexGuard<'a, Option<Epoch>>,
-    ) -> std::sync::MutexGuard<'a, Option<Epoch>> {
+        guard: std::sync::MutexGuard<'a, TicketState>,
+    ) -> std::sync::MutexGuard<'a, TicketState> {
         self.cell.cv.wait(guard).expect("ticket poisoned")
     }
 }
@@ -106,10 +134,10 @@ mod tests {
     fn poll_then_fulfill_then_wait() {
         let cell = TicketCell::new();
         let ticket = EpochTicket::new(cell.clone());
-        assert_eq!(ticket.poll(), None);
+        assert_eq!(ticket.poll().unwrap(), None);
         cell.fulfill(7);
-        assert_eq!(ticket.poll(), Some(7));
-        assert_eq!(ticket.wait(), 7);
+        assert_eq!(ticket.poll().unwrap(), Some(7));
+        assert_eq!(ticket.wait().unwrap(), 7);
     }
 
     #[test]
@@ -119,6 +147,28 @@ mod tests {
         let t = std::thread::spawn(move || ticket.wait());
         std::thread::sleep(std::time::Duration::from_millis(10));
         cell.fulfill(3);
-        assert_eq!(t.join().unwrap(), 3);
+        assert_eq!(t.join().unwrap().unwrap(), 3);
+    }
+
+    #[test]
+    fn poison_resolves_wait_and_poll_with_the_payload() {
+        let cell = TicketCell::new();
+        let ticket = EpochTicket::new(cell.clone());
+        let t = std::thread::spawn(move || ticket.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cell.poison(crate::WriterDead::new("boom".into()));
+        let err = t.join().unwrap().unwrap_err();
+        assert_eq!(err.payload(), "boom");
+        let ticket = EpochTicket::new(cell);
+        assert_eq!(ticket.poll().unwrap_err().payload(), "boom");
+    }
+
+    #[test]
+    fn poison_after_fulfill_is_a_no_op() {
+        let cell = TicketCell::new();
+        let ticket = EpochTicket::new(cell.clone());
+        cell.fulfill(5);
+        cell.poison(crate::WriterDead::new("late".into()));
+        assert_eq!(ticket.wait().unwrap(), 5);
     }
 }

@@ -1,0 +1,430 @@
+//! The write-ahead edge log: an append-only file of normalized edge
+//! batches, one record per epoch.
+//!
+//! # File format
+//!
+//! A 16-byte header (`LDIAMWAL`, format version, vertex count) followed
+//! by records. Every record is length-prefixed and checksummed:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! payload = [epoch: u64 LE] [count: u32 LE] [count × (u: u32 LE, v: u32 LE)]
+//! ```
+//!
+//! The payload is the *handle-normalized* batch (endpoints validated,
+//! self-loops dropped) exactly as the writer dequeued it — the stateful
+//! half of normalization (dedup against the base CSR and earlier
+//! batches) is deliberately **not** applied before logging, so replaying
+//! a record through the ordinary commit path reproduces the original
+//! commit bit-for-bit, including the dedup decisions.
+//!
+//! # Torn tails
+//!
+//! The writer appends a record *before* applying the batch, so a crash
+//! can leave a partially written final record. [`Wal::open`] scans the
+//! file from the header, validating each record's length bound, CRC,
+//! payload shape, and epoch density; the scan stops at the first invalid
+//! byte and the file is truncated there — a torn or corrupted tail
+//! silently rolls the log back to its last fully durable record. (A
+//! flipped byte in the *middle* of the log therefore discards everything
+//! after it: record boundaries downstream of a corruption are
+//! untrustworthy, so recovery keeps the longest clean prefix.)
+
+use crate::{Edge, Epoch, PersistError};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// File-format magic for the WAL header.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"LDIAMWAL";
+/// WAL format version this build reads and writes.
+pub(crate) const WAL_VERSION: u32 = 1;
+/// Header bytes: magic + version + vertex count.
+pub(crate) const WAL_HEADER_LEN: u64 = 16;
+/// Bytes of record framing before the payload (len + crc).
+const FRAME_LEN: usize = 8;
+/// Payload bytes before the edge pairs (epoch + count).
+const PAYLOAD_PREFIX: usize = 12;
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte slice — the checksum used
+/// by both the WAL records and the snapshot/genesis files. Table-free
+/// bitwise form: ~0.5 GB/s, plenty for batch-sized payloads, and zero
+/// state to get wrong.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One valid record recovered from a WAL scan.
+#[derive(Debug, Clone)]
+pub(crate) struct WalRecord {
+    /// The epoch this batch committed (or would have committed) as.
+    pub(crate) epoch: Epoch,
+    /// The handle-normalized batch, exactly as enqueued.
+    pub(crate) edges: Vec<Edge>,
+    /// Byte offset of this record's first byte.
+    pub(crate) start: u64,
+    /// Byte offset one past this record's last byte.
+    pub(crate) end: u64,
+}
+
+/// The result of scanning a WAL file: the longest valid record prefix.
+#[derive(Debug)]
+pub(crate) struct WalScan {
+    /// Valid records, epoch-dense (`records[i+1].epoch ==
+    /// records[i].epoch + 1`). May start at any epoch (a reset log
+    /// restarts above its snapshot's epoch).
+    pub(crate) records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (header included); everything at
+    /// and beyond this offset is torn or corrupt and will be truncated.
+    pub(crate) valid_len: u64,
+}
+
+impl WalScan {
+    /// Byte offset where the record for `epoch + 1` starts (equivalently:
+    /// one past the record that committed `epoch`), if the scan can name
+    /// it. This is the boundary a snapshot at `epoch` must carry for its
+    /// WAL tail to be replayable.
+    pub(crate) fn boundary_after(&self, epoch: Epoch) -> Option<u64> {
+        let first = self.records.first()?;
+        if epoch + 1 == first.epoch {
+            return Some(first.start);
+        }
+        let idx = epoch.checked_sub(first.epoch)?;
+        self.records.get(idx as usize).map(|r| r.end)
+    }
+}
+
+/// An open, appendable write-ahead log positioned at its valid tail.
+#[derive(Debug)]
+pub(crate) struct Wal {
+    file: File,
+    /// Current end of the valid log (= next append offset).
+    len: u64,
+    /// Appends since the last fsync (for
+    /// [`FsyncPolicy::Batch`](crate::FsyncPolicy::Batch)).
+    unsynced: u32,
+}
+
+impl Wal {
+    /// Create a fresh WAL at `path` with only the header. Fails if the
+    /// file already exists (a durable dir is created exactly once).
+    pub(crate) fn create(path: &Path, n: usize) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .read(true)
+            .create_new(true)
+            .open(path)?;
+        file.write_all(&header_bytes(n))?;
+        Ok(Wal {
+            file,
+            len: WAL_HEADER_LEN,
+            unsynced: 0,
+        })
+    }
+
+    /// Open an existing WAL, scan its valid prefix, and truncate any torn
+    /// or corrupt tail so the next append lands at the valid end. A file
+    /// shorter than its own header (including zero-length: a crash before
+    /// the header hit the disk) is rebuilt as an empty log — there cannot
+    /// have been a durable record in it.
+    pub(crate) fn open(path: &Path, n: usize) -> Result<(Self, WalScan), PersistError> {
+        let mut file = OpenOptions::new().write(true).read(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if (bytes.len() as u64) < WAL_HEADER_LEN {
+            // Torn header: rewrite it; the log is empty.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&header_bytes(n))?;
+            return Ok((
+                Wal {
+                    file,
+                    len: WAL_HEADER_LEN,
+                    unsynced: 0,
+                },
+                WalScan {
+                    records: Vec::new(),
+                    valid_len: WAL_HEADER_LEN,
+                },
+            ));
+        }
+        if &bytes[..8] != WAL_MAGIC {
+            return Err(PersistError::Corrupt(format!(
+                "{}: bad WAL magic",
+                path.display()
+            )));
+        }
+        let version = u32_at(&bytes, 8);
+        if version != WAL_VERSION {
+            return Err(PersistError::Corrupt(format!(
+                "{}: WAL format version {version}, expected {WAL_VERSION}",
+                path.display()
+            )));
+        }
+        let wal_n = u32_at(&bytes, 12) as usize;
+        if wal_n != n {
+            return Err(PersistError::Corrupt(format!(
+                "{}: WAL is over {wal_n} vertices, expected {n}",
+                path.display()
+            )));
+        }
+        let scan = scan_records(&bytes, n);
+        if scan.valid_len < bytes.len() as u64 {
+            file.set_len(scan.valid_len)?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        let wal = Wal {
+            file,
+            len: scan.valid_len,
+            unsynced: 0,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Discard every record (keeping the header): used when recovery
+    /// accepted a snapshot the surviving log cannot extend (e.g. the log
+    /// was destroyed down to zero bytes). The next record may then start
+    /// at any epoch.
+    pub(crate) fn reset(&mut self) -> Result<(), PersistError> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.len = WAL_HEADER_LEN;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Append one record. The caller syncs separately (per its fsync
+    /// policy) via [`Wal::sync`].
+    pub(crate) fn append(&mut self, epoch: Epoch, edges: &[Edge]) -> Result<(), PersistError> {
+        let mut payload = Vec::with_capacity(PAYLOAD_PREFIX + 8 * edges.len());
+        payload.extend_from_slice(&epoch.to_le_bytes());
+        payload.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+        for &(u, v) in edges {
+            payload.extend_from_slice(&u.to_le_bytes());
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut rec = Vec::with_capacity(FRAME_LEN + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(&payload).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        self.len += rec.len() as u64;
+        self.unsynced += 1;
+        Ok(())
+    }
+
+    /// Flush OS buffers to stable storage (`fdatasync`). Resets the
+    /// batch-policy append counter.
+    pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Appends since the last [`Wal::sync`].
+    pub(crate) fn unsynced(&self) -> u32 {
+        self.unsynced
+    }
+
+    /// Current byte length of the valid log (= the offset the next record
+    /// will start at).
+    pub(crate) fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+fn header_bytes(n: usize) -> [u8; WAL_HEADER_LEN as usize] {
+    let mut h = [0u8; WAL_HEADER_LEN as usize];
+    h[..8].copy_from_slice(WAL_MAGIC);
+    h[8..12].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    h[12..16].copy_from_slice(&(n as u32).to_le_bytes());
+    h
+}
+
+fn u32_at(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Walk records from the header to the first invalid byte. Every check
+/// that fails — short frame, length bound, CRC, malformed payload,
+/// out-of-range endpoint, non-dense epoch — ends the valid prefix there.
+fn scan_records(bytes: &[u8], n: usize) -> WalScan {
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_LEN as usize;
+    let mut expect_epoch: Option<Epoch> = None;
+    while bytes.len() - at >= FRAME_LEN {
+        let len = u32_at(bytes, at) as usize;
+        let crc = u32_at(bytes, at + 4);
+        let payload_at = at + FRAME_LEN;
+        if len < PAYLOAD_PREFIX || len > bytes.len() - payload_at {
+            break;
+        }
+        let payload = &bytes[payload_at..payload_at + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let epoch = u64_at(payload, 0);
+        let count = u32_at(payload, 8) as usize;
+        if len != PAYLOAD_PREFIX + 8 * count {
+            break;
+        }
+        if let Some(e) = expect_epoch {
+            if epoch != e {
+                break;
+            }
+        }
+        let mut edges = Vec::with_capacity(count);
+        let mut ok = true;
+        for i in 0..count {
+            let u = u32_at(payload, PAYLOAD_PREFIX + 8 * i);
+            let v = u32_at(payload, PAYLOAD_PREFIX + 8 * i + 4);
+            if u as usize >= n || v as usize >= n {
+                ok = false;
+                break;
+            }
+            edges.push((u, v));
+        }
+        if !ok {
+            break;
+        }
+        let end = (payload_at + len) as u64;
+        records.push(WalRecord {
+            epoch,
+            edges,
+            start: at as u64,
+            end,
+        });
+        expect_epoch = Some(epoch + 1);
+        at = end as usize;
+    }
+    WalScan {
+        records,
+        valid_len: at as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("logdiam_wal_{}_{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.bin")
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE CRC-32 reference values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let path = tmp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::create(&path, 10).unwrap();
+        wal.append(1, &[(0, 1), (2, 3)]).unwrap();
+        wal.append(2, &[]).unwrap();
+        wal.append(3, &[(9, 0)]).unwrap();
+        wal.sync().unwrap();
+        let end = wal.len();
+        drop(wal);
+        let (wal, scan) = Wal::open(&path, 10).unwrap();
+        assert_eq!(scan.valid_len, end);
+        assert_eq!(wal.len(), end);
+        let epochs: Vec<_> = scan.records.iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        assert_eq!(scan.records[0].edges, vec![(0, 1), (2, 3)]);
+        assert_eq!(scan.records[1].edges, vec![]);
+        assert_eq!(scan.boundary_after(0), Some(scan.records[0].start));
+        assert_eq!(scan.boundary_after(1), Some(scan.records[0].end));
+        assert_eq!(scan.boundary_after(3), Some(scan.records[2].end));
+        assert_eq!(scan.boundary_after(4), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_record() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::create(&path, 8).unwrap();
+        wal.append(1, &[(0, 1)]).unwrap();
+        wal.append(2, &[(2, 3), (4, 5)]).unwrap();
+        let keep = {
+            let (_, scan) = {
+                drop(wal);
+                Wal::open(&path, 8).unwrap()
+            };
+            scan.records[0].end
+        };
+        // Chop mid-way through record 2; reopen must truncate to record 1.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..keep as usize + 5]).unwrap();
+        let (wal, scan) = Wal::open(&path, 8).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(wal.len(), keep);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_length_file_reopens_empty() {
+        let path = tmp("zero");
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, b"").unwrap();
+        let (wal, scan) = Wal::open(&path, 4).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(wal.len(), WAL_HEADER_LEN);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn vertex_count_mismatch_is_corrupt_not_torn() {
+        let path = tmp("nmismatch");
+        std::fs::remove_file(&path).ok();
+        Wal::create(&path, 4).unwrap();
+        match Wal::open(&path, 5) {
+            Err(PersistError::Corrupt(msg)) => assert!(msg.contains("vertices")),
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_endpoint_ends_the_valid_prefix() {
+        let path = tmp("range");
+        std::fs::remove_file(&path).ok();
+        let mut wal = Wal::create(&path, 100).unwrap();
+        wal.append(1, &[(0, 98)]).unwrap();
+        wal.append(2, &[(7, 99)]).unwrap();
+        drop(wal);
+        // Reopen claiming fewer vertices than record 2 uses: the header
+        // check fires first, so rewrite the header to n=99 instead.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12..16].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, scan) = Wal::open(&path, 99).unwrap();
+        assert_eq!(scan.records.len(), 1, "record with endpoint 99 must drop");
+        std::fs::remove_file(&path).ok();
+    }
+}

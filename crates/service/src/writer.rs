@@ -33,15 +33,19 @@
 //! [`RebuildBackend::FasterSim`] route honest — a diverging backend
 //! aborts instead of silently disagreeing).
 
+use crate::persist::{self, SnapshotFile};
 use crate::shard::ShardedOverlay;
 use crate::ticket::TicketCell;
-use crate::{Edge, Epoch, RebuildBackend, Snapshot, SvcParams};
+use crate::wal::{Wal, WalRecord};
+use crate::{Edge, Epoch, FsyncPolicy, RebuildBackend, Snapshot, SvcParams, WriterDead};
 use cc_graph::Graph;
 use logdiam_par::UnionFind;
 use pram_kit::PairSet;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 
 /// Seed for the delta dedup set; fixed so replays are deterministic.
 const DELTA_DEDUP_SEED: u64 = 0xD317_A5E7;
@@ -60,7 +64,12 @@ pub(crate) enum Cmd {
         ticket: Arc<TicketCell>,
     },
     /// Rendezvous: reply once every previously enqueued command committed.
+    /// A dead writer drops the sender instead, which the handle maps to
+    /// [`WriterDead`].
     Flush(mpsc::SyncSender<()>),
+    /// Test-only fault injection: panic on the commit path, exercising the
+    /// containment machinery exactly as a real commit panic would.
+    Crash,
 }
 
 /// Non-deterministic observability counters shared with the handles.
@@ -77,6 +86,9 @@ pub(crate) struct SharedStats {
     /// Background recomputes discarded because their base was re-folded
     /// while they ran.
     pub(crate) stale_rebuilds: AtomicU64,
+    /// Set (once) when the writer thread dies; handles fast-fail new
+    /// batches against it and `flush` reports it.
+    pub(crate) dead: Mutex<Option<WriterDead>>,
 }
 
 /// A fold shipped to the rebuild worker: the new base CSR and the fold
@@ -90,6 +102,53 @@ struct RebuildJob {
 struct RebuildDone {
     generation: u64,
     labels: Vec<u32>,
+}
+
+/// The durable half of the writer state: the open WAL plus snapshot
+/// bookkeeping. `None` for memory-only services.
+pub(crate) struct Durable {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: Wal,
+    /// Commits since the last durable snapshot was installed.
+    commits_since_snapshot: u64,
+}
+
+impl Durable {
+    pub(crate) fn new(dir: PathBuf, wal: Wal) -> Self {
+        Durable {
+            dir,
+            wal,
+            commits_since_snapshot: 0,
+        }
+    }
+}
+
+/// The initial state a writer starts from: a fresh graph
+/// ([`WriterSeed::fresh`]) or a recovered durable state mid-history.
+pub(crate) struct WriterSeed {
+    pub(crate) base: Graph,
+    pub(crate) delta: Vec<Edge>,
+    /// `None` ⇒ compute the initial labeling with the backend (fresh
+    /// start or genesis-only recovery).
+    pub(crate) labels: Option<Vec<u32>>,
+    pub(crate) epoch: Epoch,
+    pub(crate) rebuilds: u64,
+    pub(crate) cross_unions: u64,
+    pub(crate) durable: Option<Durable>,
+}
+
+impl WriterSeed {
+    pub(crate) fn fresh(initial: Graph) -> Self {
+        WriterSeed {
+            base: initial,
+            delta: Vec::new(),
+            labels: None,
+            epoch: 0,
+            rebuilds: 0,
+            cross_unions: 0,
+            durable: None,
+        }
+    }
 }
 
 /// Everything the writer thread owns.
@@ -117,27 +176,41 @@ pub(crate) struct Writer {
     /// Newest fold waiting for the worker slot (at most one: newer folds
     /// replace it — only the latest base is worth recomputing).
     queued: Option<RebuildJob>,
+    /// Durable WAL + snapshot state; `None` for memory-only services.
+    durable: Option<Durable>,
 }
 
 impl Writer {
-    /// Build the initial state (epoch 0 published synchronously) and the
-    /// rebuild worker, before the writer thread starts.
+    /// Build the initial state (the seed epoch published synchronously)
+    /// and the rebuild worker, before the writer thread starts. A
+    /// recovered seed carries its labels; a fresh one computes them with
+    /// the configured backend.
     pub(crate) fn start(
-        initial: Graph,
+        seed: WriterSeed,
         params: SvcParams,
         published: Arc<Ring>,
         stats: Arc<SharedStats>,
     ) -> Self {
-        let labels = run_backend(params.backend, &initial);
+        let labels = seed
+            .labels
+            .unwrap_or_else(|| run_backend(params.backend, &seed.base));
         let overlay = ShardedOverlay::from_labels(&labels, params.shard_count);
+        let base = Arc::new(seed.base);
+        // Rebuild the delta dedup set exactly as the original run left it:
+        // the stored delta edges are distinct and absent from the (same)
+        // folded base, so re-dedup re-inserts each of them.
+        let mut seen =
+            PairSet::with_capacity(DELTA_DEDUP_SEED ^ seed.rebuilds, params.rebuild_threshold);
+        let readded = base.dedup_new_edges(&seed.delta, &mut seen);
+        debug_assert_eq!(readded, seed.delta, "recovered delta list not canonical");
         let snapshot = Arc::new(Snapshot::new(
-            0,
+            seed.epoch,
             overlay.labels(),
-            initial.m(),
-            0,
-            0,
+            base.m(),
+            seed.delta.len(),
+            seed.rebuilds,
             overlay.shard_count(),
-            0,
+            seed.cross_unions,
         ));
         published
             .write()
@@ -151,14 +224,14 @@ impl Writer {
             .spawn(move || rebuild_worker(job_rx, done_tx, backend))
             .expect("cannot spawn rebuild worker");
         Writer {
-            seen: PairSet::with_capacity(DELTA_DEDUP_SEED, params.rebuild_threshold),
+            seen,
             params,
-            base: Arc::new(initial),
+            base,
             overlay,
-            delta: Vec::new(),
-            epoch: 0,
-            rebuilds: 0,
-            cross_unions: 0,
+            delta: seed.delta,
+            epoch: seed.epoch,
+            rebuilds: seed.rebuilds,
+            cross_unions: seed.cross_unions,
             published,
             stats,
             rb_tx,
@@ -166,6 +239,22 @@ impl Writer {
             rb_worker: Some(rb_worker),
             inflight: None,
             queued: None,
+            durable: seed.durable,
+        }
+    }
+
+    /// Replay recovered WAL records through the ordinary commit path
+    /// (synchronously, before the writer thread spawns). The records are
+    /// already in the log, so nothing is re-appended; if anything was
+    /// replayed, one consolidating snapshot is installed at the end so the
+    /// next crash does not replay the same tail again.
+    pub(crate) fn replay(&mut self, records: &[WalRecord]) {
+        for rec in records {
+            debug_assert_eq!(rec.epoch, self.epoch + 1, "replay records not dense");
+            self.commit(&rec.edges);
+        }
+        if !records.is_empty() {
+            self.snapshot_now();
         }
     }
 
@@ -174,27 +263,148 @@ impl Writer {
     /// commands buffered at handle-drop time are still drained and their
     /// tickets fulfilled (std mpsc delivers queued messages before
     /// reporting disconnection).
-    pub(crate) fn run(mut self, rx: mpsc::Receiver<Cmd>) {
+    ///
+    /// # Panic containment
+    ///
+    /// Each commit runs under `catch_unwind`. If it panics — a bug, an
+    /// injected [`Cmd::Crash`], or a durable-storage failure promoted to
+    /// a panic — the writer state is dropped, the panic is recorded in
+    /// [`SharedStats::dead`], and the loop keeps draining as a
+    /// *tombstone*: every subsequent `Apply` ticket is poisoned and every
+    /// `Flush` reply sender dropped, until the channel disconnects. No
+    /// enqueuer ever blocks forever on a dead writer — the channel keeps
+    /// draining, it just stops committing.
+    pub(crate) fn run(self, rx: mpsc::Receiver<Cmd>) {
+        let stats = Arc::clone(&self.stats);
+        let mut state = Some(self);
         while let Ok(cmd) = rx.recv() {
-            self.poll_rebuild();
             match cmd {
-                Cmd::Apply { edges, ticket } => {
-                    let epoch = self.commit(&edges);
-                    ticket.fulfill(epoch);
-                }
+                Cmd::Apply { edges, ticket } => match state.take() {
+                    Some(w) => {
+                        let commit = catch_unwind(AssertUnwindSafe(move || {
+                            let mut w = w;
+                            w.poll_rebuild();
+                            // Durability first: the batch must be in the
+                            // log before any state reflects it.
+                            w.wal_append(&edges);
+                            let epoch = w.commit(&edges);
+                            w.maybe_snapshot();
+                            (w, epoch)
+                        }));
+                        match commit {
+                            Ok((w, epoch)) => {
+                                ticket.fulfill(epoch);
+                                state = Some(w);
+                            }
+                            Err(payload) => ticket.poison(mark_dead(&stats, payload)),
+                        }
+                    }
+                    None => ticket.poison(dead_error(&stats)),
+                },
                 Cmd::Flush(done) => {
-                    let _ = done.send(());
+                    if state.is_some() {
+                        let _ = done.send(());
+                    }
+                    // Dead writer: drop `done`; the handle's recv() error
+                    // becomes WriterDead.
+                }
+                Cmd::Crash => {
+                    if let Some(w) = state.take() {
+                        let payload = catch_unwind(AssertUnwindSafe(move || {
+                            let _own = w; // dropped during the unwind
+                            panic!("injected writer crash");
+                        }))
+                        .expect_err("closure always panics");
+                        mark_dead(&stats, payload);
+                    }
                 }
             }
         }
-        // Shutdown: close the job channel, let an in-flight recompute
-        // finish (its result is simply dropped), and join the worker so
-        // no thread outlives the service.
+        if let Some(w) = state {
+            w.shutdown();
+        }
+    }
+
+    /// Clean shutdown: close the job channel, let an in-flight recompute
+    /// finish (its result is simply dropped), and join the worker so no
+    /// thread outlives the service. Durable state syncs its WAL so a
+    /// clean drop loses nothing even under [`FsyncPolicy::Batch`]/`Off`.
+    fn shutdown(mut self) {
+        if let Some(d) = self.durable.as_mut() {
+            if d.wal.unsynced() > 0 {
+                let _ = d.wal.sync();
+            }
+        }
         drop(self.rb_tx);
         drop(self.rb_rx);
         if let Some(worker) = self.rb_worker.take() {
             worker.join().expect("rebuild worker panicked");
         }
+    }
+
+    /// Append the dequeued batch to the WAL (as the epoch it is about to
+    /// commit) and apply the fsync policy. Storage failures are fatal by
+    /// design: a service that cannot persist a batch must not acknowledge
+    /// it, so the panic here is contained into [`WriterDead`] and the
+    /// batch's ticket is poisoned, not fulfilled.
+    fn wal_append(&mut self, edges: &[Edge]) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        d.wal
+            .append(self.epoch + 1, edges)
+            .unwrap_or_else(|e| panic!("WAL append failed: {e}"));
+        let sync_now = match self.params.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Batch(every) => d.wal.unsynced() >= every,
+            FsyncPolicy::Off => false,
+        };
+        if sync_now {
+            d.wal
+                .sync()
+                .unwrap_or_else(|e| panic!("WAL fsync failed: {e}"));
+        }
+    }
+
+    /// Install a durable snapshot every `snapshot_every` commits.
+    fn maybe_snapshot(&mut self) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        d.commits_since_snapshot += 1;
+        if d.commits_since_snapshot >= self.params.snapshot_every {
+            self.snapshot_now();
+        }
+    }
+
+    /// Serialize the full writer state and install it as
+    /// `snap-<epoch>.bin` (temp file + atomic rename), pruning old
+    /// snapshots. The WAL is synced first (unless the policy is `Off`) so
+    /// the snapshot never names a WAL offset the disk does not have.
+    fn snapshot_now(&mut self) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        let fsync = self.params.fsync != FsyncPolicy::Off;
+        if fsync && d.wal.unsynced() > 0 {
+            d.wal
+                .sync()
+                .unwrap_or_else(|e| panic!("WAL fsync failed: {e}"));
+        }
+        let snap = SnapshotFile {
+            epoch: self.epoch,
+            wal_offset: d.wal.len(),
+            rebuilds: self.rebuilds,
+            cross_unions: self.cross_unions,
+            base_edges: self.base.edges().to_vec(),
+            delta: self.delta.clone(),
+            labels: self.overlay.labels(),
+        };
+        persist::write_snapshot(&d.dir, &snap, fsync)
+            .unwrap_or_else(|e| panic!("snapshot write failed: {e}"));
+        persist::prune_snapshots(&d.dir, self.params.snapshots_kept)
+            .unwrap_or_else(|e| panic!("snapshot prune failed: {e}"));
+        d.commits_since_snapshot = 0;
     }
 
     /// Commit one normalized batch: absorb, maybe fold, publish, in that
@@ -286,6 +496,33 @@ impl Writer {
         self.overlay = next;
         self.stats.overlay_swaps.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Stringify a caught panic payload, record it as the writer's cause of
+/// death (first panic wins), and return the error to poison tickets with.
+fn mark_dead(stats: &SharedStats, payload: Box<dyn std::any::Any + Send>) -> WriterDead {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "writer panicked with a non-string payload".into());
+    let err = WriterDead::new(msg);
+    let mut dead = stats.dead.lock().expect("dead flag poisoned");
+    if dead.is_none() {
+        *dead = Some(err.clone());
+    }
+    err
+}
+
+/// The recorded cause of death (for commands dequeued after the writer
+/// already died).
+fn dead_error(stats: &SharedStats) -> WriterDead {
+    stats
+        .dead
+        .lock()
+        .expect("dead flag poisoned")
+        .clone()
+        .unwrap_or_else(|| WriterDead::new("writer thread terminated".into()))
 }
 
 /// The rebuild worker thread: full recomputes, one at a time, off the

@@ -39,9 +39,16 @@ fn dropping_the_handle_mid_commit_drains_and_fulfills_every_ticket() {
     // Drop joins the writer, which drains every buffered command first:
     // all tickets are fulfilled, in FIFO epoch order, with no hang.
     for (i, t) in tickets.iter().enumerate() {
-        assert_eq!(t.poll(), Some(i as u64 + 1), "ticket {i} not fulfilled");
+        assert_eq!(
+            t.poll().unwrap(),
+            Some(i as u64 + 1),
+            "ticket {i} not fulfilled"
+        );
     }
-    assert_eq!(tickets.last().unwrap().poll(), Some(expected_epochs));
+    assert_eq!(
+        tickets.last().unwrap().poll().unwrap(),
+        Some(expected_epochs)
+    );
 }
 
 #[test]
@@ -55,11 +62,11 @@ fn ticket_awaited_after_its_snapshot_was_evicted_still_resolves() {
     );
     let first = svc.apply_batch(&[(0, 2)]);
     let tickets: Vec<_> = (0..8).map(|_| svc.apply_batch(&[])).collect();
-    svc.flush();
+    svc.flush().unwrap();
     // The first epoch fell off the ring long ago; its ticket still
     // resolves to the epoch number — the ticket is a commit receipt, not
     // a snapshot reference.
-    assert_eq!(first.wait(), 1);
+    assert_eq!(first.wait().unwrap(), 1);
     assert!(matches!(
         svc.snapshot(1),
         Err(EpochError::Evicted {
@@ -70,7 +77,7 @@ fn ticket_awaited_after_its_snapshot_was_evicted_still_resolves() {
     // The labeling the evicted epoch introduced is still visible at the
     // retained latest epoch.
     assert!(svc.query_latest(0, 2));
-    assert_eq!(tickets.last().unwrap().wait(), 9);
+    assert_eq!(tickets.last().unwrap().wait().unwrap(), 9);
 }
 
 #[test]
@@ -85,7 +92,7 @@ fn tiny_command_queue_applies_backpressure_without_deadlock() {
         },
     );
     let tickets: Vec<_> = g.edges().chunks(7).map(|c| svc.apply_batch(c)).collect();
-    svc.flush();
+    svc.flush().unwrap();
     assert_eq!(svc.epoch(), tickets.len() as u64);
     assert!(same_partition(svc.latest().labels(), &components(&g)));
 }
@@ -101,7 +108,7 @@ fn pipelined_rebuild_swap_lands_without_changing_labels() {
         },
     );
     for chunk in g.edges().chunks(43) {
-        svc.apply_batch(chunk).wait();
+        svc.apply_batch(chunk).wait().unwrap();
     }
     assert!(svc.spectrum().rebuilds >= 1);
     let before = svc.latest().labels().to_vec();
@@ -110,13 +117,13 @@ fn pipelined_rebuild_swap_lands_without_changing_labels() {
     // representation change, so the published labels cannot move.
     assert!(
         eventually(|| {
-            svc.apply_batch(&[]).wait();
+            svc.apply_batch(&[]).wait().unwrap();
             !svc.rebuild_in_flight()
         }),
         "background rebuild never completed"
     );
     assert!(svc.overlay_swaps() >= 1);
-    svc.apply_batch(&[]).wait();
+    svc.apply_batch(&[]).wait().unwrap();
     assert_eq!(svc.latest().labels(), &before[..]);
     assert!(same_partition(&before, &components(&g)));
 }
@@ -152,7 +159,7 @@ fn check_concurrent_callers(n: usize, writers: usize, chunk: usize, seed: u64) {
                     let mut committed = Vec::new();
                     let mut last = 0u64;
                     for &b in batches {
-                        let epoch = svc.apply_batch(b).wait();
+                        let epoch = svc.apply_batch(b).wait().unwrap();
                         assert!(epoch > last, "a caller's epochs must be monotone");
                         last = epoch;
                         committed.push((epoch, b));

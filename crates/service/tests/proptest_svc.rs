@@ -90,11 +90,11 @@ fn check_replay(s: &Scenario, backend: RebuildBackend) {
     let mut applied: Vec<(u32, u32)> = Vec::new();
     for (i, chunk) in s.stream.chunks(s.batch.max(1)).enumerate() {
         if i % s.empty_every == 0 {
-            svc.apply_batch(&[]).wait();
+            svc.apply_batch(&[]).wait().unwrap();
         }
-        svc.apply_batch(chunk).wait();
+        svc.apply_batch(chunk).wait().unwrap();
         if i % s.resend_every == 0 {
-            svc.apply_batch(chunk).wait(); // exact duplicates: must be a no-op
+            svc.apply_batch(chunk).wait().unwrap(); // exact duplicates: must be a no-op
         }
         applied.extend_from_slice(chunk);
         let union = Graph::from_csr_plus_edges(&initial, &applied);
@@ -164,7 +164,7 @@ fn family_streams_from_empty_base() {
             },
         );
         for chunk in g.edges().chunks(23) {
-            svc.apply_batch(chunk).wait();
+            svc.apply_batch(chunk).wait().unwrap();
         }
         assert!(same_partition(svc.latest().labels(), &components(&g)));
         assert!(svc.spectrum().rebuilds >= 1, "rebuild path not exercised");

@@ -114,12 +114,12 @@ fn main() {
                 .rotate_left(7)
                 .wrapping_add(fnv1a(svc.latest().labels().iter().copied()));
             for chunk in stream.chunks(17) {
-                svc.apply_batch(chunk).wait();
+                svc.apply_batch(chunk).wait().unwrap();
                 acc = acc
                     .rotate_left(1)
                     .wrapping_add(fnv1a(svc.latest().labels().iter().copied()));
             }
-            svc.apply_batch(&[]).wait(); // empty commit must be deterministic too
+            svc.apply_batch(&[]).wait().unwrap(); // empty commit must be deterministic too
             let sp = svc.spectrum();
             // cross_unions is shard-geometry-dependent but must be a pure
             // function of (replay, shard_count): fold it in per shard run.
