@@ -39,6 +39,7 @@ fn bench_theorem1(c: &mut Criterion) {
                 },
                 6,
                 &live,
+                None,
             );
             black_box(e.rounds)
         })

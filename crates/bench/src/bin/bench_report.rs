@@ -1,18 +1,31 @@
 //! `bench_report` — the reproducible perf baseline.
 //!
 //! Runs a fixed workload matrix — path / grid / power-law / mixture graphs
-//! at n ∈ {1e5, 1e6} plus path / grid at 4e6 — through the paper's
+//! at n ∈ {1e5, 1e6} plus path / grid at 1e7 — through the paper's
 //! Theorem-3 pipeline (on the PRAM simulator, i.e. the `Pram::step` host
 //! path) and all four `logdiam-par` practical algorithms, at 1 thread and
 //! at all available cores, and writes per-(workload, algorithm, threads)
-//! wall-clock medians to `BENCH_PR5.json`. Every future perf PR is judged
+//! wall-clock medians to `BENCH_PR8.json`. Every future perf PR is judged
 //! against this file.
 //!
 //! `theorem3_sim` rows additionally carry the run's charged `work`, its
 //! `rounds`, and `work_per_m_round` = work / (m · rounds) — the
-//! near-work-efficiency invariant (E9): with live-work scheduling in both
-//! the rounds *and* the controller, this ratio stays flat as n grows,
-//! which is what justifies lifting the simulated range to 4e6.
+//! near-work-efficiency invariant (E9): with live-work scheduling in the
+//! rounds, the controller, and (since the stamped EXPAND phase state) the
+//! Theorem-1 postprocess, this ratio stays flat as n grows, which is what
+//! justifies lifting the simulated range to 1e7.
+//!
+//! Every workload also gets a `graph_build` row timing the streaming
+//! chunked CSR build (generator → bounded sorted runs → k-way merge) and
+//! recording `peak_rss_kb` — the kernel's `VmHWM` high-water mark, reset
+//! per phase via `/proc/self/clear_refs` — plus the final `csr_bytes`;
+//! the streaming-build memory contract (peak ≤ 2× the final CSR
+//! footprint) is asserted in-process for CSR footprints large enough to
+//! dominate the process baseline. `theorem3_sim` rows record the simulate
+//! phase's `peak_rss_kb` the same way. A `builder_equivalence` row
+//! asserts the streaming build is bit-identical to the reference
+//! sort+dedup build on a duplicate/loop-heavy stream and carries
+//! `"verified": true`.
 //!
 //! Because the rayon pool size is fixed at first use, the parent process
 //! re-executes itself once per thread count (`RAYON_NUM_THREADS=k
@@ -40,11 +53,11 @@
 //! crash-safe trace per fsync policy, recovered and verified against a
 //! from-scratch recompute) to `--durable-out` (default
 //! `BENCH_PR7_SMOKE.json`). `--out` overrides the output path (default
-//! `BENCH_PR5.json`); `--sim-max-n` raises (or lowers) the largest n the
+//! `BENCH_PR8.json`); `--sim-max-n` raises (or lowers) the largest n the
 //! full Theorem-3 simulation runs at.
 
 use cc_graph::seq::{components, same_partition};
-use cc_graph::{gen, Graph};
+use cc_graph::{gen, EdgeRunStore, Graph, Rng};
 use logdiam_cc::theorem1::{connected_components, Theorem1Params};
 use logdiam_cc::theorem2::spanning_forest;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
@@ -57,12 +70,14 @@ use std::process::Command;
 
 const SEED: u64 = 0xBEEF_CAFE;
 
-/// Default largest n the full Theorem-3 *simulation* runs at. With both
-/// the rounds and the controller live-sized (PR 5: charged LiveIndex
-/// rebuild, stamped MAXLINK, compacted postprocess), 4e6 path/grid runs
-/// finish in minutes. Overridable with `--sim-max-n`; anything larger is
-/// skipped with a log line naming the limit and the flag, never silently.
-const DEFAULT_SIM_MAX_N: usize = 4_000_000;
+/// Default largest n the full Theorem-3 *simulation* runs at. With the
+/// rounds, the controller, and the EXPAND phase state all live-sized
+/// (charged LiveIndex rebuild, stamped MAXLINK, stamped fdr/liveness),
+/// and the streaming chunked builder keeping construction memory at
+/// runs + CSR instead of 2× edge list, 1e7 path/grid runs fit and finish.
+/// Overridable with `--sim-max-n`; anything larger is skipped with a log
+/// line naming the limit and the flag, never silently.
+const DEFAULT_SIM_MAX_N: usize = 10_000_000;
 
 /// Largest n at which `theorem3_sim` is cheap enough to repeat for an
 /// honest median; above this a single rep is taken and the JSON field is
@@ -114,7 +129,7 @@ fn usage() -> ! {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
     let mut mt_out_path = "BENCH_PR6_SMOKE.json".to_string();
     let mut durable_out_path = "BENCH_PR7_SMOKE.json".to_string();
@@ -157,7 +172,7 @@ fn sizes(smoke: bool) -> Vec<usize> {
     if smoke {
         vec![3_000]
     } else {
-        vec![100_000, 1_000_000, 4_000_000]
+        vec![100_000, 1_000_000, 10_000_000]
     }
 }
 
@@ -167,7 +182,7 @@ const FAMILIES: [&str; 4] = ["path", "grid", "powerlaw", "mixture"];
 /// [`build_graph`] and dropped before the next workload, so a 1e6 graph's
 /// footprint never sits resident while an unrelated simulation runs
 /// (keeping RSS flat keeps the measurements independent). Beyond 1e6 only
-/// path and grid run — the diameter-stress shapes the 4e6 target names —
+/// path and grid run — the diameter-stress shapes the 1e7 target names —
 /// so the matrix grows where the live-work story is tested, not where
 /// graph generation dominates.
 fn workload_names(smoke: bool) -> Vec<(String, &'static str, usize)> {
@@ -224,6 +239,13 @@ struct Row {
     reps: usize,
     ms: f64,
     sim: Option<SimCost>,
+    /// Phase peak RSS (`VmHWM`, kB) — `graph_build` and `theorem3_sim`.
+    peak_rss_kb: Option<u64>,
+    /// Final CSR heap footprint — `graph_build` rows.
+    csr_bytes: Option<usize>,
+    /// Correctness flag — `builder_equivalence` rows (asserted before
+    /// emission, so a written row is always `true`).
+    verified: Option<bool>,
 }
 
 impl Row {
@@ -236,11 +258,103 @@ impl Row {
             ),
             None => String::new(),
         };
+        let peak = self
+            .peak_rss_kb
+            .map(|k| format!(",\"peak_rss_kb\":{k}"))
+            .unwrap_or_default();
+        let csr = self
+            .csr_bytes
+            .map(|b| format!(",\"csr_bytes\":{b}"))
+            .unwrap_or_default();
+        let verified = self
+            .verified
+            .map(|v| format!(",\"verified\":{v}"))
+            .unwrap_or_default();
         format!(
-            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}}}",
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}{}{}{}}}",
             self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms,
-            sim
+            sim, peak, csr, verified
         )
+    }
+}
+
+/// Reset the kernel's peak-RSS watermark (`VmHWM`) so the next
+/// [`peak_rss_kb`] read covers only the phase between the two calls.
+/// Best-effort: a kernel without `clear_refs` just yields whole-process
+/// peaks (still monotone, never under-reported).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak RSS in kB since the last [`reset_peak_rss`] (`VmHWM` from
+/// `/proc/self/status`), if the proc interface is readable.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// One child-level proof that the streaming chunked builder is
+/// bit-identical to the reference sort+dedup build: a duplicate- and
+/// self-loop-heavy pseudo-random stream goes through an [`EdgeRunStore`]
+/// with a deliberately tiny run capacity (so run sealing and the k-way
+/// parallel merge genuinely execute, at this child's thread count) and
+/// through the obvious canonicalize+sort+dedup reference; the two
+/// [`Graph`]s must compare equal (`Graph: Eq`, so edges, offsets, and
+/// adjacency all match bit-for-bit). Asserted before the row is written,
+/// so an emitted row always carries `"verified": true`.
+fn builder_equivalence_row(threads: u64) -> Row {
+    const N: usize = 50_000;
+    const PUSHES: usize = 400_000;
+    let mut rng = Rng::new(SEED ^ 0xB01D);
+    let mut stream: Vec<(u32, u32)> = Vec::with_capacity(PUSHES);
+    for _ in 0..PUSHES {
+        let u = (rng.next_u64() % N as u64) as u32;
+        // Half the pushes land in a 64-vertex hot set: heavy duplicates
+        // (both orientations) and a steady rate of self-loops.
+        let v = if rng.next_u64().is_multiple_of(2) {
+            (rng.next_u64() % 64) as u32
+        } else {
+            (rng.next_u64() % N as u64) as u32
+        };
+        stream.push((u, v));
+    }
+    let t0 = std::time::Instant::now();
+    let mut store = EdgeRunStore::with_run_capacity(Some(N as u32), 1 << 12);
+    for &(u, v) in &stream {
+        store.push(u, v);
+    }
+    let streamed = Graph::from_canonical_edges(N as u32, store.into_sorted_edges());
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut reference: Vec<(u32, u32)> = stream
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    reference.sort_unstable();
+    reference.dedup();
+    let expected = Graph::from_canonical_edges(N as u32, reference);
+    assert_eq!(
+        streamed, expected,
+        "streaming chunked builder diverged from the reference \
+         sort+dedup build at {threads} thread(s)"
+    );
+    eprintln!("bench_report: builder_equivalence verified at {threads} thread(s)");
+    Row {
+        workload: format!("dirty_stream/{N}"),
+        n: streamed.n(),
+        m: streamed.m(),
+        algorithm: "builder_equivalence",
+        threads,
+        reps: 1,
+        ms,
+        sim: None,
+        peak_rss_kb: None,
+        csr_bytes: None,
+        verified: Some(true),
     }
 }
 
@@ -280,8 +394,30 @@ fn run_child(smoke: bool, sim_max_n: usize) {
     let reps = 3;
     let stdout = std::io::stdout();
     let emit = |row: Row| writeln!(stdout.lock(), "{}", row.to_json()).unwrap();
+    emit(builder_equivalence_row(threads));
     for (name, family, size) in workload_names(smoke) {
+        // Build phase: reset the RSS watermark so `VmHWM` covers just the
+        // streaming chunked build (generator → sealed runs → merge → CSR),
+        // then check the memory contract against the finished footprint.
+        reset_peak_rss();
+        let t0 = std::time::Instant::now();
         let g = build_graph(family, size);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let build_peak = peak_rss_kb();
+        let csr_bytes = g.heap_bytes();
+        if let Some(peak) = build_peak {
+            // Only meaningful when the CSR dominates the process baseline
+            // (binary + rayon pool + allocator slack ≈ tens of MB): the
+            // 1e7 rows are the ones the contract is about.
+            if csr_bytes >= 100 * 1024 * 1024 {
+                assert!(
+                    peak.saturating_mul(1024) <= 2 * csr_bytes as u64,
+                    "streaming-build memory contract violated on {name}: \
+                     build peak RSS {peak} kB exceeds 2x the final CSR \
+                     footprint ({csr_bytes} bytes)"
+                );
+            }
+        }
         let truth = components(&g);
         let check = |labels: &[u32]| {
             assert!(
@@ -300,20 +436,33 @@ fn run_child(smoke: bool, sim_max_n: usize) {
                 reps,
                 ms,
                 sim,
+                peak_rss_kb: None,
+                csr_bytes: None,
+                verified: None,
             }
         };
+        emit(Row {
+            peak_rss_kb: build_peak,
+            csr_bytes: Some(csr_bytes),
+            ..row("graph_build", 1, build_ms, None)
+        });
         if g.n() <= sim_max_n {
             // A simulated rep is deterministic in its seed but minutes long
             // at 1e6+; repeat only where the live-work scheduler makes reps
             // cheap, and label the single-rep case honestly (see Row).
             let sim_reps = if g.n() <= SIM_MEDIAN_MAX_N { reps } else { 1 };
             let mut cost = None;
+            reset_peak_rss();
             let ms = time_ms(sim_reps, || {
                 // Identical seed per rep → identical charged cost; keep the
                 // last rep's telemetry.
                 cost = Some(faster_run(&g, &check));
             });
-            emit(row("theorem3_sim", sim_reps, ms, cost));
+            let sim_peak = peak_rss_kb();
+            emit(Row {
+                peak_rss_kb: sim_peak,
+                ..row("theorem3_sim", sim_reps, ms, cost)
+            });
         } else {
             eprintln!(
                 "bench_report: skipping theorem3_sim on {name} \
@@ -367,6 +516,9 @@ fn run_child(smoke: bool, sim_max_n: usize) {
             reps,
             ms,
             sim,
+            peak_rss_kb: None,
+            csr_bytes: None,
+            verified: None,
         };
 
         let mut cost = None;

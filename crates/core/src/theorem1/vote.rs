@@ -35,7 +35,7 @@ pub fn vote(
     });
     // Case 2 — dormant: leader with probability p_lead.
     pram.step_over(&live.verts, move |_, &u, ctx| {
-        if ctx.read(fdr, u as usize) != NULL {
+        if fdr.read(ctx, u as usize) != NULL {
             let l = ctx.coin(seed ^ 0xD0_12_34, p_lead);
             ctx.write(leader, u as usize, if l { 1 } else { 0 });
         }
@@ -47,7 +47,7 @@ pub fn vote(
         let idx = (pp as usize) / k;
         let p = (pp as usize) % k;
         let (blk, u) = owned[idx];
-        if ctx.read(fdr, u as usize) != NULL {
+        if fdr.read(ctx, u as usize) != NULL {
             return;
         }
         let v = ctx.read(tables, blk as usize * k + p);
@@ -94,7 +94,7 @@ mod tests {
             snapshot: false,
             round_cap: 24,
         };
-        let e = expand(&mut pram, &st, &params, seed, &live);
+        let e = expand(&mut pram, &st, &params, seed, &live, None);
         (pram, st, e, live)
     }
 
@@ -103,7 +103,7 @@ mod tests {
     fn fully_live_setup(g: &cc_graph::Graph, k: usize) -> (Pram, CcState, Expansion, LiveSet) {
         for seed in 0..200 {
             let (pram, st, e, live) = setup(g, k, seed);
-            if pram.slice(e.fdr).iter().all(|&x| x == NULL) {
+            if e.fdr.host_vec(&pram).iter().all(|&x| x == NULL) {
                 return (pram, st, e, live);
             }
             // machine dropped whole; no need to free handles individually
@@ -146,7 +146,7 @@ mod tests {
         // should be near p_lead.
         let g = gen::cycle(4000);
         let (mut pram, st, e, live) = setup(&g, 4, 23);
-        let fdr = pram.read_vec(e.fdr);
+        let fdr = e.fdr.host_vec(&pram);
         let dormant = fdr.iter().filter(|&&x| x != NULL).count();
         assert!(dormant > 3000, "expected mostly dormant, got {dormant}");
         let leader = pram.alloc(st.n);

@@ -36,7 +36,7 @@ use crate::live::LiveSet;
 use crate::metrics::{RoundMetrics, RunReport, StopReason};
 use crate::state::CcState;
 use crate::theorem1::{
-    expand, live_count_ongoing, vote, DensityMode, ExpandParams, Theorem1Params,
+    expand, live_count_ongoing, vote, DensityMode, ExpandParams, ExpandScratch, Theorem1Params,
 };
 use crate::vanilla::phase_cap;
 use crate::verify;
@@ -154,6 +154,9 @@ pub fn spanning_forest(
     }
 
     // ------------------------------------------------------- main loop
+    // Driver-lifetime stamped scratch for EXPAND's per-vertex arrays (see
+    // Theorem 1): one allocation, per-phase refill by generation bump.
+    let mut scratch = params.expand_stamps.then(|| ExpandScratch::new(pram, n));
     let max_phases = if params.max_phases > 0 {
         params.max_phases
     } else {
@@ -181,7 +184,7 @@ pub fn spanning_forest(
             snapshot: true, // TREE-LINK replays the rounds
             round_cap: (n.max(2) as f64).log2().ceil() as u64 + 6,
         };
-        let expansion = expand(pram, &st, &exp_params, phase_seed, &live);
+        let expansion = expand(pram, &st, &exp_params, phase_seed, &live, scratch.as_mut());
         vote(
             pram,
             &st,
@@ -194,16 +197,16 @@ pub fn spanning_forest(
         let tl = TreeLink::new(pram, n, nblocks * k);
         tree_link(pram, &st, &expansion, &tl, &live, leader, forest);
         // Lemma C.8 measurement: heights after TREE-LINK, before
-        // flattening, must stay ≤ d (host-side instrumentation, uncharged).
-        // Measured over the *live* chains: the per-phase TREE-SHORTCUT no
-        // longer flattens vertices that left the live set, so their stale
-        // frozen chains grow by a hop whenever their old root re-links —
-        // a bookkeeping artifact the lemma does not bound (the final
-        // labeling chases them host-side). The chains TREE-LINK just
-        // built run through live vertices only, which is exactly the
-        // lemma's quantity; cycles from a bad link would sit on those
-        // chains and are caught here.
-        let h = live_chain_height(pram.slice(st.parent), &live.verts);
+        // flattening, must stay ≤ d. Measured over the *live* chains: the
+        // per-phase TREE-SHORTCUT no longer flattens vertices that left
+        // the live set, so their stale frozen chains grow by a hop
+        // whenever their old root re-links — a bookkeeping artifact the
+        // lemma does not bound (the final labeling chases them
+        // host-side). The chains TREE-LINK just built run through live
+        // vertices only, which is exactly the lemma's quantity; cycles
+        // from a bad link would sit on those chains and are caught here.
+        // Charged as the PRAM would run it (see live_chain_height).
+        let h = live_chain_height(pram, st.parent, &live.verts);
         max_height_observed = max_height_observed.max(h);
         shortcut_until_flat_over(pram, st.parent, &live.verts); // TREE-SHORTCUT
         alter_over(pram, st.eu, st.ev, st.parent, &live.arcs);
@@ -268,10 +271,18 @@ pub fn spanning_forest(
             forest_edges.push(e);
         }
     }
-    debug_assert!(
-        verify::forest_heights(pram.slice(st.parent)).is_ok(),
-        "Theorem 2 produced a cyclic labeled digraph"
-    );
+    // Whole-array acyclicity audit: an O(n) host walk, so it runs only in
+    // tests and under the `strict` feature — the per-phase cycle guard is
+    // the charged live-chain walk above.
+    if cfg!(any(test, feature = "strict")) {
+        assert!(
+            verify::forest_heights(pram.slice(st.parent)).is_ok(),
+            "Theorem 2 produced a cyclic labeled digraph"
+        );
+    }
+    if let Some(s) = scratch {
+        s.free(pram);
+    }
     let labels = st.labels_rooted(pram);
     let stats = pram.stats();
     pram.free(forest);
@@ -294,22 +305,32 @@ pub fn spanning_forest(
     }
 }
 
-/// Maximum parent-chain length from any of the listed vertices (host
-/// instrumentation, uncharged). Panics if a chain exceeds `n` hops — a
-/// cycle, which only a bad TREE-LINK could create (frozen vertices never
-/// get new parents).
-fn live_chain_height(parent: &[u64], verts: &[u32]) -> u32 {
-    let mut max_h = 0u32;
-    for &v in verts {
-        let mut x = v as u64;
-        let mut h = 0u32;
-        while parent[x as usize] != x {
-            x = parent[x as usize];
-            h += 1;
-            assert!(h as usize <= parent.len(), "TREE-LINK created a cycle");
+/// Maximum parent-chain length from any of the listed vertices. Panics if
+/// a chain exceeds `n` hops — a cycle, which only a bad TREE-LINK could
+/// create (frozen vertices never get new parents).
+///
+/// Charged as the PRAM would run it: one processor per live vertex, each
+/// chasing its chain one hop per synchronous step until every chain hits
+/// its root — `|live| · max_height` work, `max_height` time. This is the
+/// Lemma C.8 measurement, so its cost scales with the live chains it
+/// measures, never with `n`.
+fn live_chain_height(pram: &mut Pram, parent: Handle, verts: &[u32]) -> u32 {
+    let max_h = {
+        let parent = pram.slice(parent);
+        let mut max_h = 0u32;
+        for &v in verts {
+            let mut x = v as u64;
+            let mut h = 0u32;
+            while parent[x as usize] != x {
+                x = parent[x as usize];
+                h += 1;
+                assert!(h as usize <= parent.len(), "TREE-LINK created a cycle");
+            }
+            max_h = max_h.max(h);
         }
-        max_h = max_h.max(h);
-    }
+        max_h
+    };
+    pram.charge(verts.len(), u64::from(max_h.max(1)));
     max_h
 }
 

@@ -1,6 +1,13 @@
 //! Graph construction with deduplication and self-loop removal.
+//!
+//! [`GraphBuilder`] is backed by the streaming [`EdgeRunStore`]: pushed
+//! edges accumulate in bounded sorted runs instead of one full unsorted
+//! list, and `build` k-way-merges the runs straight into CSR — so peak
+//! bytes during construction are ≈ (sealed runs) + (final CSR), never
+//! 2× the edge list. See [`crate::runs`] for the memory model.
 
 use crate::csr::Graph;
+use crate::runs::{merge_sorted_runs, EdgeRunStore};
 use pram_kit::PairSet;
 
 /// Seed for the incremental-merge dedup set: any fixed value keeps
@@ -56,21 +63,10 @@ impl Graph {
             return base.clone();
         }
         fresh.sort_unstable();
-        // Merge two sorted duplicate-free lists (disjoint by construction).
-        let old = base.edges();
-        let mut edges = Vec::with_capacity(old.len() + fresh.len());
-        let (mut i, mut j) = (0, 0);
-        while i < old.len() && j < fresh.len() {
-            if old[i] < fresh[j] {
-                edges.push(old[i]);
-                i += 1;
-            } else {
-                edges.push(fresh[j]);
-                j += 1;
-            }
-        }
-        edges.extend_from_slice(&old[i..]);
-        edges.extend_from_slice(&fresh[j..]);
+        // The base's canonical list and the sorted fresh list are two
+        // sorted duplicate-free runs (disjoint by construction): the same
+        // k-way merge primitive the streaming builder uses folds them.
+        let edges = merge_sorted_runs(&[base.edges(), &fresh]);
         Graph::from_canonical_edges(n, edges)
     }
 }
@@ -80,11 +76,13 @@ impl Graph {
 /// Self-loops are dropped and parallel edges collapsed, so the resulting
 /// graph is simple — the setting of the paper (self-loops would only add
 /// trivial arcs, and the algorithms treat multi-edges identically to single
-/// edges).
+/// edges). Edges stream into an [`EdgeRunStore`], so a builder never holds
+/// the full unsorted edge list; every generator in [`crate::gen`] and the
+/// text loader inherit the bounded-run memory discipline through this type.
 #[derive(Clone, Debug)]
 pub struct GraphBuilder {
     n: u32,
-    edges: Vec<(u32, u32)>,
+    store: EdgeRunStore,
 }
 
 impl GraphBuilder {
@@ -93,15 +91,16 @@ impl GraphBuilder {
         assert!(n < u32::MAX as usize, "vertex count too large");
         GraphBuilder {
             n: n as u32,
-            edges: Vec::new(),
+            store: EdgeRunStore::new(n),
         }
     }
 
-    /// Reserve capacity for `m` edges.
+    /// Start a graph on vertices `0..n`, expecting about `m` edges.
+    /// (Capacity is bounded by the run size; the hint only pre-sizes the
+    /// open buffer.)
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        let mut b = Self::new(n);
-        b.edges.reserve(m);
-        b
+        let _ = m; // runs are bounded; the store sizes its buffer lazily
+        Self::new(n)
     }
 
     /// Number of vertices.
@@ -110,24 +109,21 @@ impl GraphBuilder {
     }
 
     /// Add an undirected edge (self-loops silently dropped).
+    #[inline]
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range");
-        if u == v {
-            return;
-        }
-        self.edges.push((u.min(v), u.max(v)));
+        self.store.push(u, v);
     }
 
-    /// Current number of (not yet deduplicated) edges.
+    /// Number of loop-surviving edges pushed so far (duplicates included;
+    /// already-sealed runs may have collapsed theirs, but the count is of
+    /// pushes, matching the pre-streaming semantics).
     pub fn raw_edge_count(&self) -> usize {
-        self.edges.len()
+        self.store.pushed()
     }
 
-    /// Finish: sort, deduplicate, build CSR.
-    pub fn build(mut self) -> Graph {
-        self.edges.sort_unstable();
-        self.edges.dedup();
-        Graph::from_canonical_edges(self.n, self.edges)
+    /// Finish: merge the sealed runs and build CSR.
+    pub fn build(self) -> Graph {
+        Graph::from_canonical_edges(self.n, self.store.into_sorted_edges())
     }
 }
 

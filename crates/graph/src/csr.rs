@@ -17,25 +17,47 @@ pub struct Graph {
 }
 
 impl Graph {
-    pub(crate) fn from_canonical_edges(n: u32, edges: Vec<(u32, u32)>) -> Self {
-        // Degree count then prefix-sum fill.
-        let mut deg = vec![0u32; n as usize + 1];
+    /// Build directly from an already-canonical edge list: each undirected
+    /// edge once as `(u, v)` with `u < v < n`, sorted lexicographically,
+    /// duplicate-free — exactly what [`crate::runs::merge_sorted_runs`]
+    /// emits. This is the zero-copy back door the streaming builder and
+    /// the incremental fold use; everything else should go through
+    /// [`crate::GraphBuilder`], which canonicalizes arbitrary streams.
+    ///
+    /// The CSR fill is fused: `offsets` serves as degree counter, prefix
+    /// sum, and fill cursor in turn (restored by a right shift at the
+    /// end), so construction allocates only the two arrays the graph
+    /// keeps — no transient second copy of the offsets.
+    pub fn from_canonical_edges(n: u32, edges: Vec<(u32, u32)>) -> Self {
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edge list not sorted/deduplicated"
+        );
+        debug_assert!(
+            edges.iter().all(|&(u, v)| u < v && (v as u64) < n as u64),
+            "edge list not canonical for n={n}"
+        );
+        let mut offsets = vec![0u32; n as usize + 1];
         for &(u, v) in &edges {
-            deg[u as usize + 1] += 1;
-            deg[v as usize + 1] += 1;
+            offsets[u as usize + 1] += 1;
+            offsets[v as usize + 1] += 1;
         }
         for i in 0..n as usize {
-            deg[i + 1] += deg[i];
+            offsets[i + 1] += offsets[i];
         }
-        let offsets = deg;
-        let mut fill = offsets.clone();
         let mut adj = vec![0u32; edges.len() * 2];
+        // `offsets[v]` doubles as the fill cursor; after the loop it holds
+        // end(v) — i.e. the pre-loop offsets[v + 1].
         for &(u, v) in &edges {
-            adj[fill[u as usize] as usize] = v;
-            fill[u as usize] += 1;
-            adj[fill[v as usize] as usize] = u;
-            fill[v as usize] += 1;
+            adj[offsets[u as usize] as usize] = v;
+            offsets[u as usize] += 1;
+            adj[offsets[v as usize] as usize] = u;
+            offsets[v as usize] += 1;
         }
+        for i in (1..=n as usize).rev() {
+            offsets[i] = offsets[i - 1];
+        }
+        offsets[0] = 0;
         Graph {
             n,
             edges,
@@ -54,6 +76,17 @@ impl Graph {
     #[inline]
     pub fn m(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Heap footprint of the built graph in bytes: the canonical edge
+    /// list plus the CSR arrays (capacity, not length, so shrink bugs are
+    /// visible). This is the "final CSR footprint" the streaming builder's
+    /// peak-memory contract is stated against (see `runs` module docs and
+    /// `bench_report`'s `peak_rss_kb` rows).
+    pub fn heap_bytes(&self) -> usize {
+        self.edges.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.adj.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Average degree `2m/n` (the paper's density parameter is `m/n`).

@@ -6,8 +6,8 @@
 //! common SNAP/Konect-style exports, so real-world graphs can be fed to
 //! the experiments.
 
-use crate::builder::GraphBuilder;
 use crate::csr::Graph;
+use crate::runs::EdgeRunStore;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -38,8 +38,13 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Parse an edge list from a reader.
+///
+/// Lines stream directly into an [`EdgeRunStore`] (canonicalized,
+/// loop-dropped, buffered as bounded sorted runs), so loading never
+/// materializes the full unsorted edge list — peak memory is the sealed
+/// runs plus the final CSR, whatever the file size.
 pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut store = EdgeRunStore::unbounded();
     let mut n_hint = 0usize;
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
@@ -68,19 +73,18 @@ pub fn parse_edge_list<R: BufRead>(reader: R) -> Result<Graph, IoError> {
             }
             _ => return Err(IoError::Parse(i + 1, line.clone())),
         };
-        edges.push((u, v));
+        store.push(u, v);
     }
-    let n = edges
-        .iter()
-        .map(|&(u, v)| u.max(v) as usize + 1)
-        .max()
+    let n = store
+        .max_id()
+        .map(|m| m as usize + 1)
         .unwrap_or(0)
         .max(n_hint);
-    let mut b = GraphBuilder::with_capacity(n, edges.len());
-    for (u, v) in edges {
-        b.add_edge(u, v);
-    }
-    Ok(b.build())
+    assert!(n < u32::MAX as usize, "vertex count too large");
+    Ok(Graph::from_canonical_edges(
+        n as u32,
+        store.into_sorted_edges(),
+    ))
 }
 
 /// Read an edge-list file.

@@ -5,6 +5,10 @@
 //! * [`Graph`]: a compact undirected simple graph (CSR adjacency + canonical
 //!   edge list), built through [`GraphBuilder`] which deduplicates parallel
 //!   edges and drops self-loops.
+//! * [`runs`]: the streaming construction substrate — bounded pre-sorted
+//!   edge runs ([`EdgeRunStore`]) and a deterministic k-way parallel run
+//!   merge, so building a graph never holds the full unsorted edge list
+//!   (peak bytes ≈ sealed runs + final CSR).
 //! * [`gen`]: synthetic workload families with *controlled* parameters. The
 //!   paper's bounds are functions of `(n, m, d)` — number of vertices,
 //!   edges, and maximum component diameter — so the generators sweep those
@@ -24,10 +28,12 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod rng;
+pub mod runs;
 pub mod seq;
 pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;
 pub use rng::Rng;
+pub use runs::EdgeRunStore;
 pub use stats::GraphStats;

@@ -1,0 +1,392 @@
+//! Streaming edge-run storage and k-way parallel run merge.
+//!
+//! The pre-PR-8 construction path materialized every pushed edge in one
+//! unsorted `Vec<(u32, u32)>`, then sorted and deduplicated it in place —
+//! a transient 2× footprint (unsorted list + CSR) that was the binding
+//! memory constraint at n ≥ 1e7. This module replaces that with a
+//! *streaming* discipline:
+//!
+//! * [`EdgeRunStore`] accepts edges one at a time (canonicalizing to
+//!   `(min, max)` and dropping self-loops on the way in) into a bounded
+//!   buffer. Whenever the buffer reaches the run capacity it is *sealed*:
+//!   sorted, deduplicated, and shrunk — so the store only ever holds
+//!   sorted duplicate-free runs plus one bounded open buffer.
+//! * [`merge_sorted_runs`] turns the sealed runs into the single sorted
+//!   duplicate-free canonical edge list by a k-way merge. The key space is
+//!   partitioned into contiguous chunks (splitters sampled from the
+//!   largest run, sub-ranges located by binary search in every run) and
+//!   the chunks merge independently on the rayon pool. Because equal keys
+//!   always land in the same chunk, streamwise dedup inside a chunk is
+//!   exact, and because the output — the sorted set union of the runs —
+//!   is independent of chunk boundaries and thread count, the result is
+//!   deterministic at any `RAYON_NUM_THREADS`.
+//!
+//! Peak bytes during a build are therefore ≈ (sealed runs, which total at
+//! most the deduplicated pushed edges) + (the merged list being written),
+//! instead of (full unsorted push list) + (sorted copy). The run capacity
+//! is a host-memory knob only — it never changes the resulting graph.
+
+use rayon::prelude::*;
+
+/// Default run capacity (edges per sealed run): 2^21 edges = 16 MiB per
+/// run buffer. Large enough that sort/seal overhead is negligible, small
+/// enough that the open buffer never dominates the peak.
+pub const DEFAULT_RUN_EDGES: usize = 1 << 21;
+
+/// Environment variable overriding [`DEFAULT_RUN_EDGES`] (min 1). A host
+/// memory/perf knob for `bench_report` sweeps; the built graph is
+/// identical for every value.
+pub const RUN_EDGES_ENV: &str = "LOGDIAM_RUN_EDGES";
+
+/// Below this many total edges a chunked parallel merge is pure overhead;
+/// merge sequentially instead.
+const MIN_PARALLEL_MERGE: usize = 1 << 15;
+
+/// The run capacity currently in effect (env override or default).
+pub fn run_capacity() -> usize {
+    std::env::var(RUN_EDGES_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|v| v.max(1))
+        .unwrap_or(DEFAULT_RUN_EDGES)
+}
+
+/// Bounded-buffer store of canonicalized edges as sorted deduplicated
+/// runs. See the module docs for the memory discipline.
+#[derive(Clone, Debug)]
+pub struct EdgeRunStore {
+    /// Range bound for pushed endpoints (`None` = unbounded, track max).
+    bound: Option<u32>,
+    /// Largest endpoint seen (unbounded mode; `None` until the first push).
+    max_id: Option<u32>,
+    /// Edges per sealed run.
+    run_capacity: usize,
+    /// The open (unsorted) buffer.
+    buf: Vec<(u32, u32)>,
+    /// Sealed runs: each sorted and duplicate-free.
+    runs: Vec<Vec<(u32, u32)>>,
+    /// Loop-surviving pushes (pre-dedup), for `raw_edge_count` semantics.
+    pushed: usize,
+}
+
+impl EdgeRunStore {
+    /// Store for edges on vertices `0..n` (out-of-range pushes panic),
+    /// with the ambient run capacity ([`run_capacity`]).
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex count too large");
+        Self::with_run_capacity(Some(n as u32), run_capacity())
+    }
+
+    /// Store with no upper vertex bound: the needed vertex count is
+    /// discovered from the stream (see [`EdgeRunStore::max_id`]). Used by
+    /// the text loader, where ids precede any `# nodes:` knowledge.
+    pub fn unbounded() -> Self {
+        Self::with_run_capacity(None, run_capacity())
+    }
+
+    /// Explicit run capacity (tests and sweeps; `cap ≥ 1`).
+    pub fn with_run_capacity(bound: Option<u32>, cap: usize) -> Self {
+        let cap = cap.max(1);
+        EdgeRunStore {
+            bound,
+            max_id: None,
+            run_capacity: cap,
+            buf: Vec::new(),
+            runs: Vec::new(),
+            pushed: 0,
+        }
+    }
+
+    /// Push one undirected edge: self-loops are dropped, endpoints
+    /// canonicalized to `(min, max)`. O(1) amortized; seals a run when
+    /// the open buffer fills.
+    #[inline]
+    pub fn push(&mut self, u: u32, v: u32) {
+        if let Some(b) = self.bound {
+            assert!(u < b && v < b, "edge ({u},{v}) out of range");
+        } else {
+            let hi = u.max(v);
+            self.max_id = Some(self.max_id.map_or(hi, |m| m.max(hi)));
+        }
+        if u == v {
+            return;
+        }
+        self.pushed += 1;
+        if self.buf.capacity() == 0 {
+            // First edge: size the buffer lazily so empty stores stay free.
+            self.buf.reserve(self.run_capacity.min(1 << 10));
+        }
+        self.buf.push((u.min(v), u.max(v)));
+        if self.buf.len() >= self.run_capacity {
+            self.seal();
+        }
+    }
+
+    /// Loop-surviving pushes so far (duplicates included).
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Largest endpoint pushed in unbounded mode (`None` when bounded or
+    /// no edges yet).
+    pub fn max_id(&self) -> Option<u32> {
+        self.max_id
+    }
+
+    /// Sort + dedup the open buffer into a sealed run.
+    fn seal(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut run = std::mem::take(&mut self.buf);
+        run.sort_unstable();
+        run.dedup();
+        run.shrink_to_fit();
+        self.runs.push(run);
+    }
+
+    /// Finish: merge all runs into the sorted duplicate-free canonical
+    /// edge list.
+    pub fn into_sorted_edges(mut self) -> Vec<(u32, u32)> {
+        self.seal();
+        if self.runs.len() == 1 {
+            return self.runs.pop().unwrap();
+        }
+        let slices: Vec<&[(u32, u32)]> = self.runs.iter().map(|r| r.as_slice()).collect();
+        merge_sorted_runs(&slices)
+    }
+}
+
+/// Merge sorted duplicate-free edge runs into one sorted duplicate-free
+/// list (the set union), deduplicating across runs streamwise.
+///
+/// Deterministic for any thread count and any partition of the input into
+/// runs: the output is a pure function of the union. Parallelism comes
+/// from partitioning the *key space* (not the runs), so each chunk of the
+/// output is produced by exactly one task; equal keys cannot straddle a
+/// chunk boundary, which is what makes per-chunk dedup exact.
+pub fn merge_sorted_runs(runs: &[&[(u32, u32)]]) -> Vec<(u32, u32)> {
+    let live: Vec<&[(u32, u32)]> = runs.iter().copied().filter(|r| !r.is_empty()).collect();
+    match live.len() {
+        0 => return Vec::new(),
+        1 => return live[0].to_vec(),
+        _ => {}
+    }
+    let total: usize = live.iter().map(|r| r.len()).sum();
+    let nthreads = rayon::current_num_threads();
+    if nthreads <= 1 || total < MIN_PARALLEL_MERGE {
+        return merge_range(&live);
+    }
+
+    // Sample chunk splitters from the largest run (it holds ≥ total/k of
+    // the mass, so its quantiles balance the chunks well enough).
+    let nchunks = (nthreads * 4).min(total / (MIN_PARALLEL_MERGE / 4)).max(1);
+    let largest = live.iter().max_by_key(|r| r.len()).unwrap();
+    let mut splitters: Vec<(u32, u32)> = (1..nchunks)
+        .map(|c| largest[c * largest.len() / nchunks])
+        .collect();
+    splitters.dedup();
+
+    // cuts[r] = the nchunks+1 boundaries of run r (binary-searched once
+    // per splitter), so chunk c of run r is r[cuts[r][c]..cuts[r][c+1]].
+    let cuts: Vec<Vec<usize>> = live
+        .iter()
+        .map(|r| {
+            let mut c = Vec::with_capacity(splitters.len() + 2);
+            c.push(0);
+            for s in &splitters {
+                c.push(r.partition_point(|e| e < s));
+            }
+            c.push(r.len());
+            c
+        })
+        .collect();
+    let nchunks = splitters.len() + 1;
+
+    let parts: Vec<Vec<(u32, u32)>> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let subs: Vec<&[(u32, u32)]> = live
+                .iter()
+                .zip(&cuts)
+                .map(|(r, cut)| &r[cut[c]..cut[c + 1]])
+                .filter(|s| !s.is_empty())
+                .collect();
+            merge_range(&subs)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// Sequential k-way merge with dedup via a tournament over run heads
+/// (binary heap keyed on the head edge, ties broken by run index so the
+/// pop order is deterministic).
+fn merge_range(subs: &[&[(u32, u32)]]) -> Vec<(u32, u32)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    match subs.len() {
+        0 => return Vec::new(),
+        1 => return subs[0].to_vec(),
+        2 => return merge2(subs[0], subs[1]),
+        _ => {}
+    }
+    let mut out = Vec::with_capacity(subs.iter().map(|s| s.len()).sum());
+    let mut heap: BinaryHeap<Reverse<((u32, u32), usize)>> = subs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Reverse((s[0], i)))
+        .collect();
+    let mut cursor = vec![0usize; subs.len()];
+    while let Some(Reverse((e, i))) = heap.pop() {
+        if out.last() != Some(&e) {
+            out.push(e);
+        }
+        cursor[i] += 1;
+        if cursor[i] < subs[i].len() {
+            heap.push(Reverse((subs[i][cursor[i]], i)));
+        }
+    }
+    out
+}
+
+/// Two-way sorted merge with dedup (the common fan-in: an incremental
+/// fold merges one base list with one fresh list).
+fn merge2(a: &[(u32, u32)], b: &[(u32, u32)]) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let e = match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                let e = a[i];
+                i += 1;
+                e
+            }
+            std::cmp::Ordering::Greater => {
+                let e = b[j];
+                j += 1;
+                e
+            }
+            std::cmp::Ordering::Equal => {
+                let e = a[i];
+                i += 1;
+                j += 1;
+                e
+            }
+        };
+        out.push(e);
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn reference(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        edges.retain(|&(u, v)| u != v);
+        for e in edges.iter_mut() {
+            *e = (e.0.min(e.1), e.0.max(e.1));
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+
+    fn random_stream(n: u32, m: usize, seed: u64, loops: bool) -> Vec<(u32, u32)> {
+        let mut rng = Rng::new(seed);
+        (0..m)
+            .map(|_| {
+                let u = (rng.next_u64() % n as u64) as u32;
+                let v = if loops && rng.next_u64().is_multiple_of(4) {
+                    u
+                } else {
+                    (rng.next_u64() % n as u64) as u32
+                };
+                (u, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_matches_sort_dedup_for_every_run_size() {
+        let stream = random_stream(97, 4000, 42, true);
+        let want = reference(stream.clone());
+        for cap in [1, 7, 64, 1024, stream.len(), stream.len() * 2] {
+            let mut store = EdgeRunStore::with_run_capacity(Some(97), cap);
+            for &(u, v) in &stream {
+                store.push(u, v);
+            }
+            assert_eq!(store.into_sorted_edges(), want, "run capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_stream_collapses() {
+        let mut store = EdgeRunStore::with_run_capacity(Some(8), 3);
+        for _ in 0..100 {
+            store.push(1, 2);
+            store.push(2, 1);
+            store.push(5, 5);
+        }
+        assert_eq!(store.pushed(), 200); // loops dropped pre-count
+        assert_eq!(store.into_sorted_edges(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn unbounded_mode_tracks_max_id() {
+        let mut store = EdgeRunStore::unbounded();
+        assert_eq!(store.max_id(), None);
+        store.push(3, 9);
+        store.push(7, 7); // loop still counts for max_id
+        assert_eq!(store.max_id(), Some(9));
+        assert_eq!(store.into_sorted_edges(), vec![(3, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounded_mode_checks_range() {
+        let mut store = EdgeRunStore::with_run_capacity(Some(4), 8);
+        store.push(0, 4);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_singleton_runs() {
+        assert_eq!(merge_sorted_runs(&[]), vec![]);
+        assert_eq!(merge_sorted_runs(&[&[], &[]]), vec![]);
+        let a = [(0u32, 1u32), (2, 3)];
+        assert_eq!(merge_sorted_runs(&[&a, &[]]), a.to_vec());
+    }
+
+    #[test]
+    fn merge_many_overlapping_runs() {
+        // 5 runs with heavy overlap, exercising the heap path.
+        let runs: Vec<Vec<(u32, u32)>> = (0..5u32)
+            .map(|r| (0..50u32).map(|i| (i + r, i + r + 1)).collect())
+            .collect();
+        let slices: Vec<&[(u32, u32)]> = runs.iter().map(|r| r.as_slice()).collect();
+        let got = merge_sorted_runs(&slices);
+        let want = reference(runs.concat());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_merge_exercises_parallel_chunking() {
+        // Total above MIN_PARALLEL_MERGE so the chunked path runs when the
+        // pool has threads; the result must match the sequential reference
+        // either way.
+        let stream = random_stream(5000, 3 * MIN_PARALLEL_MERGE, 7, false);
+        let want = reference(stream.clone());
+        let mut store = EdgeRunStore::with_run_capacity(Some(5000), MIN_PARALLEL_MERGE / 2);
+        for &(u, v) in &stream {
+            store.push(u, v);
+        }
+        assert_eq!(store.into_sorted_edges(), want);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests pinning the streaming chunked builder to the canonical
+//! [`Graph::from_canonical_edges`] contract: for any stream and any run
+//! size the built graph is bit-identical to the reference sort+dedup
+//! build. Run under `RAYON_NUM_THREADS` ∈ {1, 2, 8} by the CI thread
+//! matrix — the merge output must be independent of both the run
+//! boundaries and the pool size.
+
+use cc_graph::runs::{merge_sorted_runs, EdgeRunStore};
+use cc_graph::Graph;
+use proptest::prelude::*;
+
+/// Reference semantics: canonicalize, sort, dedup on the full list.
+fn reference_graph(n: usize, stream: &[(u32, u32)]) -> Graph {
+    let mut edges: Vec<(u32, u32)> = stream
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_canonical_edges(n as u32, edges)
+}
+
+/// Build through an [`EdgeRunStore`] with an explicit run capacity.
+fn streamed_graph(n: usize, stream: &[(u32, u32)], cap: usize) -> Graph {
+    let mut store = EdgeRunStore::with_run_capacity(Some(n as u32), cap);
+    for &(u, v) in stream {
+        store.push(u, v);
+    }
+    Graph::from_canonical_edges(n as u32, store.into_sorted_edges())
+}
+
+/// An edge stream that is heavy on duplicates and self-loops: endpoints
+/// drawn from a small id range, plus every 5th pair forced into a loop.
+fn dirty_stream(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..n, 0u32..n), 0..600).prop_map(move |mut pairs| {
+        for (i, p) in pairs.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                p.1 = p.0; // self-loop
+            }
+            if i % 3 == 0 && i > 0 {
+                // force duplicates: collapse onto a small set of pairs
+                let j = (i / 2) as u32;
+                p.0 = j % n;
+                p.1 = (j / 2) % n;
+            }
+        }
+        pairs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The tentpole contract: streaming build ≡ reference build for run
+    /// sizes 1, 7, 1024 and m (single run), on duplicate- and loop-heavy
+    /// streams.
+    #[test]
+    fn streaming_build_is_bit_identical_across_run_sizes(
+        n in 2usize..80,
+        stream in dirty_stream(80),
+    ) {
+        let stream: Vec<(u32, u32)> = stream
+            .into_iter()
+            .filter(|&(u, v)| (u as usize) < n && (v as usize) < n)
+            .collect();
+        let want = reference_graph(n, &stream);
+        for cap in [1usize, 7, 1024, stream.len().max(1)] {
+            let got = streamed_graph(n, &stream, cap);
+            prop_assert_eq!(&got, &want, "run capacity {}", cap);
+        }
+    }
+
+    /// The merge primitive is a pure set union: independent of how the
+    /// input is cut into runs.
+    #[test]
+    fn merge_is_partition_invariant(
+        edges in proptest::collection::vec((0u32..200, 200u32..400), 0..300),
+        cut_a in 1usize..64,
+        cut_b in 1usize..64,
+    ) {
+        let mut all: Vec<(u32, u32)> = edges;
+        all.sort_unstable();
+        all.dedup();
+        let cut = |k: usize| -> Vec<(u32, u32)> {
+            let runs: Vec<Vec<(u32, u32)>> =
+                all.chunks(k).map(|c| c.to_vec()).collect();
+            // Each chunk of a sorted dedup'd list is itself sorted+dedup'd.
+            let slices: Vec<&[(u32, u32)]> = runs.iter().map(|r| r.as_slice()).collect();
+            merge_sorted_runs(&slices)
+        };
+        prop_assert_eq!(cut(cut_a), cut(cut_b));
+        prop_assert_eq!(cut(cut_a.max(cut_b)), all);
+    }
+}
+
+/// Deterministic large-stream check: big enough to cross the parallel
+/// chunked-merge threshold, so at `RAYON_NUM_THREADS > 1` the pool path
+/// must reproduce the reference exactly (CI runs this file at 1, 2 and 8
+/// threads).
+#[test]
+fn large_stream_crosses_parallel_threshold() {
+    let n = 20_000usize;
+    let mut rng = cc_graph::Rng::new(0xC0FFEE);
+    let stream: Vec<(u32, u32)> = (0..200_000)
+        .map(|_| {
+            (
+                (rng.next_u64() % n as u64) as u32,
+                (rng.next_u64() % n as u64) as u32,
+            )
+        })
+        .collect();
+    let want = reference_graph(n, &stream);
+    for cap in [1 << 12, 1 << 15, stream.len()] {
+        assert_eq!(streamed_graph(n, &stream, cap), want, "cap {cap}");
+    }
+}

@@ -137,6 +137,29 @@ impl<'a> Ctx<'a> {
         self.shards[shard].push(WriteRec { addr, val, prio });
     }
 
+    /// Read cell `i` of a generation-stamped block: the stored value if
+    /// its stamp is fresh, else `stale`. Charged as the 1–2 real reads it
+    /// performs (stamp probe, then value on a hit).
+    #[inline]
+    pub fn read_stamped(&mut self, s: crate::machine::Stamped, i: usize, stale: u64) -> u64 {
+        if self.read(s.stamps, i) == s.gen {
+            self.read(s.values, i)
+        } else {
+            stale
+        }
+    }
+
+    /// Write `val` into cell `i` of a generation-stamped block: the value
+    /// write plus the stamp write (2 charged writes, committed in this
+    /// step). Concurrent writers to the cell are resolved per the machine
+    /// policy on the value cell; the stamp cell receives the same
+    /// generation from every writer, so it is conflict-free in value.
+    #[inline]
+    pub fn write_stamped(&mut self, s: crate::machine::Stamped, i: usize, val: u64) {
+        self.write(s.values, i, val);
+        self.write(s.stamps, i, s.gen);
+    }
+
     /// A deterministic per-step, per-processor pseudo-random word.
     ///
     /// `tag` distinguishes multiple draws by the same processor in one step.

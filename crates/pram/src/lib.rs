@@ -66,7 +66,7 @@ pub mod resolve;
 pub mod stats;
 
 pub use ctx::Ctx;
-pub use machine::Pram;
+pub use machine::{Pram, Stamped};
 pub use mem::{Handle, NULL};
 pub use resolve::{CombineOp, WritePolicy};
 pub use stats::Stats;

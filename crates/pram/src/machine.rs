@@ -166,6 +166,48 @@ impl Pram {
         self.mem.words[b..b + len].fill(v);
     }
 
+    /// Allocate a generation-stamped block of `len` cells, logically
+    /// filled with a caller-chosen stale sentinel (see [`Stamped`]).
+    ///
+    /// The stamp cells start at 0 and the generation at 1, so nothing is
+    /// ever spuriously fresh. Both blocks are plain arena memory — two
+    /// words per logical cell.
+    pub fn alloc_stamped(&mut self, len: usize) -> Stamped {
+        Stamped {
+            values: self.mem.alloc(len, 0),
+            stamps: self.mem.alloc(len, 0),
+            gen: 1,
+        }
+    }
+
+    /// Host-side *stamped* bulk fill: logically reset every cell of `s` to
+    /// its stale sentinel by advancing the generation — O(1) host work and
+    /// zero simulated time, where [`Pram::host_fill`]/[`Pram::host_fill_range`]
+    /// memset O(len) words. This is what lets per-phase flag arrays sized
+    /// at `n` be "cleared" each phase without any O(n) pass, host or
+    /// simulated (the MAXLINK candidate stamps of `logdiam-cc` follow the
+    /// same discipline).
+    pub fn host_stamped_fill(&mut self, s: &mut Stamped) {
+        s.gen = s.gen.checked_add(1).expect("stamp generation overflow");
+    }
+
+    /// Host read of one stamped cell: the written value if fresh this
+    /// generation, else `stale` (not charged, like [`Pram::get`]).
+    #[inline]
+    pub fn get_stamped(&self, s: Stamped, i: usize, stale: u64) -> u64 {
+        if self.get(s.stamps, i) == s.gen {
+            self.get(s.values, i)
+        } else {
+            stale
+        }
+    }
+
+    /// Return a stamped block's value and stamp blocks to the arena.
+    pub fn free_stamped(&mut self, s: Stamped) {
+        self.mem.dealloc(s.values);
+        self.mem.dealloc(s.stamps);
+    }
+
     /// Host copy of `src` into the front of `dst` (`src.len() ≤ dst.len()`).
     /// Setup/bookkeeping only — callers that model a PRAM copy must charge a
     /// step themselves.
@@ -378,6 +420,32 @@ impl Pram {
     }
 }
 
+/// A generation-stamped block: `len` logical cells backed by a value
+/// block and a parallel stamp block plus a current generation.
+///
+/// A cell is *fresh* when its stamp equals the current generation; stale
+/// cells read as a caller-chosen sentinel. Advancing the generation
+/// ([`Pram::host_stamped_fill`]) is therefore a logical O(1) re-fill of
+/// the whole block — the replacement for per-phase O(len) memsets on
+/// arrays indexed by full-range vertex ids whose live subset is much
+/// smaller. Writes pay 2 simulated writes (value + stamp, same step) and
+/// reads up to 2 simulated reads; concurrent writers are resolved per
+/// cell by the machine policy exactly as for plain cells (every writer
+/// stores the same stamp, so the stamp cell is conflict-free in value).
+///
+/// The struct is `Copy` — step closures capture the generation *at step
+/// construction*, which is the intended snapshot semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct Stamped {
+    /// Value cells.
+    pub values: Handle,
+    /// Stamp cells (same length as `values`).
+    pub stamps: Handle,
+    /// Current generation (stamps equal to this are fresh); counts from 1
+    /// so zeroed stamp blocks start fully stale.
+    pub gen: u64,
+}
+
 /// Raw-pointer view of the arena used by the sharded parallel commit.
 ///
 /// Methods take `&self` so that commit closures capture the whole struct
@@ -564,6 +632,39 @@ mod tests {
         pram.fill_step(xs, 42);
         assert_eq!(pram.read_vec(xs), vec![42; 8]);
         assert_eq!(pram.stats().steps, 1);
+    }
+
+    #[test]
+    fn stamped_fill_is_a_logical_refill() {
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(2));
+        let mut s = pram.alloc_stamped(8);
+        // Fresh allocation: everything stale.
+        for i in 0..8 {
+            assert_eq!(pram.get_stamped(s, i, NULL), NULL);
+        }
+        pram.step(4, move |p, ctx| {
+            ctx.write_stamped(s, p as usize, 100 + p);
+        });
+        assert_eq!(pram.get_stamped(s, 2, NULL), 102);
+        assert_eq!(pram.get_stamped(s, 7, NULL), NULL);
+        // Reads through a step context honour staleness too.
+        let probe = pram.alloc(8);
+        pram.step(8, move |p, ctx| {
+            let v = ctx.read_stamped(s, p as usize, 7777);
+            ctx.write(probe, p as usize, v);
+        });
+        assert_eq!(pram.get(probe, 1), 101);
+        assert_eq!(pram.get(probe, 5), 7777);
+        // O(1) refill: old values become invisible without any pass.
+        pram.host_stamped_fill(&mut s);
+        for i in 0..8 {
+            assert_eq!(pram.get_stamped(s, i, NULL), NULL);
+        }
+        // Rewrite after the refill is visible again.
+        pram.step(1, move |_, ctx| ctx.write_stamped(s, 3, 9));
+        assert_eq!(pram.get_stamped(s, 3, NULL), 9);
+        pram.free_stamped(s);
+        assert_eq!(pram.stats().live_words, 8);
     }
 
     #[test]

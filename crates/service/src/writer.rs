@@ -437,6 +437,14 @@ impl Writer {
     /// The synchronous, deterministic half of a rebuild: merge the delta
     /// list into a fresh base CSR, reset the delta segment, and hand the
     /// recompute to the worker (or queue it behind an in-flight one).
+    ///
+    /// Memory: `from_csr_plus_edges` folds the base's canonical edge
+    /// list and the sorted delta as two pre-sorted runs through
+    /// `cc_graph::runs::merge_sorted_runs` — the streaming builder's
+    /// merge primitive — so the fold's transient footprint is base +
+    /// delta + merged output, never an unsorted 2× edge-list copy
+    /// (the bound `bench_report`'s `graph_build` rows pin for one-shot
+    /// builds carries over to every threshold rebuild here).
     fn fold(&mut self) {
         self.base = Arc::new(Graph::from_csr_plus_edges(&self.base, &self.delta));
         self.delta.clear();

@@ -53,12 +53,14 @@ fn assert_thread_invariant(algo: &str, family: &str, n: usize, seed: u64) {
 
 /// The simulated entry points (each drives `Pram` on a seeded-ARBITRARY
 /// machine — label determinism here also exercises the sharded commit).
-/// `theorem3_nostamp` covers the clear-based MAXLINK legacy path; the
-/// default `theorem3` covers the generation-stamped path, and the
+/// `theorem3_nostamp` covers the clear-based MAXLINK legacy path and
+/// `theorem1_nostamp` the clear-based EXPAND phase-state path; the
+/// defaults cover the generation-stamped paths, and the
 /// theorem1/theorem2/vanilla entries run their live-scheduled phases —
-/// every new PR 5 live path fingerprints identically at 1/2/8 threads.
-const SIM_ALGOS: [&str; 7] = [
+/// every live path fingerprints identically at 1/2/8 threads.
+const SIM_ALGOS: [&str; 8] = [
     "theorem1",
+    "theorem1_nostamp",
     "theorem2",
     "theorem3",
     "theorem3_nostamp",

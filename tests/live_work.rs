@@ -274,6 +274,53 @@ proptest! {
             );
         }
     }
+
+    /// Generation-stamped EXPAND phase state (`fdr` + step-3 liveness) vs
+    /// the clear-based per-phase allocations, for both phase drivers
+    /// (Theorem 1 labels, Theorem 2 forest): stamps never add or remove a
+    /// synchronous step, so under the seeded-ARBITRARY machine the two
+    /// paths are equally legal executions and the partitions must match
+    /// each other and ground truth. (Bit-exact equality under the
+    /// pid-only PRIORITY policies is pinned in `theorem1`'s unit tests.)
+    #[test]
+    fn stamped_expand_matches_clear_based_partition(
+        shape in 0usize..4,
+        size in 24usize..160,
+        seed in 0u64..500,
+    ) {
+        let g = match shape {
+            0 => gen::gnm(size, 3 * size, seed),
+            1 => gen::clique_chain(size / 6 + 2, 5),
+            2 => gen::grid(size / 8 + 2, 8),
+            _ => gen::union_all(&[gen::gnm(size / 2, size, seed), gen::path(size / 3 + 2)]),
+        };
+        let truth = components(&g);
+        let mut labels = Vec::new();
+        for stamps in [true, false] {
+            let params = Theorem1Params {
+                expand_stamps: stamps,
+                ..Default::default()
+            };
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let r = connected_components(&mut pram, &g, seed, &params);
+            prop_assert!(
+                same_partition(&truth, &r.labels),
+                "t1 expand_stamps={stamps}: wrong partition"
+            );
+            labels.push(r.labels);
+
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let f = spanning_forest(&mut pram, &g, seed, &params);
+            prop_assert!(
+                same_partition(&truth, &f.labels),
+                "t2 expand_stamps={stamps}: wrong partition"
+            );
+        }
+        prop_assert!(
+            same_partition(&labels[0], &labels[1]),
+            "stamped and clear-based Theorem-1 partitions diverge"
+        );
+    }
 }
 
 /// Dedup cadence must not change the result even when runs are compared
