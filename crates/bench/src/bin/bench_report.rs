@@ -42,7 +42,12 @@
 //! and additionally runs the **wall-clock guards**: diameter-heavy
 //! `theorem3_sim`, `theorem1_sim`, and `theorem2_sim` runs on path/2^14
 //! must each finish under a generous cap, so an O(n+m)-per-round pathology
-//! in any of the live-scheduled drivers can never silently return. Smoke
+//! in any of the live-scheduled drivers can never silently return. The
+//! theorem3 guard is then repeated with full `logdiam_obs` registry
+//! recording (spans on, per-round events, gauge bridges) and asserted to
+//! cost ≤ 5% over the plain run; that `theorem3_sim_obs` row embeds the
+//! final registry dump under `"obs"` (the `docs/obs-schema.md` object),
+//! which CI's smoke validation parses and cross-checks. Smoke
 //! mode also replays the connectivity-service smoke trace (the
 //! `svc_driver` workload, capped at 5 s and verified against a
 //! from-scratch recompute) and writes its `BENCH_PR4.json`-schema report
@@ -61,6 +66,7 @@ use cc_graph::{gen, EdgeRunStore, Graph, Rng};
 use logdiam_cc::theorem1::{connected_components, Theorem1Params};
 use logdiam_cc::theorem2::spanning_forest;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use logdiam_obs::Registry;
 use logdiam_par::{
     contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
 };
@@ -99,6 +105,13 @@ const GUARD_CAP_MS: f64 = 60_000.0;
 /// expansion tables, so it gets the same generous envelope.
 const GUARD_T1_CAP_MS: f64 = 60_000.0;
 const GUARD_T2_CAP_MS: f64 = 60_000.0;
+
+/// Absolute slack for the observability-overhead guard, milliseconds.
+/// The contract is relative (recording into a registry must cost ≤ 5% of
+/// the guard run), but 5% of a sub-second run is inside the scheduling
+/// jitter of a loaded CI container even with median-of-3 reps, so the
+/// assert allows this fixed noise floor on top.
+const OBS_GUARD_SLACK_MS: f64 = 100.0;
 
 /// Steps of the `pram_step` microworkload: each step runs n processors
 /// that read one cell and write another (with a deterministic per-step
@@ -246,6 +259,9 @@ struct Row {
     /// Correctness flag — `builder_equivalence` rows (asserted before
     /// emission, so a written row is always `true`).
     verified: Option<bool>,
+    /// Final `logdiam_obs` registry dump (the `docs/obs-schema.md` JSON
+    /// object), embedded verbatim — `theorem3_sim_obs` guard rows.
+    obs: Option<String>,
 }
 
 impl Row {
@@ -270,10 +286,15 @@ impl Row {
             .verified
             .map(|v| format!(",\"verified\":{v}"))
             .unwrap_or_default();
+        let obs = self
+            .obs
+            .as_ref()
+            .map(|o| format!(",\"obs\":{o}"))
+            .unwrap_or_default();
         format!(
-            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}{}{}{}}}",
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}{}{}{}{}}}",
             self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms,
-            sim, peak, csr, verified
+            sim, peak, csr, verified, obs
         )
     }
 }
@@ -355,6 +376,7 @@ fn builder_equivalence_row(threads: u64) -> Row {
         peak_rss_kb: None,
         csr_bytes: None,
         verified: Some(true),
+        obs: None,
     }
 }
 
@@ -439,6 +461,7 @@ fn run_child(smoke: bool, sim_max_n: usize) {
                 peak_rss_kb: None,
                 csr_bytes: None,
                 verified: None,
+                obs: None,
             }
         };
         emit(Row {
@@ -519,6 +542,7 @@ fn run_child(smoke: bool, sim_max_n: usize) {
             peak_rss_kb: None,
             csr_bytes: None,
             verified: None,
+            obs: None,
         };
 
         let mut cost = None;
@@ -531,6 +555,40 @@ fn run_child(smoke: bool, sim_max_n: usize) {
              (cap {GUARD_CAP_MS:.0} ms) — per-round cost is no longer tracking live work"
         );
         emit(guard_row("theorem3_sim", ms, cost));
+
+        // Observability-overhead guard: the same workload, re-measured
+        // with full registry recording — spans enabled, per-round events
+        // and `sim_`/`run_` gauges via `RunReport::record_into`, plus a
+        // per-round charged-work histogram. The plain guard run above is
+        // the spans-off baseline; recording must cost ≤ 5% of it (plus
+        // [`OBS_GUARD_SLACK_MS`] of scheduler noise). The row embeds the
+        // final registry dump, which CI's smoke validation parses.
+        let off_ms = ms;
+        let reg = Registry::new();
+        reg.set_spans_enabled(true);
+        let round_work = reg.histogram("sim_round_work");
+        let on_ms = time_ms(reps, || {
+            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+            let report = faster_cc(&mut pram, &g, SEED, &FasterParams::default());
+            check(&report.run.labels);
+            report.run.record_into(&reg);
+            for m in &report.run.per_round {
+                round_work.observe(m.work);
+            }
+        });
+        assert!(
+            on_ms <= off_ms * 1.05 + OBS_GUARD_SLACK_MS,
+            "observability overhead guard tripped: theorem3_sim on path/{GUARD_N} \
+             took {on_ms:.0} ms with registry recording vs {off_ms:.0} ms without \
+             (allowed: 5% + {OBS_GUARD_SLACK_MS:.0} ms slack)"
+        );
+        let dump = reg.snapshot();
+        dump.validate()
+            .expect("obs guard registry snapshot failed validation");
+        emit(Row {
+            obs: Some(dump.to_json()),
+            ..guard_row("theorem3_sim_obs", on_ms, None)
+        });
 
         let ms = time_ms(reps, || {
             let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));

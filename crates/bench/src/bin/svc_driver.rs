@@ -225,6 +225,15 @@ fn main() {
                  one batch commit ({:.1} µs)",
                 out.workload, out.rebuild_query_p99_us, out.commit_p50_us
             );
+            assert!(
+                out.pipeline_sum_ok,
+                "svc_driver --mt: {}: per-stage histograms do not explain the commit \
+                 span (stage p50 sum {:.1} µs vs span p50 {:.1} µs, coverage {:.2})",
+                out.workload,
+                out.pipeline_p50_sum_us,
+                out.commit_span_p50_us,
+                out.pipeline_coverage
+            );
             eprintln!(
                 "svc_driver --mt: [{}] enqueue p50/p99 {:.1}/{:.1} µs, commit p50/p99 \
                  {:.0}/{:.0} µs, query p50/p99 {:.1}/{:.1} µs ({} during-rebuild samples, \

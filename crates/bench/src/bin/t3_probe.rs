@@ -1,56 +1,93 @@
 //! Ad-hoc probe: per-round live/table/work telemetry of a Theorem-3 run
-//! on a path graph (straggler-tail diagnosis).
+//! on a path graph (straggler-tail diagnosis), emitted as structured
+//! telemetry events.
 //!
-//! `work` is the round's charged step work; `compact` is the charged work
-//! of the round's two live-index rebuilds (the Lemma-D.2 compaction),
-//! reported separately so the controller's own bookkeeping cost is
-//! visible. On a healthy run every column decays with the live subproblem
-//! — no column may flatline at a value scaling with n.
+//! Every record is a `logdiam_obs` event — the per-round rows come
+//! straight from [`RoundMetrics::to_event`], the summary from
+//! [`RunReport::to_event`] plus probe-specific events — printed to stdout
+//! as JSON lines (the `docs/obs-schema.md` contract; pipe into `jq` or a
+//! file). Pass `--human` for the aligned `name key=value` rendering of
+//! the *same* records on stderr; there is no second hand-rolled format.
+//!
+//! `work` is the round's charged step work; `compaction_work` the charged
+//! work of the round's two live-index rebuilds (the Lemma-D.2
+//! compaction), reported separately so the controller's own bookkeeping
+//! cost is visible. On a healthy run every column decays with the live
+//! subproblem — no column may flatline at a value scaling with n.
+//!
+//! Usage: `t3_probe [n] [--human] [--all-rounds]`
+//!
+//! [`RoundMetrics::to_event`]: logdiam_cc::metrics::RoundMetrics::to_event
+//! [`RunReport::to_event`]: logdiam_cc::metrics::RunReport::to_event
 
 use cc_graph::gen;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use logdiam_obs::{Event, Registry};
 use pram_sim::{Pram, WritePolicy};
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+    let mut n: usize = 200_000;
+    let mut human = false;
+    let mut all_rounds = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--human" => human = true,
+            "--all-rounds" => all_rounds = true,
+            other => match other.parse() {
+                Ok(v) => n = v,
+                Err(_) => {
+                    eprintln!("usage: t3_probe [n] [--human] [--all-rounds]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
     let g = gen::path(n);
     let t0 = std::time::Instant::now();
     let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(0xBEEF_CAFE));
     let r = faster_cc(&mut pram, &g, 0xBEEF_CAFE, &FasterParams::default());
-    let main_done = t0.elapsed();
+    let wall = t0.elapsed();
+
+    // Collect everything through one registry so events carry ordered
+    // sequence numbers and a common timestamp base.
+    let reg = Registry::new();
     for m in &r.run.per_round {
-        if m.round % 5 == 0 || m.round <= 3 || m.round + 3 >= r.run.rounds {
-            eprintln!(
-                "round {:3}: work {:10} compact {:9} live_arcs {:7} ongoing {:7} maxlvl {} table_words {:9} dormant {:6}",
-                m.round,
-                m.work,
-                m.compaction_work,
-                m.live_arcs,
-                m.ongoing,
-                m.max_level,
-                m.table_words,
-                m.dormant
-            );
+        // Default: the interesting prefix/suffix plus every 5th round.
+        if all_rounds || m.round % 5 == 0 || m.round <= 3 || m.round + 3 >= r.run.rounds {
+            reg.event(m.to_event());
         }
     }
-    eprintln!(
-        "rounds {} stop {:?} prepare {}",
-        r.run.rounds, r.run.stop, r.run.prepare_rounds
+    reg.event(r.run.to_event());
+    reg.event(
+        Event::new("postprocess")
+            .with("phases", r.post.rounds)
+            .with("stop", r.post.stop.as_str()),
     );
-    eprintln!("post phases {} post stop {:?}", r.post.rounds, r.post.stop);
     let main_work: u64 = r.run.per_round.iter().map(|m| m.work).sum();
     let compact_work: u64 = r.run.per_round.iter().map(|m| m.compaction_work).sum();
-    eprintln!(
-        "total work {} (rounds step {} + compaction {} + postprocess {} + startup {})",
-        r.run.stats.work,
-        main_work,
-        compact_work,
-        r.post_work,
-        r.run.stats.work - main_work - compact_work - r.post_work
+    reg.event(
+        Event::new("work_breakdown")
+            .with("total", r.run.stats.work)
+            .with("rounds_step", main_work)
+            .with("compaction", compact_work)
+            .with("postprocess", r.post_work)
+            .with(
+                "startup",
+                r.run.stats.work - main_work - compact_work - r.post_work,
+            ),
     );
-    eprintln!("table peak words {}", r.table_peak_words);
-    eprintln!("total {:?} (main+post)", main_done);
+    reg.event(
+        Event::new("probe_done")
+            .with("n", n)
+            .with("table_peak_words", r.table_peak_words)
+            .with("wall_ms", wall.as_millis() as u64),
+    );
+
+    for e in reg.drain_events() {
+        println!("{}", e.to_json_line());
+        if human {
+            eprintln!("{}", e.render_human());
+        }
+    }
 }

@@ -23,6 +23,12 @@
 //!   PR 4 synchronous batch p50 at batch = 128);
 //! * `rebuild_stall_ok` — query p99 during rebuild windows no worse than
 //!   one batch commit (pipelined rebuilds must not stall readers);
+//! * `pipeline_sum_ok` — the service registry's per-stage commit
+//!   histograms (dedup / WAL append / fsync / absorb / cross-drain /
+//!   publish) explain the writer's `svc_commit_ns` span: stage p50 sum
+//!   within 20% of the span p50, or exact sum coverage ≥ 80%. Every row
+//!   embeds the final registry dump (`obs` field, the
+//!   `docs/obs-schema.md` JSON object) so the accounting is auditable.
 //! * `verified` — final maintained partition equals a from-scratch
 //!   sequential recompute on `initial + every committed batch`.
 //!
@@ -160,8 +166,29 @@ pub struct MtOutcome {
     /// Query p99 during rebuild windows ≤ one batch commit (vacuously true
     /// when no query landed inside a rebuild window).
     pub rebuild_stall_ok: bool,
+    /// Sum of the per-commit stage p50s (`svc_dedup_ns` + WAL append +
+    /// fsync + absorb + cross-drain + publish), µs — the registry's own
+    /// account of where a median commit goes.
+    pub pipeline_p50_sum_us: f64,
+    /// The writer's `svc_commit_ns` span p50, µs (enqueue wait excluded:
+    /// the span opens after dequeue).
+    pub commit_span_p50_us: f64,
+    /// Σ stage `sum` / `svc_commit_ns` `sum` — exact fraction of total
+    /// span time the per-stage histograms explain (folds included here;
+    /// they are amortized, so they belong in the totals but not in the
+    /// median-commit p50 sum).
+    pub pipeline_coverage: f64,
+    /// The stage accounting explains the commit span: p50 sum within 20%
+    /// of the span p50, **or** coverage ≥ 80% — the p50 comparison alone
+    /// is quantized by the power-of-two histogram buckets, while the
+    /// coverage ratio is exact, so either suffices. Vacuously true when
+    /// spans are disabled (no span, nothing to explain).
+    pub pipeline_sum_ok: bool,
     /// Final partition equals a from-scratch sequential recompute.
     pub verified: bool,
+    /// The service registry's final metrics dump (the `docs/obs-schema.md`
+    /// JSON object), embedded verbatim as the row's `obs` field.
+    pub obs: String,
 }
 
 impl MtOutcome {
@@ -177,7 +204,10 @@ impl MtOutcome {
              \"query_p50_us\":{:.3},\"query_p99_us\":{:.3},\
              \"rebuild_samples\":{},\"rebuild_query_p99_us\":{:.3},\"rebuild_query_max_us\":{:.3},\
              \"rebuilds\":{},\"overlay_swaps\":{},\"components\":{},\
-             \"enqueue_ok\":{},\"rebuild_stall_ok\":{},\"verified\":{}}}",
+             \"enqueue_ok\":{},\"rebuild_stall_ok\":{},\
+             \"pipeline_p50_sum_us\":{:.3},\"commit_span_p50_us\":{:.3},\
+             \"pipeline_coverage\":{:.3},\"pipeline_sum_ok\":{},\
+             \"verified\":{},\"obs\":{}}}",
             self.workload,
             self.n,
             self.m_initial,
@@ -210,10 +240,41 @@ impl MtOutcome {
             self.components,
             self.enqueue_ok,
             self.rebuild_stall_ok,
+            self.pipeline_p50_sum_us,
+            self.commit_span_p50_us,
+            self.pipeline_coverage,
+            self.pipeline_sum_ok,
             self.verified,
+            self.obs,
         )
     }
 }
+
+/// The per-commit pipeline stages (each runs at most once per commit and
+/// is individually timed inside the writer's `svc_commit_ns` span), in
+/// commit order. `svc_fold_ns` is deliberately absent: folds hit one
+/// commit in thousands, so they belong in [`PIPELINE_TOTAL_STAGES`]'s
+/// exact sum accounting but would wreck a median-commit p50 sum.
+const PIPELINE_P50_STAGES: [&str; 6] = [
+    "svc_wal_append_ns",
+    "svc_fsync_ns",
+    "svc_dedup_ns",
+    "svc_absorb_ns",
+    "svc_cross_drain_ns",
+    "svc_snapshot_publish_ns",
+];
+
+/// Every timed sub-interval of the `svc_commit_ns` span, folds included —
+/// the denominator-exact coverage set.
+const PIPELINE_TOTAL_STAGES: [&str; 7] = [
+    "svc_wal_append_ns",
+    "svc_fsync_ns",
+    "svc_dedup_ns",
+    "svc_absorb_ns",
+    "svc_cross_drain_ns",
+    "svc_fold_ns",
+    "svc_snapshot_publish_ns",
+];
 
 /// What one writer thread brings back: caller-side latencies.
 struct WriterLog {
@@ -371,6 +432,38 @@ pub fn run_mt_trace(cfg: &MtConfig) -> MtOutcome {
     svc.flush().expect("writer died");
     let verified = same_partition(svc.latest().labels(), &components(&union));
 
+    // Commit-pipeline accounting from the service's own registry: the
+    // per-stage histograms must explain the `svc_commit_ns` span (see
+    // the field docs on [`MtOutcome`] for the two comparisons).
+    let metrics = svc.metrics();
+    metrics
+        .validate()
+        .expect("service metrics snapshot failed validation");
+    let commit_span = metrics.histograms["svc_commit_ns"].clone();
+    let pipeline_p50_sum_us = PIPELINE_P50_STAGES
+        .iter()
+        .map(|s| metrics.histograms[*s].p50())
+        .sum::<f64>()
+        / 1e3;
+    let commit_span_p50_us = commit_span.p50() / 1e3;
+    let stage_sum_ns: u64 = PIPELINE_TOTAL_STAGES
+        .iter()
+        .map(|s| metrics.histograms[*s].sum)
+        .sum();
+    let pipeline_coverage = if commit_span.sum > 0 {
+        stage_sum_ns as f64 / commit_span.sum as f64
+    } else {
+        0.0
+    };
+    let p50_ratio = if commit_span_p50_us > 0.0 {
+        pipeline_p50_sum_us / commit_span_p50_us
+    } else {
+        0.0
+    };
+    let pipeline_sum_ok = commit_span.count == 0 // spans disabled
+        || (0.8..=1.2).contains(&p50_ratio)
+        || (0.8..=1.05).contains(&pipeline_coverage);
+
     let mut enqueue_ns: Vec<u64> = writer_logs
         .iter()
         .flat_map(|l| &l.enqueue_ns)
@@ -435,7 +528,12 @@ pub fn run_mt_trace(cfg: &MtConfig) -> MtOutcome {
         components: spectrum.components,
         enqueue_ok: enqueue_p50_us < ENQUEUE_BUDGET_US,
         rebuild_stall_ok: rebuild_ns.is_empty() || rebuild_query_p99_us <= commit_p50_us,
+        pipeline_p50_sum_us,
+        commit_span_p50_us,
+        pipeline_coverage,
+        pipeline_sum_ok,
         verified,
+        obs: metrics.to_json(),
     }
 }
 
@@ -476,6 +574,12 @@ pub fn run_mt_smoke(emitter: &str, out_path: &str) -> MtOutcome {
         "svc mt smoke exceeded its wall-clock cap: {:.0} ms (cap {SMOKE_CAP_MS:.0} ms)",
         outcome.elapsed_ms
     );
+    assert!(
+        outcome.pipeline_sum_ok,
+        "svc mt smoke: per-stage histograms do not explain the commit span: \
+         stage p50 sum {:.1} µs vs span p50 {:.1} µs, coverage {:.2}",
+        outcome.pipeline_p50_sum_us, outcome.commit_span_p50_us, outcome.pipeline_coverage
+    );
     std::fs::write(
         out_path,
         mt_report_json(emitter, true, std::slice::from_ref(&outcome)),
@@ -483,8 +587,11 @@ pub fn run_mt_smoke(emitter: &str, out_path: &str) -> MtOutcome {
     .expect("cannot write svc mt smoke report");
     eprintln!(
         "svc mt smoke: OK — enqueue p50 {:.1} µs, commit p50 {:.0} µs, \
-         {:.0} queries/s alongside, wrote {out_path}",
-        outcome.enqueue_p50_us, outcome.commit_p50_us, outcome.queries_per_s
+         {:.0} queries/s alongside, pipeline coverage {:.2}, wrote {out_path}",
+        outcome.enqueue_p50_us,
+        outcome.commit_p50_us,
+        outcome.queries_per_s,
+        outcome.pipeline_coverage
     );
     outcome
 }
@@ -508,6 +615,16 @@ mod tests {
     fn contended_run_verifies_and_counts_add_up() {
         let out = run_mt_trace(&tiny());
         assert!(out.verified);
+        // The embedded registry dump is a real, self-consistent snapshot
+        // whose stage sums sit inside the commit span (1.05 allows clock
+        // granularity; the tiny scale is too noisy to pin the 0.8 floor
+        // the smoke run asserts via `pipeline_sum_ok`).
+        assert!(out.obs.contains("\"svc_commits_total\""));
+        assert!(
+            out.pipeline_coverage > 0.0 && out.pipeline_coverage <= 1.05,
+            "stage sums outside the commit span: coverage {}",
+            out.pipeline_coverage
+        );
         assert_eq!(
             out.batches,
             out.writes.div_ceil(out.batch),
@@ -529,7 +646,10 @@ mod tests {
             "rebuild_query_p99_us",
             "rebuild_stall_ok",
             "enqueue_ok",
+            "pipeline_p50_sum_us",
+            "pipeline_sum_ok",
             "verified",
+            "\"obs\":{\"counters\"",
         ] {
             assert!(row.contains(key), "missing {key} in {row}");
         }

@@ -48,6 +48,37 @@ pub struct RoundMetrics {
     pub live_arcs: usize,
 }
 
+impl StopReason {
+    /// Stable lowercase name used in telemetry (`docs/obs-schema.md`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::RoundCap => "round_cap",
+        }
+    }
+}
+
+impl RoundMetrics {
+    /// This round as one structured telemetry event named `round` — one
+    /// field per [`RoundMetrics`] field, ready for JSON-lines output or a
+    /// registry's event ring. Bridges are post-run (reports are built
+    /// first, exported after), so telemetry adds nothing to the charged
+    /// simulated work.
+    pub fn to_event(&self) -> logdiam_obs::Event {
+        logdiam_obs::Event::new("round")
+            .with("round", self.round)
+            .with("roots", self.roots)
+            .with("ongoing", self.ongoing)
+            .with("max_level", self.max_level)
+            .with("dormant", self.dormant)
+            .with("table_words", self.table_words)
+            .with("expand_rounds", self.expand_rounds)
+            .with("work", self.work)
+            .with("compaction_work", self.compaction_work)
+            .with("live_arcs", self.live_arcs)
+    }
+}
+
 /// Full report of one algorithm run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -88,6 +119,47 @@ impl RunReport {
             .max()
             .unwrap_or(0)
     }
+
+    /// Summary event named `run_report`: the aggregate fields (rounds,
+    /// stop reason, peaks) plus the machine stats, flattened.
+    pub fn to_event(&self) -> logdiam_obs::Event {
+        logdiam_obs::Event::new("run_report")
+            .with("rounds", self.rounds)
+            .with("prepare_rounds", self.prepare_rounds)
+            .with("stop", self.stop.as_str())
+            .with("max_level", self.max_level())
+            .with("total_expand_rounds", self.total_expand_rounds())
+            .with("peak_table_words", self.peak_table_words())
+            .with("sim_steps", self.stats.steps)
+            .with("sim_work", self.stats.work)
+            .with("sim_max_procs", self.stats.max_procs)
+            .with("sim_peak_words", self.stats.peak_words)
+            .with("host_threads", self.stats.host_threads)
+    }
+
+    /// Export the whole run into `registry`: aggregate gauges (prefixed
+    /// `run_`), the machine stats ([`Stats::record_into`] under `sim_`),
+    /// a `run_report` summary event, and one `round` event per recorded
+    /// round. Post-run and read-only — it cannot perturb the run it
+    /// describes.
+    pub fn record_into(&self, registry: &logdiam_obs::Registry) {
+        let reg = registry;
+        reg.gauge("run_rounds").set(self.rounds as i64);
+        reg.gauge("run_prepare_rounds")
+            .set(self.prepare_rounds as i64);
+        reg.gauge("run_max_level").set(self.max_level() as i64);
+        reg.gauge("run_peak_table_words")
+            .set(self.peak_table_words() as i64);
+        reg.counter("runs_total").inc();
+        if self.stop == StopReason::RoundCap {
+            reg.counter("round_cap_hits_total").inc();
+        }
+        self.stats.record_into(reg, "sim");
+        for r in &self.per_round {
+            reg.event(r.to_event());
+        }
+        reg.event(self.to_event());
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +194,23 @@ mod tests {
         assert_eq!(report.max_level(), 3);
         assert_eq!(report.total_expand_rounds(), 7);
         assert_eq!(report.peak_table_words(), 10);
+
+        let reg = logdiam_obs::Registry::new();
+        report.record_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["run_rounds"], 2);
+        assert_eq!(snap.gauges["run_max_level"], 3);
+        assert_eq!(snap.counters["runs_total"], 1);
+        assert!(!snap.counters.contains_key("round_cap_hits_total"));
+        let events = reg.drain_events();
+        // One event per round plus the run_report summary.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "round");
+        assert_eq!(events[2].name, "run_report");
+        assert_eq!(
+            events[2].field("stop"),
+            Some(&logdiam_obs::Value::Str("converged".into()))
+        );
+        assert!(events[0].to_json_line().contains("\"expand_rounds\":3"));
     }
 }

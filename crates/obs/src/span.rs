@@ -1,0 +1,147 @@
+//! Scoped span timers: enter on creation, record on drop.
+
+use crate::event::{Event, EventKind};
+use crate::{Histogram, Registry};
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// Current span nesting depth on this thread (0 = no open span).
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A scoped timer created by [`Registry::span`] / [`crate::span!`].
+///
+/// On drop, an enabled span observes its wall-clock duration
+/// (nanoseconds) into the histogram of the same name and appends a
+/// [`EventKind::Span`] event — carrying the duration, the nesting depth
+/// at entry, and any [`with`](Span::with) fields — to the registry's
+/// bounded ring. Spans nest freely (depth is tracked per thread).
+///
+/// A span from a registry with spans disabled is inert: no clock read,
+/// no histogram, no event — one relaxed load is the entire cost.
+#[must_use = "a span records when it drops; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when disabled.
+    armed: Option<SpanArmed>,
+}
+
+#[derive(Debug)]
+struct SpanArmed {
+    registry: Registry,
+    name: &'static str,
+    hist: Histogram,
+    start: Instant,
+    depth: u32,
+    fields: Vec<(&'static str, crate::Value)>,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Self {
+        Span { armed: None }
+    }
+
+    pub(crate) fn enabled(registry: Registry, name: &'static str, hist: Histogram) -> Self {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get() + 1;
+            d.set(depth);
+            depth
+        });
+        Span {
+            armed: Some(SpanArmed {
+                registry,
+                name,
+                hist,
+                start: Instant::now(),
+                depth,
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a field to the span's exit event (builder style; a no-op
+    /// on a disabled span).
+    pub fn with(mut self, key: &'static str, value: impl Into<crate::Value>) -> Self {
+        if let Some(armed) = self.armed.as_mut() {
+            armed.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Whether this span is recording (false when the registry had spans
+    /// disabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.armed.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(armed) = self.armed.take() else {
+            return;
+        };
+        let dur = armed.start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        armed.hist.observe_duration(dur);
+        armed.registry.event(Event {
+            seq: 0,
+            ts_us: 0,
+            name: armed.name,
+            kind: EventKind::Span {
+                dur_ns: dur.as_nanos() as u64,
+                depth: armed.depth,
+            },
+            fields: armed.fields,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_unwinds_even_when_spans_interleave_with_disabled_ones() {
+        let reg = Registry::new();
+        reg.set_spans_enabled(true);
+        {
+            let a = reg.span("a");
+            assert!(a.is_recording());
+            reg.set_spans_enabled(false);
+            let b = reg.span("b"); // disabled mid-flight: inert
+            assert!(!b.is_recording());
+            reg.set_spans_enabled(true);
+            let _c = reg.span("c");
+        }
+        let events = reg.drain_events();
+        let depths: Vec<u32> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Span { depth, .. } => depth,
+                _ => 0,
+            })
+            .collect();
+        // c closes first at depth 2 (b never counted), then a at 1.
+        assert_eq!(depths, vec![2, 1]);
+        // Depth fully unwound: a fresh span is depth 1 again.
+        {
+            let _d = reg.span("d");
+        }
+        let events = reg.drain_events();
+        assert!(matches!(events[0].kind, EventKind::Span { depth: 1, .. }));
+    }
+
+    #[test]
+    fn span_duration_lands_in_histogram_nanoseconds() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("sleepy");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = reg.snapshot();
+        let h = &s.histograms["sleepy"];
+        assert_eq!(h.count, 1);
+        assert!(h.max >= 2_000_000, "2 ms must be ≥ 2e6 ns, got {}", h.max);
+    }
+}

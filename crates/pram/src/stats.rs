@@ -57,6 +57,49 @@ impl Stats {
         self.max_procs = self.max_procs.max(nprocs);
     }
 
+    /// All fields as `(name, value)` pairs, in declaration order — the
+    /// single source for both observability bridges below.
+    fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("steps", self.steps),
+            ("step_calls", self.step_calls),
+            ("work", self.work),
+            ("max_procs", self.max_procs),
+            ("reads", self.reads),
+            ("writes", self.writes),
+            ("max_ops_per_proc", self.max_ops_per_proc),
+            ("live_words", self.live_words),
+            ("peak_words", self.peak_words),
+            ("write_conflicts", self.write_conflicts),
+            ("host_threads", self.host_threads),
+        ]
+    }
+
+    /// Export the totals into `registry` as gauges named
+    /// `{prefix}_{field}` (e.g. `sim_steps`). Gauges, not counters: a
+    /// `Stats` is a finished run's absolute accounting, not a delta, and
+    /// re-recording the same run must not double-count.
+    ///
+    /// Metric names are interned via [`logdiam_obs::Registry::intern`],
+    /// so this is an end-of-run export, not a per-step hot path.
+    pub fn record_into(&self, registry: &logdiam_obs::Registry, prefix: &str) {
+        for (name, v) in self.fields() {
+            let metric = logdiam_obs::Registry::intern(&format!("{prefix}_{name}"));
+            registry.gauge(metric).set(v as i64);
+        }
+    }
+
+    /// The same totals as one structured telemetry event named
+    /// `pram_stats` (one field per [`Stats`] field), ready for a
+    /// registry's event ring or direct JSON-lines output.
+    pub fn to_event(&self) -> logdiam_obs::Event {
+        let mut e = logdiam_obs::Event::new("pram_stats");
+        for (name, v) in self.fields() {
+            e = e.with(name, v);
+        }
+        e
+    }
+
     /// Pretty one-line summary, used by the experiment harness.
     pub fn summary(&self) -> String {
         format!(
@@ -95,5 +138,40 @@ mod tests {
             ..Default::default()
         };
         assert!(s.summary().contains("steps=7"));
+    }
+
+    #[test]
+    fn record_into_exports_every_field_as_prefixed_gauge() {
+        let s = Stats {
+            steps: 7,
+            work: 40,
+            peak_words: 99,
+            ..Default::default()
+        };
+        let reg = logdiam_obs::Registry::new();
+        s.record_into(&reg, "sim");
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["sim_steps"], 7);
+        assert_eq!(snap.gauges["sim_work"], 40);
+        assert_eq!(snap.gauges["sim_peak_words"], 99);
+        assert_eq!(snap.gauges.len(), 11, "one gauge per Stats field");
+        // Re-recording the same run is idempotent (gauges, not counters).
+        s.record_into(&reg, "sim");
+        assert_eq!(reg.snapshot().gauges["sim_steps"], 7);
+    }
+
+    #[test]
+    fn to_event_carries_all_fields() {
+        let s = Stats {
+            steps: 3,
+            host_threads: 2,
+            ..Default::default()
+        };
+        let e = s.to_event();
+        assert_eq!(e.name, "pram_stats");
+        assert_eq!(e.fields.len(), 11);
+        assert_eq!(e.field("steps"), Some(&logdiam_obs::Value::U64(3)));
+        assert_eq!(e.field("host_threads"), Some(&logdiam_obs::Value::U64(2)));
+        assert!(e.to_json_line().contains("\"steps\":3"));
     }
 }

@@ -82,6 +82,12 @@ pub use service::ConnectivityService;
 pub use snapshot::{Snapshot, Spectrum};
 pub use ticket::EpochTicket;
 
+/// The workspace observability layer, re-exported so service callers can
+/// name [`obs::MetricsSnapshot`] / [`obs::Registry`] (returned by
+/// [`ConnectivityService::metrics`] / [`ConnectivityService::obs`])
+/// without a separate dependency.
+pub use logdiam_obs as obs;
+
 /// An undirected edge request: endpoints in either order, self-loops
 /// tolerated (and dropped).
 pub type Edge = (u32, u32);

@@ -120,7 +120,7 @@ impl ConnectivityService {
         assert!(params.snapshots_kept > 0, "snapshots_kept must be ≥ 1");
         let n = seed.base.n();
         let published: Arc<Ring> = Arc::new(RwLock::new(VecDeque::new()));
-        let stats = Arc::new(SharedStats::default());
+        let stats = Arc::new(SharedStats::new());
         let mut writer_state = Writer::start(seed, params, published.clone(), stats.clone());
         writer_state.replay(replay);
         let (tx, rx) = mpsc::sync_channel(params.command_queue);
@@ -191,6 +191,7 @@ impl ConnectivityService {
         self.send(Cmd::Apply {
             edges,
             ticket: cell.clone(),
+            enqueued: std::time::Instant::now(),
         });
         EpochTicket::new(cell)
     }
@@ -242,7 +243,33 @@ impl ConnectivityService {
     /// Background recomputes whose labelings were swapped into the
     /// overlay so far (observability only, timing-dependent).
     pub fn overlay_swaps(&self) -> u64 {
-        self.stats.overlay_swaps.load(Ordering::Relaxed)
+        self.stats.overlay_swaps.get()
+    }
+
+    /// Background recomputes discarded because their base was re-folded
+    /// while they ran (observability only, timing-dependent).
+    pub fn stale_rebuilds(&self) -> u64 {
+        self.stats.stale_rebuilds.get()
+    }
+
+    /// The service's observability registry: commit-pipeline span
+    /// histograms, WAL counters, and the structured event ring (e.g.
+    /// `stale_rebuild`, `replay_progress`). Metric names and the event
+    /// schema are the contract in `docs/obs-schema.md`. Everything here
+    /// is host-timing telemetry — never part of the deterministic
+    /// per-epoch surface.
+    pub fn obs(&self) -> &logdiam_obs::Registry {
+        &self.stats.obs
+    }
+
+    /// A point-in-time [`MetricsSnapshot`](logdiam_obs::MetricsSnapshot)
+    /// of the service's registry: mergeable, self-validating, exportable
+    /// as JSON or Prometheus text. After any committed batch the
+    /// commit-pipeline histograms (`svc_absorb_ns`,
+    /// `svc_snapshot_publish_ns`, and for durable services
+    /// `svc_wal_append_ns` / `svc_fsync_ns`) are populated.
+    pub fn metrics(&self) -> logdiam_obs::MetricsSnapshot {
+        self.stats.obs.snapshot()
     }
 
     /// The latest published snapshot.
@@ -540,6 +567,38 @@ mod tests {
         };
         assert_eq!(mk(), (2, 2));
         assert_eq!(mk(), (2, 2));
+    }
+
+    #[test]
+    fn metrics_populate_commit_pipeline_histograms_and_events() {
+        let svc = svc(GraphBuilder::new(16).build(), 4);
+        for i in 0..8u32 {
+            svc.apply_batch(&[(i, i + 8)]).wait().unwrap();
+        }
+        let m = svc.metrics();
+        m.validate().unwrap();
+        assert_eq!(m.counters["svc_commits_total"], 8);
+        assert_eq!(m.histograms["svc_dedup_ns"].count, 8);
+        assert_eq!(m.histograms["svc_absorb_ns"].count, 8);
+        assert_eq!(m.histograms["svc_cross_drain_ns"].count, 8);
+        assert_eq!(m.histograms["svc_snapshot_publish_ns"].count, 8);
+        assert_eq!(m.histograms["svc_enqueue_wait_ns"].count, 8);
+        // 8 distinct edges at threshold 4 → two folds, each counted and
+        // span-timed.
+        assert_eq!(m.counters["svc_folds_total"], 2);
+        assert_eq!(m.histograms["svc_fold_ns"].count, 2);
+        // The commit span also landed in the event ring.
+        let events = svc.obs().drain_events();
+        assert!(events.iter().any(|e| e.name == "svc_commit_ns"));
+        // Memory-only service: the WAL counters exist (pre-registered,
+        // schema-stable) but never move.
+        assert_eq!(m.counters["svc_wal_records_total"], 0);
+        assert_eq!(m.histograms["svc_wal_append_ns"].count, 0);
+        // Exporters work end-to-end on a live service snapshot.
+        assert!(m.to_json().contains("\"svc_commits_total\":8"));
+        assert!(m
+            .to_prometheus()
+            .contains("# TYPE svc_commits_total counter"));
     }
 
     #[test]

@@ -80,7 +80,37 @@ impl ShardedOverlay {
         if edges.is_empty() {
             return 0;
         }
-        let mut cross = 0u64;
+        self.partition(edges);
+        self.absorb_intra();
+        self.drain_cross()
+    }
+
+    /// Same semantics as [`absorb`](ShardedOverlay::absorb), but each
+    /// stage is timed into the given histograms (nanoseconds) — the
+    /// writer's instrumented commit path. The timing is host-side only;
+    /// the union schedule is identical to the untimed path.
+    pub(crate) fn absorb_timed(
+        &mut self,
+        edges: &[(u32, u32)],
+        intra_ns: &logdiam_obs::Histogram,
+        drain_ns: &logdiam_obs::Histogram,
+    ) -> u64 {
+        if edges.is_empty() {
+            return 0;
+        }
+        self.partition(edges);
+        let t = std::time::Instant::now();
+        self.absorb_intra();
+        intra_ns.observe_duration(t.elapsed());
+        let t = std::time::Instant::now();
+        let cross = self.drain_cross();
+        drain_ns.observe_duration(t.elapsed());
+        cross
+    }
+
+    /// Bucket a batch by shard: intra-shard edges per shard, cross-shard
+    /// edges on the shard of their smaller endpoint.
+    fn partition(&mut self, edges: &[(u32, u32)]) {
         for &(u, v) in edges {
             let (su, sv) = (self.shard_of(u), self.shard_of(v));
             if su == sv {
@@ -89,12 +119,20 @@ impl ShardedOverlay {
                 self.pending[su.min(sv)].push((u, v));
             }
         }
+    }
+
+    /// Parallel intra-shard absorption: one pool task per shard.
+    fn absorb_intra(&mut self) {
         self.uf.absorb_sharded(&self.intra);
         for bucket in &mut self.intra {
             bucket.clear();
         }
-        // The charged cross-shard pass: one drain per commit, sequential
-        // and in deterministic (shard-major, arrival-order) order.
+    }
+
+    /// The charged cross-shard pass: one drain per commit, sequential
+    /// and in deterministic (shard-major, arrival-order) order.
+    fn drain_cross(&mut self) -> u64 {
+        let mut cross = 0u64;
         for bucket in &mut self.pending {
             cross += bucket.len() as u64;
             self.uf.absorb_seq(bucket);
@@ -165,6 +203,25 @@ mod tests {
         ov.absorb(&[(0, 1), (1, 6), (6, 7)]);
         assert_eq!(ov.cross_unions(), 1);
         assert_eq!(ov.labels(), vec![0, 0, 2, 3, 4, 5, 0, 0]);
+    }
+
+    #[test]
+    fn absorb_timed_matches_absorb_and_records_both_stages() {
+        let g = gen::gnm(200, 500, 11);
+        let mut plain = ShardedOverlay::new(g.n(), 4);
+        let mut timed = ShardedOverlay::new(g.n(), 4);
+        let intra = logdiam_obs::Histogram::default();
+        let drain = logdiam_obs::Histogram::default();
+        let mut chunks = 0u64;
+        for chunk in g.edges().chunks(41) {
+            let a = plain.absorb(chunk);
+            let b = timed.absorb_timed(chunk, &intra, &drain);
+            assert_eq!(a, b);
+            chunks += 1;
+        }
+        assert_eq!(plain.labels(), timed.labels());
+        assert_eq!(intra.count(), chunks, "one intra timing per batch");
+        assert_eq!(drain.count(), chunks, "one drain timing per batch");
     }
 
     #[test]

@@ -39,13 +39,15 @@ use crate::ticket::TicketCell;
 use crate::wal::{Wal, WalRecord};
 use crate::{Edge, Epoch, FsyncPolicy, RebuildBackend, Snapshot, SvcParams, WriterDead};
 use cc_graph::Graph;
+use logdiam_obs::{Counter, Event, Histogram, Registry};
 use logdiam_par::UnionFind;
 use pram_kit::PairSet;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Seed for the delta dedup set; fixed so replays are deterministic.
 const DELTA_DEDUP_SEED: u64 = 0xD317_A5E7;
@@ -62,6 +64,10 @@ pub(crate) enum Cmd {
         edges: Vec<Edge>,
         /// Fulfilled with the assigned epoch after the snapshot publishes.
         ticket: Arc<TicketCell>,
+        /// When the handle enqueued the command — the writer observes the
+        /// dequeue delay into `svc_enqueue_wait_ns` (queueing is the first
+        /// stage of the commit pipeline).
+        enqueued: Instant,
     },
     /// Rendezvous: reply once every previously enqueued command committed.
     /// A dead writer drops the sender instead, which the handle maps to
@@ -72,23 +78,63 @@ pub(crate) enum Cmd {
     Crash,
 }
 
-/// Non-deterministic observability counters shared with the handles.
-/// Deliberately *not* part of [`Snapshot`]/[`Spectrum`](crate::Spectrum):
-/// everything here depends on rebuild-worker timing, which the
-/// deterministic surface must not.
-#[derive(Debug, Default)]
+/// Writer state shared with the handles: the observability registry plus
+/// the two pieces of *load-bearing* synchronization that are **not**
+/// metrics. Deliberately *not* part of
+/// [`Snapshot`]/[`Spectrum`](crate::Spectrum): everything here depends on
+/// rebuild-worker timing, which the deterministic surface must not.
+///
+/// # Memory-ordering contract (the one place it is documented)
+///
+/// Everything recorded through [`SharedStats::obs`] — counters,
+/// histograms, span timings — uses **relaxed** atomics and is
+/// *approximate in ordering, exact in total*: a reader may see a commit's
+/// counter bump before its histogram observation (or vice versa), but no
+/// increment is ever lost. Nothing may synchronize-with a metric, and no
+/// algorithm reads one back.
+///
+/// [`rebuild_in_flight`](SharedStats::rebuild_in_flight) is the
+/// deliberate exception: it is **Acquire/Release and load-bearing**, not
+/// a metric. The writer `store(true, Release)`s it after handing a fold
+/// to the rebuild worker and `store(false, Release)`s it only once the
+/// pipeline is empty, so a handle that observes `false` with `Acquire`
+/// sees every overlay swap that made it false. Tests (and callers such as
+/// drain loops) rely on exactly that edge; do not demote it to Relaxed.
+///
+/// [`dead`](SharedStats::dead) is a mutex for the same reason: the first
+/// panic's payload must be published once, fully formed, to every handle.
 pub(crate) struct SharedStats {
+    // --- Load-bearing synchronization (NOT metrics; see above) ---
     /// True between a fold being sent to the rebuild worker and its
-    /// (or a successor's) labeling being swapped in.
+    /// (or a successor's) labeling being swapped in. Acquire/Release.
     pub(crate) rebuild_in_flight: AtomicBool,
-    /// Background recomputes whose labelings were swapped in.
-    pub(crate) overlay_swaps: AtomicU64,
-    /// Background recomputes discarded because their base was re-folded
-    /// while they ran.
-    pub(crate) stale_rebuilds: AtomicU64,
     /// Set (once) when the writer thread dies; handles fast-fail new
     /// batches against it and `flush` reports it.
     pub(crate) dead: Mutex<Option<WriterDead>>,
+    // --- Relaxed, approximate observability ---
+    /// The service's metrics registry: every commit-pipeline span,
+    /// counter, and event lands here. Exposed as
+    /// [`ConnectivityService::obs`](crate::ConnectivityService::obs).
+    pub(crate) obs: Registry,
+    /// Background recomputes whose labelings were swapped in
+    /// (`svc_overlay_swaps_total`).
+    pub(crate) overlay_swaps: Counter,
+    /// Background recomputes discarded because their base was re-folded
+    /// while they ran (`svc_stale_rebuilds_total`).
+    pub(crate) stale_rebuilds: Counter,
+}
+
+impl SharedStats {
+    pub(crate) fn new() -> Self {
+        let obs = Registry::new();
+        SharedStats {
+            rebuild_in_flight: AtomicBool::new(false),
+            dead: Mutex::new(None),
+            overlay_swaps: obs.counter("svc_overlay_swaps_total"),
+            stale_rebuilds: obs.counter("svc_stale_rebuilds_total"),
+            obs,
+        }
+    }
 }
 
 /// A fold shipped to the rebuild worker: the new base CSR and the fold
@@ -98,10 +144,68 @@ struct RebuildJob {
     base: Arc<Graph>,
 }
 
-/// The worker's reply: the recomputed labeling for `generation`'s base.
+/// The worker's reply: the recomputed labeling for `generation`'s base,
+/// plus how long the backend took (observed into `svc_recompute_ns` by
+/// the writer — the worker has no registry handle of its own).
 struct RebuildDone {
     generation: u64,
     labels: Vec<u32>,
+    recompute: std::time::Duration,
+}
+
+/// Pre-registered registry handles for the writer's hot path, so a commit
+/// never takes the registry's name-map lock. Histogram names double as
+/// span names (a span records into the histogram of the same name); the
+/// full catalogue is `docs/obs-schema.md`.
+struct ObsHandles {
+    enqueue_wait_ns: Histogram,
+    dedup_ns: Histogram,
+    absorb_intra_ns: Histogram,
+    cross_drain_ns: Histogram,
+    snapshot_publish_ns: Histogram,
+    recompute_ns: Histogram,
+    commits: Counter,
+    folds: Counter,
+    cross_unions: Counter,
+    wal_bytes: Counter,
+    wal_records: Counter,
+    wal_fsyncs: Counter,
+    durable_snapshots: Counter,
+    replayed_records: Counter,
+}
+
+impl ObsHandles {
+    fn new(reg: &Registry) -> Self {
+        // Pre-register the span-backed histograms too (spans look them up
+        // on use), so every service exposes the full metric catalogue of
+        // `docs/obs-schema.md` from epoch 0 — zeros, not missing keys.
+        for span_hist in [
+            "svc_commit_ns",
+            "svc_wal_append_ns",
+            "svc_fsync_ns",
+            "svc_fold_ns",
+            "svc_swap_ns",
+            "svc_durable_snapshot_ns",
+        ] {
+            let _ = reg.histogram(span_hist);
+        }
+        ObsHandles {
+            enqueue_wait_ns: reg.histogram("svc_enqueue_wait_ns"),
+            dedup_ns: reg.histogram("svc_dedup_ns"),
+            absorb_intra_ns: reg.histogram("svc_absorb_ns"),
+            cross_drain_ns: reg.histogram("svc_cross_drain_ns"),
+            snapshot_publish_ns: reg.histogram("svc_snapshot_publish_ns"),
+            recompute_ns: reg.histogram("svc_recompute_ns"),
+            commits: reg.counter("svc_commits_total"),
+            folds: reg.counter("svc_folds_total"),
+            cross_unions: reg.counter("svc_cross_unions_total"),
+            wal_bytes: reg.counter("svc_wal_bytes_total"),
+            wal_records: reg.counter("svc_wal_records_total"),
+            wal_fsyncs: reg.counter("svc_wal_fsyncs_total"),
+            durable_snapshots: reg.counter("svc_durable_snapshots_total"),
+            replayed_records: reg.counter("svc_replayed_records_total"),
+        }
+    }
 }
 
 /// The durable half of the writer state: the open WAL plus snapshot
@@ -178,6 +282,8 @@ pub(crate) struct Writer {
     queued: Option<RebuildJob>,
     /// Durable WAL + snapshot state; `None` for memory-only services.
     durable: Option<Durable>,
+    /// Pre-registered handles into `stats.obs` for the commit path.
+    obs: ObsHandles,
 }
 
 impl Writer {
@@ -223,7 +329,9 @@ impl Writer {
             .name("logdiam-svc-rebuild".into())
             .spawn(move || rebuild_worker(job_rx, done_tx, backend))
             .expect("cannot spawn rebuild worker");
+        let obs = ObsHandles::new(&stats.obs);
         Writer {
+            obs,
             seen,
             params,
             base,
@@ -249,9 +357,23 @@ impl Writer {
     /// replayed, one consolidating snapshot is installed at the end so the
     /// next crash does not replay the same tail again.
     pub(crate) fn replay(&mut self, records: &[WalRecord]) {
-        for rec in records {
+        /// Progress cadence: one `replay_progress` event per this many
+        /// records (plus one final event), so a long recovery is visible
+        /// without flooding the ring.
+        const PROGRESS_EVERY: usize = 256;
+        let total = records.len();
+        for (i, rec) in records.iter().enumerate() {
             debug_assert_eq!(rec.epoch, self.epoch + 1, "replay records not dense");
             self.commit(&rec.edges);
+            self.obs.replayed_records.inc();
+            if (i + 1) % PROGRESS_EVERY == 0 || i + 1 == total {
+                self.stats.obs.event(
+                    Event::new("replay_progress")
+                        .with("replayed", i + 1)
+                        .with("total", total)
+                        .with("epoch", self.epoch),
+                );
+            }
         }
         if !records.is_empty() {
             self.snapshot_now();
@@ -279,15 +401,23 @@ impl Writer {
         let mut state = Some(self);
         while let Ok(cmd) = rx.recv() {
             match cmd {
-                Cmd::Apply { edges, ticket } => match state.take() {
+                Cmd::Apply {
+                    edges,
+                    ticket,
+                    enqueued,
+                } => match state.take() {
                     Some(w) => {
                         let commit = catch_unwind(AssertUnwindSafe(move || {
                             let mut w = w;
+                            w.obs.enqueue_wait_ns.observe_duration(enqueued.elapsed());
                             w.poll_rebuild();
+                            let span =
+                                logdiam_obs::span!(w.stats.obs, "svc_commit_ns", m = edges.len());
                             // Durability first: the batch must be in the
                             // log before any state reflects it.
                             w.wal_append(&edges);
                             let epoch = w.commit(&edges);
+                            drop(span.with("epoch", epoch));
                             w.maybe_snapshot();
                             (w, epoch)
                         }));
@@ -351,18 +481,26 @@ impl Writer {
         let Some(d) = self.durable.as_mut() else {
             return;
         };
-        d.wal
-            .append(self.epoch + 1, edges)
-            .unwrap_or_else(|e| panic!("WAL append failed: {e}"));
+        {
+            let _append = self.stats.obs.span("svc_wal_append_ns");
+            let before = d.wal.len();
+            d.wal
+                .append(self.epoch + 1, edges)
+                .unwrap_or_else(|e| panic!("WAL append failed: {e}"));
+            self.obs.wal_bytes.add(d.wal.len() - before);
+            self.obs.wal_records.inc();
+        }
         let sync_now = match self.params.fsync {
             FsyncPolicy::Always => true,
             FsyncPolicy::Batch(every) => d.wal.unsynced() >= every,
             FsyncPolicy::Off => false,
         };
         if sync_now {
+            let _fsync = self.stats.obs.span("svc_fsync_ns");
             d.wal
                 .sync()
                 .unwrap_or_else(|e| panic!("WAL fsync failed: {e}"));
+            self.obs.wal_fsyncs.inc();
         }
     }
 
@@ -385,6 +523,7 @@ impl Writer {
         let Some(d) = self.durable.as_mut() else {
             return;
         };
+        let _snap = self.stats.obs.span("svc_durable_snapshot_ns");
         let fsync = self.params.fsync != FsyncPolicy::Off;
         if fsync && d.wal.unsynced() > 0 {
             d.wal
@@ -404,19 +543,32 @@ impl Writer {
             .unwrap_or_else(|e| panic!("snapshot write failed: {e}"));
         persist::prune_snapshots(&d.dir, self.params.snapshots_kept)
             .unwrap_or_else(|e| panic!("snapshot prune failed: {e}"));
+        self.obs.durable_snapshots.inc();
         d.commits_since_snapshot = 0;
     }
 
     /// Commit one normalized batch: absorb, maybe fold, publish, in that
     /// order. Returns the assigned epoch.
     fn commit(&mut self, edges: &[Edge]) -> Epoch {
+        // Every stage of substance inside the `svc_commit_ns` span is
+        // individually timed (dedup / absorb / cross-drain / fold /
+        // publish, plus WAL append + fsync before this call), so the
+        // per-stage sums account for the span's total — `svc_driver
+        // --mt` asserts that coverage per row.
+        let dedup = Instant::now();
         let fresh = self.base.dedup_new_edges(edges, &mut self.seen);
-        self.cross_unions += self.overlay.absorb(&fresh);
+        self.obs.dedup_ns.observe_duration(dedup.elapsed());
+        let cross =
+            self.overlay
+                .absorb_timed(&fresh, &self.obs.absorb_intra_ns, &self.obs.cross_drain_ns);
+        self.cross_unions += cross;
+        self.obs.cross_unions.add(cross);
         self.delta.extend_from_slice(&fresh);
         if self.delta.len() >= self.params.rebuild_threshold {
             self.fold();
         }
         self.epoch += 1;
+        let publish = Instant::now();
         let snapshot = Arc::new(Snapshot::new(
             self.epoch,
             self.overlay.labels(),
@@ -431,6 +583,11 @@ impl Writer {
         while ring.len() > self.params.snapshot_history {
             ring.pop_front();
         }
+        drop(ring);
+        self.obs
+            .snapshot_publish_ns
+            .observe_duration(publish.elapsed());
+        self.obs.commits.inc();
         self.epoch
     }
 
@@ -446,6 +603,8 @@ impl Writer {
     /// (the bound `bench_report`'s `graph_build` rows pin for one-shot
     /// builds carries over to every threshold rebuild here).
     fn fold(&mut self) {
+        let _fold = logdiam_obs::span!(self.stats.obs, "svc_fold_ns", delta = self.delta.len());
+        self.obs.folds.inc();
         self.base = Arc::new(Graph::from_csr_plus_edges(&self.base, &self.delta));
         self.delta.clear();
         self.rebuilds += 1;
@@ -472,12 +631,18 @@ impl Writer {
         while let Ok(done) = self.rb_rx.try_recv() {
             debug_assert_eq!(Some(done.generation), self.inflight);
             self.inflight = None;
+            self.obs.recompute_ns.observe_duration(done.recompute);
             if done.generation == self.rebuilds {
                 self.swap_overlay(done.labels);
             } else {
                 // The base was re-folded while this recompute ran: its
                 // labeling describes a stale graph. Discard it.
-                self.stats.stale_rebuilds.fetch_add(1, Ordering::Relaxed);
+                self.stats.stale_rebuilds.inc();
+                self.stats.obs.event(
+                    Event::new("stale_rebuild")
+                        .with("generation", done.generation)
+                        .with("current", self.rebuilds),
+                );
             }
             if let Some(job) = self.queued.take() {
                 self.inflight = Some(job.generation);
@@ -494,6 +659,7 @@ impl Writer {
     /// representation change: the partition — and therefore every future
     /// published label — is unchanged, which is asserted.
     fn swap_overlay(&mut self, labels: Vec<u32>) {
+        let _swap = self.stats.obs.span("svc_swap_ns");
         let mut next = ShardedOverlay::from_labels(&labels, self.params.shard_count);
         next.absorb(&self.delta);
         assert_eq!(
@@ -502,7 +668,7 @@ impl Writer {
             "background rebuild disagrees with the live overlay partition"
         );
         self.overlay = next;
-        self.stats.overlay_swaps.fetch_add(1, Ordering::Relaxed);
+        self.stats.overlay_swaps.inc();
     }
 }
 
@@ -541,11 +707,13 @@ fn rebuild_worker(
     backend: RebuildBackend,
 ) {
     while let Ok(job) = jobs.recv() {
+        let started = Instant::now();
         let labels = run_backend(backend, &job.base);
         if done
             .send(RebuildDone {
                 generation: job.generation,
                 labels,
+                recompute: started.elapsed(),
             })
             .is_err()
         {

@@ -122,6 +122,19 @@ fn check_replay(s: &Scenario, backend: RebuildBackend) {
             );
         }
     }
+    // Every committed workload leaves the commit-pipeline histograms
+    // populated and internally consistent (the metrics() contract).
+    let m = svc.metrics();
+    m.validate().unwrap();
+    let commits = m.counters["svc_commits_total"];
+    assert!(commits >= s.stream.chunks(s.batch.max(1)).count() as u64);
+    // Publish and enqueue-wait are observed once per commit; absorb and
+    // cross-drain only when the batch had surviving fresh edges.
+    assert_eq!(m.histograms["svc_snapshot_publish_ns"].count, commits);
+    assert_eq!(m.histograms["svc_enqueue_wait_ns"].count, commits);
+    let absorbs = m.histograms["svc_absorb_ns"].count;
+    assert_eq!(m.histograms["svc_cross_drain_ns"].count, absorbs);
+    assert!(absorbs <= commits);
 }
 
 proptest! {

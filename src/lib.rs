@@ -16,6 +16,7 @@
 //! | [`algorithms`] (`logdiam-cc`) | Theorems 1–3 plus classic baselines, on the simulator |
 //! | [`parallel`] (`logdiam-par`) | practical rayon/atomics ports for wall-clock benches |
 //! | [`service`] (`logdiam-svc`) | incremental connectivity service: batched edge streams, epoch snapshots, query API |
+//! | [`obs`] (`logdiam-obs`) | observability: metrics registry, spans, structured telemetry events |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 
 pub use cc_graph as graph;
 pub use logdiam_cc as algorithms;
+pub use logdiam_obs as obs;
 pub use logdiam_par as parallel;
 pub use logdiam_svc as service;
 pub use pram_kit as kit;

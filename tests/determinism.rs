@@ -20,12 +20,28 @@ const THREAD_COUNTS: [&str; 3] = ["1", "2", "8"];
 
 /// Run the probe once and return its stdout.
 fn probe(threads: &str, algo: &str, family: &str, n: usize, seed: u64) -> String {
+    probe_env(threads, algo, family, n, seed, &[])
+}
+
+/// [`probe`] with extra pinned environment variables (the observability
+/// toggles are env-driven, so they are exercised the same way the thread
+/// count is: one process per setting, compared byte-for-byte).
+fn probe_env(
+    threads: &str,
+    algo: &str,
+    family: &str,
+    n: usize,
+    seed: u64,
+    extra_env: &[(&str, &str)],
+) -> String {
     let exe = env!("CARGO_BIN_EXE_determinism_probe");
-    let out = Command::new(exe)
-        .args([algo, family, &n.to_string(), &seed.to_string()])
-        .env("RAYON_NUM_THREADS", threads)
-        .output()
-        .expect("failed to spawn determinism_probe");
+    let mut cmd = Command::new(exe);
+    cmd.args([algo, family, &n.to_string(), &seed.to_string()])
+        .env("RAYON_NUM_THREADS", threads);
+    for &(k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("failed to spawn determinism_probe");
     assert!(
         out.status.success(),
         "probe({algo}, {family}, n={n}, seed={seed}) at {threads} threads failed:\n{}",
@@ -128,6 +144,31 @@ proptest! {
         seed in 0u64..1000,
     ) {
         assert_thread_invariant("svc", family, n, seed);
+    }
+
+    /// Observability must never touch the determinism surface: spans and
+    /// event emission are timing-only, so forcing the runtime toggle
+    /// (`LOGDIAM_OBS_SPANS`) off and on must leave every fingerprint —
+    /// including the service's per-epoch label fingerprints — bit-identical
+    /// at 1, 2, and 8 threads.
+    #[test]
+    fn spans_toggle_never_changes_fingerprints(
+        family in family_strategy(),
+        n in 256usize..1024,
+        seed in 0u64..1000,
+    ) {
+        for algo in ["svc", "theorem3", "pram_stress"] {
+            let (family, n) = if algo == "pram_stress" { ("path", n + 2048) } else { (family, n) };
+            for threads in THREAD_COUNTS {
+                let off = probe_env(threads, algo, family, n, seed, &[("LOGDIAM_OBS_SPANS", "0")]);
+                let on = probe_env(threads, algo, family, n, seed, &[("LOGDIAM_OBS_SPANS", "1")]);
+                assert_eq!(
+                    off, on,
+                    "{algo} on {family}(n={n}, seed={seed}) at {threads} threads \
+                     changes with the observability spans toggle"
+                );
+            }
+        }
     }
 
     /// Seeded ARBITRARY PRAM runs are bit-identical across thread counts:
