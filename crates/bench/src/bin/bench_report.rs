@@ -34,9 +34,21 @@
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH]
+//! bench_report [--smoke | --xl] [--out PATH] [--svc-out PATH] [--mt-out PATH]
 //!              [--durable-out PATH] [--sim-max-n N]
 //! ```
+//!
+//! `--xl` switches to the 1e8 tier (see `BENCH_PR10.json`): path and
+//! grid at n = 1e8, graph build forced through out-of-core edge runs
+//! (`LOGDIAM_RUN_SPILL` — the parent pins a spill dir for its children,
+//! honoring a pre-set value), the Theorem-3 simulation on the narrow-cell
+//! (`CellWidth::W32`) machine, path-only and single-rep. Rows carry
+//! `cell_width`, `spilled_runs`, `spill_bytes` (process-wide spill
+//! counter deltas around the build) and `arena_bytes` (the machine's
+//! backing allocation after the run); the streaming-build memory contract
+//! (peak RSS ≤ 2× final CSR) is asserted with spilling active, and the
+//! practical `logdiam-par` rows are gated off above 1e7 where the
+//! graphs alone dominate the measurement budget.
 //!
 //! `--smoke` shrinks the matrix to seconds (CI keeps the emitter alive)
 //! and additionally runs the **wall-clock guards**: diameter-heavy
@@ -61,16 +73,17 @@
 //! `BENCH_PR8.json`); `--sim-max-n` raises (or lowers) the largest n the
 //! full Theorem-3 simulation runs at.
 
+use cc_graph::runs::spill_counters;
 use cc_graph::seq::{components, same_partition};
 use cc_graph::{gen, EdgeRunStore, Graph, Rng};
 use logdiam_cc::theorem1::{connected_components, Theorem1Params};
 use logdiam_cc::theorem2::spanning_forest;
-use logdiam_cc::theorem3::{faster_cc, FasterParams};
+use logdiam_cc::theorem3::{faster_cc, faster_cc_with, FasterParams, FasterWorkspace};
 use logdiam_obs::Registry;
 use logdiam_par::{
     contract::contract_cc, labelprop::labelprop_cc, sv::sv_cc, unionfind::unionfind_cc,
 };
-use pram_sim::{Pram, WritePolicy};
+use pram_sim::{CellWidth, Pram, WritePolicy};
 use std::io::Write as _;
 use std::process::Command;
 
@@ -84,6 +97,19 @@ const SEED: u64 = 0xBEEF_CAFE;
 /// Overridable with `--sim-max-n`; anything larger is skipped with a log
 /// line naming the limit and the flag, never silently.
 const DEFAULT_SIM_MAX_N: usize = 10_000_000;
+
+/// The `--xl` tier size. A path/1e8 Theorem-3 run peaks at ≈ 33 simulated
+/// words per vertex (measured with `t3_probe --w32`), i.e. ≈ 3.3e9 words
+/// — inside the arena's 2^32-word address space, which is exactly what
+/// the compact-image work buys. The build streams its ≈ 1e8-edge runs
+/// through spill files, so construction never holds the unsorted list.
+const XL_N: usize = 100_000_000;
+
+/// Largest n the practical `logdiam-par` algorithms (and the `pram_step`
+/// microworkload) run at: above this the measurements are dominated by
+/// memory traffic on graphs the simulated tier is the story for, so the
+/// matrix stops paying for them.
+const PAR_MAX_N: usize = 10_000_000;
 
 /// Largest n at which `theorem3_sim` is cheap enough to repeat for an
 /// honest median; above this a single rep is taken and the JSON field is
@@ -134,7 +160,7 @@ fn pram_step_workload(n: usize) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench_report [--smoke] [--out PATH] [--svc-out PATH] [--mt-out PATH] \
+        "usage: bench_report [--smoke | --xl] [--out PATH] [--svc-out PATH] [--mt-out PATH] \
          [--durable-out PATH] [--sim-max-n N]"
     );
     std::process::exit(2);
@@ -142,7 +168,8 @@ fn usage() -> ! {
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut xl = false;
+    let mut out_path: Option<String> = None;
     let mut svc_out_path = "BENCH_PR4_SMOKE.json".to_string();
     let mut mt_out_path = "BENCH_PR6_SMOKE.json".to_string();
     let mut durable_out_path = "BENCH_PR7_SMOKE.json".to_string();
@@ -152,8 +179,9 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--xl" => xl = true,
             "--child" => child = true,
-            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage())),
             "--svc-out" => svc_out_path = args.next().unwrap_or_else(|| usage()),
             "--mt-out" => mt_out_path = args.next().unwrap_or_else(|| usage()),
             "--durable-out" => durable_out_path = args.next().unwrap_or_else(|| usage()),
@@ -166,11 +194,23 @@ fn main() {
             _ => usage(),
         }
     }
+    if smoke && xl {
+        usage(); // the tiers are disjoint matrices
+    }
+    let out_path = out_path.unwrap_or_else(|| {
+        (if xl {
+            "BENCH_PR10.json"
+        } else {
+            "BENCH_PR8.json"
+        })
+        .into()
+    });
     if child {
-        run_child(smoke, sim_max_n);
+        run_child(smoke, xl, sim_max_n);
     } else {
         run_parent(
             smoke,
+            xl,
             &out_path,
             &svc_out_path,
             &mt_out_path,
@@ -198,7 +238,14 @@ const FAMILIES: [&str; 4] = ["path", "grid", "powerlaw", "mixture"];
 /// path and grid run — the diameter-stress shapes the 1e7 target names —
 /// so the matrix grows where the live-work story is tested, not where
 /// graph generation dominates.
-fn workload_names(smoke: bool) -> Vec<(String, &'static str, usize)> {
+fn workload_names(smoke: bool, xl: bool) -> Vec<(String, &'static str, usize)> {
+    if xl {
+        // The 1e8 tier: only the diameter-stress shapes, built out-of-core.
+        return ["path", "grid"]
+            .into_iter()
+            .map(|family| (format!("{family}/{XL_N}"), family, XL_N))
+            .collect();
+    }
     let mut out = Vec::new();
     for n in sizes(smoke) {
         for family in FAMILIES {
@@ -262,6 +309,17 @@ struct Row {
     /// Final `logdiam_obs` registry dump (the `docs/obs-schema.md` JSON
     /// object), embedded verbatim — `theorem3_sim_obs` guard rows.
     obs: Option<String>,
+    /// Machine cell width in bits (32 narrow / 64 full) — simulated rows.
+    cell_width: Option<u32>,
+    /// Edge runs sealed to spill files during the build, and bytes
+    /// written to them (deltas of the process-wide spill counters across
+    /// the build) — `graph_build` rows. Zero when spilling is off.
+    spilled_runs: Option<u64>,
+    spill_bytes: Option<u64>,
+    /// The machine's arena backing allocation (cells + stamps + priority
+    /// sidecar + free lists) after the run — simulated rows; divide by
+    /// `n` for the bytes-per-vertex budget line.
+    arena_bytes: Option<u64>,
 }
 
 impl Row {
@@ -291,10 +349,22 @@ impl Row {
             .as_ref()
             .map(|o| format!(",\"obs\":{o}"))
             .unwrap_or_default();
+        let cell = self
+            .cell_width
+            .map(|w| format!(",\"cell_width\":{w}"))
+            .unwrap_or_default();
+        let spill = match (self.spilled_runs, self.spill_bytes) {
+            (Some(r), Some(b)) => format!(",\"spilled_runs\":{r},\"spill_bytes\":{b}"),
+            _ => String::new(),
+        };
+        let arena = self
+            .arena_bytes
+            .map(|b| format!(",\"arena_bytes\":{b}"))
+            .unwrap_or_default();
         format!(
-            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}{}{}{}{}}}",
+            "{{\"workload\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"threads\":{},\"reps\":{},\"{}\":{:.3}{}{}{}{}{}{}{}{}}}",
             self.workload, self.n, self.m, self.algorithm, self.threads, self.reps, field, self.ms,
-            sim, peak, csr, verified, obs
+            sim, peak, csr, verified, obs, cell, spill, arena
         )
     }
 }
@@ -377,6 +447,10 @@ fn builder_equivalence_row(threads: u64) -> Row {
         csr_bytes: None,
         verified: Some(true),
         obs: None,
+        cell_width: None,
+        spilled_runs: None,
+        spill_bytes: None,
+        arena_bytes: None,
     }
 }
 
@@ -396,9 +470,20 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
 }
 
 /// One verified `faster_cc` run returning its charged-cost telemetry.
-fn faster_run(g: &Graph, check: &impl Fn(&[u32])) -> SimCost {
-    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
-    let report = faster_cc(&mut pram, g, SEED, &FasterParams::default());
+///
+/// The machine and workspace come from the caller and are reused across
+/// reps: [`Pram::reset_for_run`] rewinds the step counter and live image
+/// while keeping the arena's backing, free lists, and commit scratch, so
+/// repeated reps replay bit-identically without re-mapping memory — the
+/// cross-run reuse path the 1e8 tier depends on, measured here.
+fn faster_run(
+    pram: &mut Pram,
+    ws: &mut FasterWorkspace,
+    g: &Graph,
+    check: &impl Fn(&[u32]),
+) -> SimCost {
+    pram.reset_for_run();
+    let report = faster_cc_with(pram, g, SEED, &FasterParams::default(), ws);
     check(&report.run.labels);
     let work = report.run.stats.work;
     let rounds = report.run.rounds.max(1);
@@ -411,20 +496,24 @@ fn faster_run(g: &Graph, check: &impl Fn(&[u32])) -> SimCost {
 
 /// Child mode: run the matrix at this process's (env-pinned) thread count
 /// and print one JSON object per line.
-fn run_child(smoke: bool, sim_max_n: usize) {
+fn run_child(smoke: bool, xl: bool, sim_max_n: usize) {
     let threads = rayon::current_num_threads() as u64;
-    let reps = 3;
+    let reps = if xl { 1 } else { 3 };
     let stdout = std::io::stdout();
     let emit = |row: Row| writeln!(stdout.lock(), "{}", row.to_json()).unwrap();
     emit(builder_equivalence_row(threads));
-    for (name, family, size) in workload_names(smoke) {
+    for (name, family, size) in workload_names(smoke, xl) {
         // Build phase: reset the RSS watermark so `VmHWM` covers just the
         // streaming chunked build (generator → sealed runs → merge → CSR),
         // then check the memory contract against the finished footprint.
+        // The spill-counter delta around the build records how much of it
+        // ran out-of-core (the `--xl` parent pins `LOGDIAM_RUN_SPILL`).
         reset_peak_rss();
+        let (spill_runs0, spill_bytes0) = spill_counters();
         let t0 = std::time::Instant::now();
         let g = build_graph(family, size);
         let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (spill_runs1, spill_bytes1) = spill_counters();
         let build_peak = peak_rss_kb();
         let csr_bytes = g.heap_bytes();
         if let Some(peak) = build_peak {
@@ -462,36 +551,64 @@ fn run_child(smoke: bool, sim_max_n: usize) {
                 csr_bytes: None,
                 verified: None,
                 obs: None,
+                cell_width: None,
+                spilled_runs: None,
+                spill_bytes: None,
+                arena_bytes: None,
             }
         };
         emit(Row {
             peak_rss_kb: build_peak,
             csr_bytes: Some(csr_bytes),
+            spilled_runs: Some(spill_runs1 - spill_runs0),
+            spill_bytes: Some(spill_bytes1 - spill_bytes0),
             ..row("graph_build", 1, build_ms, None)
         });
-        if g.n() <= sim_max_n {
+        // The xl tier simulates path only (the d ≈ n shape the paper's
+        // bound is about) on the narrow-cell machine: the whole point of
+        // the compact image is that 1e8 vertices of simulated memory fit
+        // the 2^32-word address space, which W64 alone would not change
+        // but the 8-bytes-per-word backing makes affordable.
+        let run_sim = if xl {
+            family == "path"
+        } else {
+            g.n() <= sim_max_n
+        };
+        if run_sim {
             // A simulated rep is deterministic in its seed but minutes long
             // at 1e6+; repeat only where the live-work scheduler makes reps
             // cheap, and label the single-rep case honestly (see Row).
             let sim_reps = if g.n() <= SIM_MEDIAN_MAX_N { reps } else { 1 };
+            let width = if xl { CellWidth::W32 } else { CellWidth::W64 };
+            let mut pram = Pram::with_width(WritePolicy::ArbitrarySeeded(SEED), width);
+            let mut ws = FasterWorkspace::new();
             let mut cost = None;
             reset_peak_rss();
             let ms = time_ms(sim_reps, || {
                 // Identical seed per rep → identical charged cost; keep the
                 // last rep's telemetry.
-                cost = Some(faster_run(&g, &check));
+                cost = Some(faster_run(&mut pram, &mut ws, &g, &check));
             });
             let sim_peak = peak_rss_kb();
             emit(Row {
                 peak_rss_kb: sim_peak,
+                cell_width: Some(if width == CellWidth::W32 { 32 } else { 64 }),
+                arena_bytes: Some(pram.arena_backing_bytes() as u64),
                 ..row("theorem3_sim", sim_reps, ms, cost)
             });
-        } else {
+        } else if !xl {
             eprintln!(
                 "bench_report: skipping theorem3_sim on {name} \
                  (n {size} > configured sim-max-n limit {sim_max_n}; \
                  raise with --sim-max-n N to simulate larger inputs)"
             );
+        }
+        if g.n() > PAR_MAX_N {
+            eprintln!(
+                "bench_report: skipping practical rows on {name} \
+                 (n {size} > practical-tier limit {PAR_MAX_N})"
+            );
+            continue;
         }
         emit(row(
             "pram_step",
@@ -543,11 +660,17 @@ fn run_child(smoke: bool, sim_max_n: usize) {
             csr_bytes: None,
             verified: None,
             obs: None,
+            cell_width: None,
+            spilled_runs: None,
+            spill_bytes: None,
+            arena_bytes: None,
         };
 
+        let mut guard_pram = Pram::new(WritePolicy::ArbitrarySeeded(SEED));
+        let mut guard_ws = FasterWorkspace::new();
         let mut cost = None;
         let ms = time_ms(reps, || {
-            cost = Some(faster_run(&g, &check));
+            cost = Some(faster_run(&mut guard_pram, &mut guard_ws, &g, &check));
         });
         assert!(
             ms < GUARD_CAP_MS,
@@ -620,6 +743,7 @@ fn run_child(smoke: bool, sim_max_n: usize) {
 /// report.
 fn run_parent(
     smoke: bool,
+    xl: bool,
     out_path: &str,
     svc_out_path: &str,
     mt_out_path: &str,
@@ -633,6 +757,12 @@ fn run_parent(
     if cores > 1 {
         thread_counts.push(cores);
     }
+    // The xl tier builds out-of-core: pin a spill directory for the
+    // children unless the caller already chose one via the environment.
+    let spill_dir = xl.then(|| {
+        std::env::var(cc_graph::runs::RUN_SPILL_ENV)
+            .unwrap_or_else(|_| std::env::temp_dir().to_string_lossy().into_owned())
+    });
     let exe = std::env::current_exe().expect("cannot locate own binary");
     let mut rows: Vec<String> = Vec::new();
     for &t in &thread_counts {
@@ -643,6 +773,12 @@ fn run_parent(
             .env("RAYON_NUM_THREADS", t.to_string());
         if smoke {
             cmd.arg("--smoke");
+        }
+        if xl {
+            cmd.arg("--xl");
+        }
+        if let Some(dir) = &spill_dir {
+            cmd.env(cc_graph::runs::RUN_SPILL_ENV, dir);
         }
         // Child stderr (per-workload progress + skip logs) streams through
         // live; only stdout (the JSON rows) is captured.
@@ -659,7 +795,7 @@ fn run_parent(
         );
     }
     let json = format!(
-        "{{\n  \"report\": \"logdiam perf baseline\",\n  \"emitter\": \"bench_report\",\n  \"smoke\": {smoke},\n  \"host_cores\": {cores},\n  \"sim_max_n\": {sim_max_n},\n  \"thread_counts\": {thread_counts:?},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"report\": \"logdiam perf baseline\",\n  \"emitter\": \"bench_report\",\n  \"smoke\": {smoke},\n  \"xl\": {xl},\n  \"host_cores\": {cores},\n  \"sim_max_n\": {sim_max_n},\n  \"thread_counts\": {thread_counts:?},\n  \"measurements\": [\n    {}\n  ]\n}}\n",
         rows.join(",\n    ")
     );
     std::fs::write(out_path, &json).expect("cannot write report");

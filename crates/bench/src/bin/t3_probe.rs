@@ -15,7 +15,12 @@
 //! cost is visible. On a healthy run every column decays with the live
 //! subproblem — no column may flatline at a value scaling with n.
 //!
-//! Usage: `t3_probe [n] [--human] [--all-rounds]`
+//! Usage: `t3_probe [n] [--human] [--all-rounds] [--w32]`
+//!
+//! `--w32` runs the simulation on a narrow-cell
+//! ([`pram_sim::CellWidth::W32`]) machine; the emitted `arena` event
+//! (peak/live words, backing bytes) is how the memory-per-vertex budget
+//! for the 1e8 tier was measured.
 //!
 //! [`RoundMetrics::to_event`]: logdiam_cc::metrics::RoundMetrics::to_event
 //! [`RunReport::to_event`]: logdiam_cc::metrics::RunReport::to_event
@@ -23,20 +28,22 @@
 use cc_graph::gen;
 use logdiam_cc::theorem3::{faster_cc, FasterParams};
 use logdiam_obs::{Event, Registry};
-use pram_sim::{Pram, WritePolicy};
+use pram_sim::{CellWidth, Pram, WritePolicy};
 
 fn main() {
     let mut n: usize = 200_000;
     let mut human = false;
     let mut all_rounds = false;
+    let mut width = CellWidth::W64;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--human" => human = true,
             "--all-rounds" => all_rounds = true,
+            "--w32" => width = CellWidth::W32,
             other => match other.parse() {
                 Ok(v) => n = v,
                 Err(_) => {
-                    eprintln!("usage: t3_probe [n] [--human] [--all-rounds]");
+                    eprintln!("usage: t3_probe [n] [--human] [--all-rounds] [--w32]");
                     std::process::exit(2);
                 }
             },
@@ -45,7 +52,7 @@ fn main() {
 
     let g = gen::path(n);
     let t0 = std::time::Instant::now();
-    let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(0xBEEF_CAFE));
+    let mut pram = Pram::with_width(WritePolicy::ArbitrarySeeded(0xBEEF_CAFE), width);
     let r = faster_cc(&mut pram, &g, 0xBEEF_CAFE, &FasterParams::default());
     let wall = t0.elapsed();
 
@@ -76,6 +83,20 @@ fn main() {
                 "startup",
                 r.run.stats.work - main_work - compact_work - r.post_work,
             ),
+    );
+    // Arena footprint: peak/live simulated words and the actual backing
+    // allocation. peak_words × (bytes/word) is the budget line for
+    // raising n — 1e8 must stay under the 2^32-word address cap.
+    let stats = pram.stats();
+    reg.event(
+        Event::new("arena")
+            .with(
+                "cell_width",
+                if width == CellWidth::W32 { 32u64 } else { 64 },
+            )
+            .with("peak_words", stats.peak_words)
+            .with("live_words", stats.live_words)
+            .with("backing_bytes", pram.arena_backing_bytes() as u64),
     );
     reg.event(
         Event::new("probe_done")

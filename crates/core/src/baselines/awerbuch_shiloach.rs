@@ -116,7 +116,7 @@ pub fn awerbuch_shiloach(pram: &mut Pram, g: &Graph) -> RunReport {
     }
 
     debug_assert!(
-        crate::verify::forest_heights(pram.slice(parent)).is_ok(),
+        crate::verify::forest_heights(&pram.read_vec(parent)).is_ok(),
         "Awerbuch-Shiloach produced a cycle"
     );
     let labels = st.labels_rooted(pram);

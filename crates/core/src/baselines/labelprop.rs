@@ -62,7 +62,7 @@ pub fn labelprop(pram: &mut Pram, g: &Graph) -> RunReport {
     }
 
     debug_assert!(
-        crate::verify::forest_heights(pram.slice(parent)).is_ok(),
+        crate::verify::forest_heights(&pram.read_vec(parent)).is_ok(),
         "label propagation produced a cycle"
     );
     let labels = st.labels_rooted(pram);

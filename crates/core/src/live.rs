@@ -132,14 +132,14 @@ impl LiveSet {
         // one definition of the slot-map invariant).
         reset_endpoints(&mut self.slot, &mut self.verts);
         {
-            let eu_h = pram.slice(st.eu);
-            let ev_h = pram.slice(st.ev);
+            let eu_h = pram.view(st.eu);
+            let ev_h = pram.view(st.ev);
             extend_endpoints(
                 &mut self.slot,
                 &mut self.verts,
                 self.arcs
                     .iter()
-                    .map(|&i| (eu_h[i as usize], ev_h[i as usize])),
+                    .map(|&i| (eu_h.get(i as usize), ev_h.get(i as usize))),
             );
         }
         charge_endpoint_collection(pram, self.arcs.len(), self.verts.len());

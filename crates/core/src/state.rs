@@ -68,13 +68,13 @@ impl CcState {
 
     /// Read the component labeling (assumes flat trees: label = parent).
     pub fn labels(&self, pram: &Pram) -> Vec<u32> {
-        pram.slice(self.parent).iter().map(|&p| p as u32).collect()
+        pram.view(self.parent).iter().map(|p| p as u32).collect()
     }
 
     /// Read the labeling after host-side root chasing (valid even when
     /// trees are not flat; used by verifiers and by safety-capped exits).
     pub fn labels_rooted(&self, pram: &Pram) -> Vec<u32> {
-        let parent = pram.slice(self.parent);
+        let parent = pram.view(self.parent);
         let n = self.n;
         let mut out = vec![u32::MAX; n];
         for v in 0..n {
@@ -83,15 +83,15 @@ impl CcState {
             }
             // Chase to the root, then write it back along the path.
             let mut path = vec![v];
-            let mut x = parent[v] as usize;
-            while parent[x] as usize != x && out[x] == u32::MAX {
+            let mut x = parent.get(v) as usize;
+            while parent.get(x) as usize != x && out[x] == u32::MAX {
                 path.push(x);
-                x = parent[x] as usize;
+                x = parent.get(x) as usize;
             }
             let root = if out[x] != u32::MAX {
                 out[x]
             } else {
-                parent[x] as u32
+                parent.get(x) as u32
             };
             for &p in &path {
                 out[p] = root;
@@ -102,10 +102,10 @@ impl CcState {
 
     /// Host count of roots (`v.p == v`). Controller bookkeeping, free.
     pub fn host_count_roots(&self, pram: &Pram) -> usize {
-        pram.slice(self.parent)
+        pram.view(self.parent)
             .iter()
             .enumerate()
-            .filter(|&(v, &p)| p == v as u64)
+            .filter(|&(v, p)| p == v as u64)
             .count()
     }
 
@@ -114,11 +114,11 @@ impl CcState {
     /// COMBINING-mode density estimate; the ARBITRARY-mode drivers use the
     /// §B.5 `ñ` rule instead.
     pub fn host_count_ongoing(&self, pram: &Pram) -> usize {
-        let eu = pram.slice(self.eu);
-        let ev = pram.slice(self.ev);
+        let eu = pram.view(self.eu);
+        let ev = pram.view(self.ev);
         let mut flag = vec![false; self.n];
         for i in 0..self.arcs {
-            let (u, v) = (eu[i], ev[i]);
+            let (u, v) = (eu.get(i), ev.get(i));
             if u != v {
                 flag[u as usize] = true;
                 flag[v as usize] = true;

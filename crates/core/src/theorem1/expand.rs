@@ -116,7 +116,7 @@ impl PhaseCells {
         match self.repr {
             CellsRepr::Plain(h) => pram.read_vec(h),
             CellsRepr::Stamped(s) => {
-                let len = pram.slice(s.values).len();
+                let len = s.values.len();
                 (0..len)
                     .map(|i| pram.get_stamped(s, i, self.stale))
                     .collect()
@@ -328,10 +328,10 @@ pub fn expand(
 
     // Host list of owned blocks (controller bookkeeping; frozen from here).
     let owned: Vec<(u64, u64)> = pram
-        .slice(owner)
+        .view(owner)
         .iter()
         .enumerate()
-        .filter_map(|(blk, &u)| (u != NULL).then_some((blk as u64, u)))
+        .filter_map(|(blk, u)| (u != NULL).then_some((blk as u64, u)))
         .collect();
 
     let mut snapshots = Vec::new();

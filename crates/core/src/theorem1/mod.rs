@@ -327,7 +327,7 @@ pub fn connected_components_on_state(
     // above) — the charged algorithm never pays for it.
     if cfg!(any(test, feature = "strict")) {
         assert!(
-            verify::forest_heights(pram.slice(st.parent)).is_ok(),
+            verify::forest_heights(&pram.read_vec(st.parent)).is_ok(),
             "Theorem 1 produced a cyclic labeled digraph"
         );
     }

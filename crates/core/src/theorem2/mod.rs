@@ -276,7 +276,7 @@ pub fn spanning_forest(
     // the charged live-chain walk above.
     if cfg!(any(test, feature = "strict")) {
         assert!(
-            verify::forest_heights(pram.slice(st.parent)).is_ok(),
+            verify::forest_heights(&pram.read_vec(st.parent)).is_ok(),
             "Theorem 2 produced a cyclic labeled digraph"
         );
     }
@@ -316,13 +316,13 @@ pub fn spanning_forest(
 /// measures, never with `n`.
 fn live_chain_height(pram: &mut Pram, parent: Handle, verts: &[u32]) -> u32 {
     let max_h = {
-        let parent = pram.slice(parent);
+        let parent = pram.view(parent);
         let mut max_h = 0u32;
         for &v in verts {
             let mut x = v as u64;
             let mut h = 0u32;
-            while parent[x as usize] != x {
-                x = parent[x as usize];
+            while parent.get(x as usize) != x {
+                x = parent.get(x as usize);
                 h += 1;
                 assert!(h as usize <= parent.len(), "TREE-LINK created a cycle");
             }

@@ -181,8 +181,42 @@ pub struct FasterReport {
     pub post_work: u64,
 }
 
+/// Reusable host-side buffers for repeated [`faster_cc_with`] runs: the
+/// live-work index, the per-round scratch, and the persistent-table
+/// mirror survive between runs with their capacity intact, so a bench rep
+/// (or a service resolving many queries) re-fills warm vectors instead of
+/// re-growing them from nothing. Pairs with [`Pram::reset_for_run`] on the
+/// machine side; a fresh workspace behaves exactly like none at all.
+#[derive(Default)]
+pub struct FasterWorkspace {
+    live: Option<LiveIndex>,
+    scratch: Option<RoundScratch>,
+    host_tbl: Option<Vec<Option<(u64, u32)>>>,
+}
+
+impl FasterWorkspace {
+    /// An empty workspace (first run allocates, later runs reuse).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Run Theorem 3's Faster Connected Components on `g`.
 pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -> FasterReport {
+    let mut ws = FasterWorkspace::new();
+    faster_cc_with(pram, g, seed, params, &mut ws)
+}
+
+/// [`faster_cc`] with caller-owned reusable buffers (see
+/// [`FasterWorkspace`]). Buffer reuse is capacity-only: results and
+/// charged costs are identical to a fresh-workspace run.
+pub fn faster_cc_with(
+    pram: &mut Pram,
+    g: &Graph,
+    seed: u64,
+    params: &FasterParams,
+    ws: &mut FasterWorkspace,
+) -> FasterReport {
     let st = CcState::init(pram, g);
     let n = st.n;
     let m = g.m();
@@ -279,9 +313,28 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
         heap,
         lmax,
         budgets,
-        host_tbl: vec![None; n],
-        live: LiveIndex::new(n),
-        scratch: RoundScratch::new(n),
+        host_tbl: {
+            // Reuse the workspace mirror when present: clear + resize
+            // rewrites the same backing store instead of reallocating.
+            let mut tbl = ws.host_tbl.take().unwrap_or_default();
+            tbl.clear();
+            tbl.resize(n, None);
+            tbl
+        },
+        live: match ws.live.take() {
+            Some(mut live) => {
+                live.reset_for(n);
+                live
+            }
+            None => LiveIndex::new(n),
+        },
+        scratch: match ws.scratch.take() {
+            Some(mut scratch) => {
+                scratch.reset_for(n);
+                scratch
+            }
+            None => RoundScratch::new(n),
+        },
     };
     // Seed the live-work index: the one O(m) pass; every per-round refresh
     // scans only the surviving lists.
@@ -340,16 +393,19 @@ pub fn faster_cc(pram: &mut Pram, g: &Graph, seed: u64, params: &FasterParams) -
     let post_work = pram.stats().work - post_work0;
 
     debug_assert!(
-        verify::forest_heights(pram.slice(fs.st.parent)).is_ok(),
+        verify::forest_heights(&pram.read_vec(fs.st.parent)).is_ok(),
         "Theorem 3 produced a cyclic labeled digraph"
     );
     let labels = fs.st.labels_rooted(pram);
     let stats = pram.stats();
     let table_peak_words = fs.heap.peak_words() as u64;
 
-    // Tear down.
+    // Tear down; the host-side buffers go back to the workspace.
     let (p, e1, e2) = (fs.st.parent, fs.st.eu, fs.st.ev);
-    fs.free(pram); // levels/budgets/flags/heap; does not touch CcState handles
+    let (live, scratch, host_tbl) = fs.free(pram); // machine handles freed; CcState untouched
+    ws.live = Some(live);
+    ws.scratch = Some(scratch);
+    ws.host_tbl = Some(host_tbl);
     pram.free(e1);
     pram.free(e2);
     pram.free(p);
@@ -393,29 +449,29 @@ fn postprocess_remaining(
     // materialization copy).
     let mut pairs: Vec<(u64, u64)> = Vec::new();
     {
-        let eu = pram.slice(fs.st.eu);
-        let ev = pram.slice(fs.st.ev);
+        let eu = pram.view(fs.st.eu);
+        let ev = pram.view(fs.st.ev);
         for &i in &fs.live.arcs {
-            let (a, b) = (eu[i as usize], ev[i as usize]);
+            let (a, b) = (eu.get(i as usize), ev.get(i as usize));
             if a != b {
                 pairs.push((a, b));
             }
         }
     }
     {
-        let eo = pram.slice(fs.eoff);
-        let hw = pram.slice(fs.heap.handle());
-        let parents = pram.slice(fs.st.parent);
+        let eo = pram.view(fs.eoff);
+        let hw = pram.view(fs.heap.handle());
+        let parents = pram.view(fs.st.parent);
         for &(x, c) in &fs.live.table_cells {
-            let off = eo[x as usize];
+            let off = eo.get(x as usize);
             if off == NULL {
                 continue;
             }
-            let w = hw[off as usize + c as usize];
+            let w = hw.get(off as usize + c as usize);
             if w == NULL || w == x as u64 {
                 continue;
             }
-            let (a, b) = (parents[x as usize], parents[w as usize]);
+            let (a, b) = (parents.get(x as usize), parents.get(w as usize));
             if a != b {
                 pairs.push((a, b));
                 pairs.push((b, a));
@@ -518,10 +574,10 @@ fn postprocess_remaining(
 /// under the `strict` feature.
 #[cfg(any(test, feature = "strict"))]
 fn assert_invariants(pram: &Pram, fs: &FasterState) {
-    let parents = pram.slice(fs.st.parent);
-    let levels = pram.slice(fs.level);
-    verify::forest_heights(parents).expect("labeled digraph contains a cycle");
-    for (v, (&p, &l)) in parents.iter().zip(levels).enumerate() {
+    let parents = pram.read_vec(fs.st.parent);
+    let levels = pram.read_vec(fs.level);
+    verify::forest_heights(&parents).expect("labeled digraph contains a cycle");
+    for (v, (&p, &l)) in parents.iter().zip(&levels).enumerate() {
         // §D.1: vertices of components finished during COMPACT (parent
         // level 0) are ignored — their trees are inert.
         if p != v as u64 && levels[p as usize] > 0 {
@@ -570,6 +626,32 @@ mod tests {
             let g = gen::gnm(300, 1200, seed);
             let report = run(&g, seed * 17 + 3, &params);
             check_labels(&g, &report.run.labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn workspace_and_machine_reuse_replay_bit_identically() {
+        // One machine + one workspace across reps must equal fresh
+        // machine/workspace runs — the bench-loop reuse contract.
+        let params = FasterParams::default();
+        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(21));
+        let mut ws = FasterWorkspace::new();
+        let mut reused = Vec::new();
+        for seed in 0..3u64 {
+            // Different graphs per rep to exercise size-changing resets.
+            let g = gen::gnm(200 + 40 * seed as usize, 800, seed);
+            pram.reset_for_run();
+            let rep = faster_cc_with(&mut pram, &g, seed, &params, &mut ws);
+            reused.push((rep.run.labels, rep.run.rounds, rep.run.stats));
+        }
+        for seed in 0..3u64 {
+            let g = gen::gnm(200 + 40 * seed as usize, 800, seed);
+            let mut fresh = Pram::new(WritePolicy::ArbitrarySeeded(21));
+            let rep = faster_cc(&mut fresh, &g, seed, &params);
+            let (labels, rounds, stats) = &reused[seed as usize];
+            assert_eq!(&rep.run.labels, labels);
+            assert_eq!(rep.run.rounds, *rounds);
+            assert_eq!(&rep.run.stats, stats);
         }
     }
 

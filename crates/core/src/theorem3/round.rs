@@ -134,6 +134,28 @@ impl LiveIndex {
         &self.slot
     }
 
+    /// Clear for a fresh run over `n` vertices, keeping every list's
+    /// capacity. Slot entries are cleared through the current `verts`
+    /// (the invariant `slot[v] != NO_VSLOT ⟺ v ∈ verts` makes that exact),
+    /// so the reset costs O(live), not O(n) — unless the vertex count
+    /// changed, which forces a fresh map.
+    pub(crate) fn reset_for(&mut self, n: usize) {
+        if self.slot.len() == n {
+            for &v in &self.verts {
+                self.slot[v as usize] = NO_VSLOT;
+            }
+        } else {
+            self.slot.clear();
+            self.slot.resize(n, NO_VSLOT);
+        }
+        self.arcs.clear();
+        self.table_cells.clear();
+        self.verts.clear();
+        self.arc_verts = 0;
+        self.roots.clear();
+        self.max_level_seen = 0;
+    }
+
     /// Seed the index from the full arc array (driver start-up; the only
     /// O(m) pass — every later rebuild scans live lists only). `dedup`
     /// follows the caller's `dedup_every` setting so "0 disables dedup"
@@ -182,10 +204,10 @@ impl LiveIndex {
         if dedup {
             let survivors = kept.len();
             {
-                let eu_h = pram.slice(st.eu);
-                let ev_h = pram.slice(st.ev);
+                let eu_h = pram.view(st.eu);
+                let ev_h = pram.view(st.ev);
                 let mut set = PairSet::with_capacity(dedup_seed, kept.len());
-                kept.retain(|&i| set.insert(eu_h[i as usize], ev_h[i as usize]));
+                kept.retain(|&i| set.insert(eu_h.get(i as usize), ev_h.get(i as usize)));
             }
             pram.charge(survivors, 2);
         }
@@ -215,26 +237,26 @@ impl LiveIndex {
         // sources plus the Lemma-D.2 dedup/rename of the endpoints.
         reset_endpoints(&mut self.slot, &mut self.verts);
         {
-            let eu_h = pram.slice(st.eu);
-            let ev_h = pram.slice(st.ev);
+            let eu_h = pram.view(st.eu);
+            let ev_h = pram.view(st.ev);
             extend_endpoints(
                 &mut self.slot,
                 &mut self.verts,
                 self.arcs
                     .iter()
-                    .map(|&i| (eu_h[i as usize], ev_h[i as usize])),
+                    .map(|&i| (eu_h.get(i as usize), ev_h.get(i as usize))),
             );
         }
         self.arc_verts = self.verts.len();
         if let Some((eoff, heap)) = tables {
-            let eo = pram.slice(eoff);
-            let hw = pram.slice(heap);
+            let eo = pram.view(eoff);
+            let hw = pram.view(heap);
             extend_endpoints(
                 &mut self.slot,
                 &mut self.verts,
                 self.table_cells
                     .iter()
-                    .map(|&(x, c)| (x as u64, hw[eo[x as usize] as usize + c as usize])),
+                    .map(|&(x, c)| (x as u64, hw.get(eo.get(x as usize) as usize + c as usize))),
             );
         }
         charge_endpoint_collection(
@@ -285,6 +307,20 @@ impl RoundScratch {
             builder_slot: vec![NO_SLOT; n],
         }
     }
+
+    /// Clear for a fresh run over `n` vertices, keeping capacity.
+    /// `builder_slot` is already all-`NO_SLOT` between rounds (reset in
+    /// every round's cleanup), so only a size change forces a rebuild.
+    pub(crate) fn reset_for(&mut self, n: usize) {
+        if self.builder_slot.len() != n {
+            self.builder_slot.clear();
+            self.builder_slot.resize(n, NO_SLOT);
+        }
+        self.builders.clear();
+        self.h3_occ.clear();
+        self.occ_range.clear();
+        self.s5_index.clear();
+    }
 }
 
 /// All run-long machine state of the Theorem-3 driver.
@@ -325,8 +361,10 @@ pub(crate) struct FasterState {
 }
 
 impl FasterState {
-    /// Release everything (except the `CcState`, which the driver owns).
-    pub(crate) fn free(self, pram: &mut Pram) {
+    /// Release everything (except the `CcState`, which the driver owns),
+    /// handing back the reusable host-side buffers so a workspace-driven
+    /// caller can carry their capacity into the next run.
+    pub(crate) fn free(self, pram: &mut Pram) -> ReusableBufs {
         pram.free(self.level);
         pram.free(self.budget);
         pram.free(self.eoff);
@@ -338,8 +376,13 @@ impl FasterState {
             pram.free(cand);
         }
         self.heap.free_all(pram);
+        (self.live, self.scratch, self.host_tbl)
     }
 }
+
+/// The host-side buffers [`FasterState::free`] hands back for reuse:
+/// live-work index, round scratch, and the persistent-table mirror.
+pub(crate) type ReusableBufs = (LiveIndex, RoundScratch, Vec<Option<(u64, u32)>>);
 
 /// Per-round outcome for the break test and metrics.
 pub(crate) struct RoundOutcome {
@@ -466,12 +509,12 @@ pub(crate) fn expand_maxlink_round(
     // MAXLINK candidates, lower-level neighbours, and the postprocess.
     fs.scratch.builders.clear();
     {
-        let buds = pram.slice(budget);
-        let lvls = pram.slice(level);
+        let buds = pram.view(budget);
+        let lvls = pram.view(level);
         let lmax = fs.lmax as u64;
         for &v in &fs.live.roots {
-            let b = buds[v as usize];
-            if b >= 4 && lvls[v as usize] < lmax {
+            let b = buds.get(v as usize);
+            if b >= 4 && lvls.get(v as usize) < lmax {
                 fs.scratch.builders.push(Builder {
                     v,
                     sqb: sqb_of(b) as u32,
@@ -532,14 +575,14 @@ pub(crate) fn expand_maxlink_round(
     // but themselves are skipped entirely (they would square to {v}; this
     // also keeps their persistent table empty rather than self-pointing).
     {
-        let hw = pram.slice(heap);
+        let hw = pram.view(heap);
         let sc = &mut fs.scratch;
         sc.h3_occ.clear();
         sc.occ_range.clear();
         for (bi, b) in sc.builders.iter().enumerate() {
             let start = sc.h3_occ.len() as u32;
             for c in 0..b.sqb {
-                if hw[b.o3 as usize + c as usize] != NULL {
+                if hw.get(b.o3 as usize + c as usize) != NULL {
                     sc.h3_occ.push((b.v, c));
                 }
             }
@@ -552,12 +595,12 @@ pub(crate) fn expand_maxlink_round(
             let occ = &sc.h3_occ[s as usize..e as usize];
             if !occ
                 .iter()
-                .any(|&(_, c)| hw[b.o3 as usize + c as usize] != b.v as u64)
+                .any(|&(_, c)| hw.get(b.o3 as usize + c as usize) != b.v as u64)
             {
                 continue; // H3(v) = {v}: squaring is a no-op, skip unpaid
             }
             for &(_, p) in occ {
-                let w = hw[b.o3 as usize + p as usize];
+                let w = hw.get(b.o3 as usize + p as usize);
                 let wi = sc.builder_slot[w as usize];
                 if wi == NO_SLOT {
                     continue; // w lost its table race / is not a builder
@@ -676,14 +719,14 @@ pub(crate) fn expand_maxlink_round(
     // Live table cells: builders' old entries died with the swap; the new
     // H5 tables contribute their occupied non-self cells.
     {
-        let hw = pram.slice(heap);
+        let hw = pram.view(heap);
         let slot = &fs.scratch.builder_slot;
         fs.live
             .table_cells
             .retain(|&(x, _)| slot[x as usize] == NO_SLOT);
         for b in &fs.scratch.builders {
             for c in 0..b.sqb {
-                let w = hw[b.o5 as usize + c as usize];
+                let w = hw.get(b.o5 as usize + c as usize);
                 if w != NULL && w != b.v as u64 {
                     fs.live.table_cells.push((b.v, c));
                 }
@@ -743,17 +786,17 @@ pub(crate) fn expand_maxlink_round(
 
     // ---- Outcome metrics, from the live index instead of full-n scans.
     let dormant_count = {
-        let d = pram.slice(dormant);
+        let d = pram.view(dormant);
         fs.scratch
             .builders
             .iter()
-            .filter(|b| d[b.v as usize] == 1)
+            .filter(|b| d.get(b.v as usize) == 1)
             .count() as u64
     };
     {
-        let lv = pram.slice(level);
+        let lv = pram.view(level);
         for &v in &fs.live.roots {
-            fs.live.max_level_seen = fs.live.max_level_seen.max(lv[v as usize]);
+            fs.live.max_level_seen = fs.live.max_level_seen.max(lv.get(v as usize));
         }
     }
 

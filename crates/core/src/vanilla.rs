@@ -90,7 +90,7 @@ pub fn vanilla(pram: &mut Pram, g: &Graph, seed: u64) -> RunReport {
         }
     }
     debug_assert!(
-        verify::forest_heights(pram.slice(st.parent)).is_ok(),
+        verify::forest_heights(&pram.read_vec(st.parent)).is_ok(),
         "Vanilla produced a cyclic labeled digraph"
     );
     let labels = st.labels_rooted(pram);

@@ -121,6 +121,17 @@ impl GraphBuilder {
         self.store.pushed()
     }
 
+    /// Set (or clear) the edge-run spill directory, overriding the
+    /// `LOGDIAM_RUN_SPILL` default (see [`EdgeRunStore::set_spill_dir`]).
+    pub fn set_spill_dir(&mut self, dir: Option<std::path::PathBuf>) {
+        self.store.set_spill_dir(dir);
+    }
+
+    /// `(runs spilled, spill bytes written)` by this builder's store.
+    pub fn spill_stats(&self) -> (usize, u64) {
+        (self.store.spilled_runs(), self.store.spill_bytes())
+    }
+
     /// Finish: merge the sealed runs and build CSR.
     pub fn build(self) -> Graph {
         Graph::from_canonical_edges(self.n, self.store.into_sorted_edges())

@@ -25,8 +25,24 @@
 //! most the deduplicated pushed edges) + (the merged list being written),
 //! instead of (full unsorted push list) + (sorted copy). The run capacity
 //! is a host-memory knob only — it never changes the resulting graph.
+//!
+//! **Out-of-core mode** (PR 10): with spill enabled
+//! ([`RUN_SPILL_ENV`] or [`EdgeRunStore::set_spill_dir`]), sealed runs are
+//! written to disk as fixed-width 8-byte little-endian records in
+//! *unlinked* temp files (the fd keeps the data alive; nothing is left
+//! behind on any exit path), and the final merge streams them back through
+//! bounded read buffers. Peak build memory then drops to ≈ (one open run
+//! buffer) + (merge read buffers) + (the merged list being written) —
+//! the sealed-run mass moves to disk. The merge output is the sorted set
+//! union either way, so spilling is bit-identical to in-memory building,
+//! at any thread count.
 
 use rayon::prelude::*;
+use std::fs::File;
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default run capacity (edges per sealed run): 2^21 edges = 16 MiB per
 /// run buffer. Large enough that sort/seal overhead is negligible, small
@@ -51,9 +67,174 @@ pub fn run_capacity() -> usize {
         .unwrap_or(DEFAULT_RUN_EDGES)
 }
 
+/// Environment variable enabling run spill: unset, empty, or `0` = off;
+/// `1` = spill to the system temp dir; anything else = spill to that
+/// directory. A host-memory knob only — the built graph is identical.
+pub const RUN_SPILL_ENV: &str = "LOGDIAM_RUN_SPILL";
+
+/// Edge pairs per file-read buffer while merging spilled runs: 2^14 pairs
+/// = 128 KiB per cursor, large enough to amortize syscalls, small enough
+/// that even dozens of concurrent cursors stay in cache-level memory.
+const FILE_BUF_PAIRS: usize = 1 << 14;
+
+/// The spill directory currently requested by [`RUN_SPILL_ENV`] (`None` =
+/// spill off).
+pub fn spill_dir_from_env() -> Option<PathBuf> {
+    match std::env::var(RUN_SPILL_ENV) {
+        Err(_) => None,
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) if v == "1" => Some(std::env::temp_dir()),
+        Ok(v) => Some(PathBuf::from(v)),
+    }
+}
+
+/// Process-wide spill traffic counters (monotonic), so a driver can delta
+/// around a build it doesn't own the store of: `(runs spilled, bytes
+/// written)`.
+static SPILLED_RUNS: AtomicU64 = AtomicU64::new(0);
+static SPILL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide spill counters: `(runs, bytes)` written
+/// to spill files since process start.
+pub fn spill_counters() -> (u64, u64) {
+    (
+        SPILLED_RUNS.load(Ordering::Relaxed),
+        SPILL_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// A sealed run spilled to disk: `len` sorted duplicate-free edges as
+/// 8-byte LE `(u, v)` records in an *unlinked* file (deleted from the
+/// directory the moment it is written — the open fd is the only thing
+/// keeping the bytes, so every exit path cleans up).
+struct FileRun {
+    file: File,
+    len: usize,
+}
+
+impl FileRun {
+    /// Spill `edges` into a fresh unlinked file under `dir`.
+    fn write(edges: &[(u32, u32)], dir: &Path) -> FileRun {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("spill dir {} unusable: {e}", dir.display()));
+        let name = format!(
+            "logdiam-run-{}-{}.spill",
+            std::process::id(),
+            NEXT_ID.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("spill file {} create failed: {e}", path.display()));
+        // Unlink immediately: the handle keeps the run readable, and the
+        // kernel reclaims the space whenever the store (or process) dies.
+        std::fs::remove_file(&path)
+            .unwrap_or_else(|e| panic!("spill file {} unlink failed: {e}", path.display()));
+        let mut w = std::io::BufWriter::with_capacity(1 << 20, &file);
+        for &(u, v) in edges {
+            w.write_all(&u.to_le_bytes()).expect("spill write failed");
+            w.write_all(&v.to_le_bytes()).expect("spill write failed");
+        }
+        w.flush().expect("spill flush failed");
+        drop(w);
+        SPILLED_RUNS.fetch_add(1, Ordering::Relaxed);
+        SPILL_BYTES.fetch_add(edges.len() as u64 * 8, Ordering::Relaxed);
+        FileRun {
+            file,
+            len: edges.len(),
+        }
+    }
+
+    /// Random-access read of record `i` (used by splitter binary search —
+    /// O(log len) such reads per splitter, negligible next to streaming).
+    fn get(&self, i: usize) -> (u32, u32) {
+        debug_assert!(i < self.len);
+        let mut rec = [0u8; 8];
+        self.file
+            .read_exact_at(&mut rec, i as u64 * 8)
+            .expect("spill read failed");
+        (
+            u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+            u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+        )
+    }
+
+    /// Bulk read of records `[start, end)` into `out` (appended).
+    fn read_range_into(&self, start: usize, end: usize, out: &mut Vec<(u32, u32)>) {
+        debug_assert!(start <= end && end <= self.len);
+        let n = end - start;
+        let mut bytes = vec![0u8; n * 8];
+        self.file
+            .read_exact_at(&mut bytes, start as u64 * 8)
+            .expect("spill read failed");
+        out.reserve(n);
+        for rec in bytes.chunks_exact(8) {
+            out.push((
+                u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+                u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+            ));
+        }
+    }
+
+    fn to_vec(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        self.read_range_into(0, self.len, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Debug for FileRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileRun").field("len", &self.len).finish()
+    }
+}
+
+/// One sealed (sorted, duplicate-free) run, in memory or spilled.
+#[derive(Debug)]
+enum SealedRun {
+    Mem(Vec<(u32, u32)>),
+    File(FileRun),
+}
+
+impl SealedRun {
+    fn len(&self) -> usize {
+        match self {
+            SealedRun::Mem(v) => v.len(),
+            SealedRun::File(f) => f.len,
+        }
+    }
+
+    /// Record `i` (random access; cheap for memory, one pread for files).
+    fn get(&self, i: usize) -> (u32, u32) {
+        match self {
+            SealedRun::Mem(v) => v[i],
+            SealedRun::File(f) => f.get(i),
+        }
+    }
+
+    /// First index whose record is ≥ `key` (the `partition_point` of the
+    /// run under `< key`), by binary search over [`SealedRun::get`].
+    fn lower_bound(&self, key: (u32, u32)) -> usize {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.get(mid) < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
 /// Bounded-buffer store of canonicalized edges as sorted deduplicated
 /// runs. See the module docs for the memory discipline.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct EdgeRunStore {
     /// Range bound for pushed endpoints (`None` = unbounded, track max).
     bound: Option<u32>,
@@ -61,17 +242,47 @@ pub struct EdgeRunStore {
     max_id: Option<u32>,
     /// Edges per sealed run.
     run_capacity: usize,
+    /// Spill directory (`None` = sealed runs stay in memory).
+    spill: Option<PathBuf>,
     /// The open (unsorted) buffer.
     buf: Vec<(u32, u32)>,
     /// Sealed runs: each sorted and duplicate-free.
-    runs: Vec<Vec<(u32, u32)>>,
+    runs: Vec<SealedRun>,
     /// Loop-surviving pushes (pre-dedup), for `raw_edge_count` semantics.
     pushed: usize,
+    /// Bytes this store has written to spill files.
+    spill_bytes: u64,
+}
+
+impl Clone for EdgeRunStore {
+    /// Cloning a store with spilled runs reads them back into memory (the
+    /// clone path is host bookkeeping on small stores; big out-of-core
+    /// builds never clone mid-stream).
+    fn clone(&self) -> Self {
+        EdgeRunStore {
+            bound: self.bound,
+            max_id: self.max_id,
+            run_capacity: self.run_capacity,
+            spill: self.spill.clone(),
+            buf: self.buf.clone(),
+            runs: self
+                .runs
+                .iter()
+                .map(|r| match r {
+                    SealedRun::Mem(v) => SealedRun::Mem(v.clone()),
+                    SealedRun::File(f) => SealedRun::Mem(f.to_vec()),
+                })
+                .collect(),
+            pushed: self.pushed,
+            spill_bytes: self.spill_bytes,
+        }
+    }
 }
 
 impl EdgeRunStore {
     /// Store for edges on vertices `0..n` (out-of-range pushes panic),
-    /// with the ambient run capacity ([`run_capacity`]).
+    /// with the ambient run capacity ([`run_capacity`]) and the ambient
+    /// spill setting ([`RUN_SPILL_ENV`]).
     pub fn new(n: usize) -> Self {
         assert!(n < u32::MAX as usize, "vertex count too large");
         Self::with_run_capacity(Some(n as u32), run_capacity())
@@ -84,17 +295,41 @@ impl EdgeRunStore {
         Self::with_run_capacity(None, run_capacity())
     }
 
-    /// Explicit run capacity (tests and sweeps; `cap ≥ 1`).
+    /// Explicit run capacity (tests and sweeps; `cap ≥ 1`). Spill follows
+    /// [`RUN_SPILL_ENV`]; override with [`EdgeRunStore::set_spill_dir`].
     pub fn with_run_capacity(bound: Option<u32>, cap: usize) -> Self {
         let cap = cap.max(1);
         EdgeRunStore {
             bound,
             max_id: None,
             run_capacity: cap,
+            spill: spill_dir_from_env(),
             buf: Vec::new(),
             runs: Vec::new(),
             pushed: 0,
+            spill_bytes: 0,
         }
+    }
+
+    /// Set (or clear) the spill directory programmatically, overriding
+    /// the [`RUN_SPILL_ENV`] default. Affects runs sealed *after* the
+    /// call; already-sealed runs keep their representation (mixing is
+    /// fine — the merge handles both).
+    pub fn set_spill_dir(&mut self, dir: Option<PathBuf>) {
+        self.spill = dir;
+    }
+
+    /// Sealed runs currently spilled to disk.
+    pub fn spilled_runs(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| matches!(r, SealedRun::File(_)))
+            .count()
+    }
+
+    /// Bytes this store has written to spill files (monotonic).
+    pub fn spill_bytes(&self) -> u64 {
+        self.spill_bytes
     }
 
     /// Push one undirected edge: self-loops are dropped, endpoints
@@ -133,16 +368,28 @@ impl EdgeRunStore {
         self.max_id
     }
 
-    /// Sort + dedup the open buffer into a sealed run.
+    /// Sort + dedup the open buffer into a sealed run (spilled to disk
+    /// when a spill directory is set — the buffer is then reused for the
+    /// next run instead of being given away).
     fn seal(&mut self) {
         if self.buf.is_empty() {
             return;
         }
-        let mut run = std::mem::take(&mut self.buf);
-        run.sort_unstable();
-        run.dedup();
-        run.shrink_to_fit();
-        self.runs.push(run);
+        self.buf.sort_unstable();
+        self.buf.dedup();
+        match &self.spill {
+            Some(dir) => {
+                let fr = FileRun::write(&self.buf, dir);
+                self.spill_bytes += fr.len as u64 * 8;
+                self.runs.push(SealedRun::File(fr));
+                self.buf.clear();
+            }
+            None => {
+                let mut run = std::mem::take(&mut self.buf);
+                run.shrink_to_fit();
+                self.runs.push(SealedRun::Mem(run));
+            }
+        }
     }
 
     /// Finish: merge all runs into the sorted duplicate-free canonical
@@ -150,10 +397,24 @@ impl EdgeRunStore {
     pub fn into_sorted_edges(mut self) -> Vec<(u32, u32)> {
         self.seal();
         if self.runs.len() == 1 {
-            return self.runs.pop().unwrap();
+            return match self.runs.pop().unwrap() {
+                SealedRun::Mem(v) => v,
+                SealedRun::File(f) => f.to_vec(),
+            };
         }
-        let slices: Vec<&[(u32, u32)]> = self.runs.iter().map(|r| r.as_slice()).collect();
-        merge_sorted_runs(&slices)
+        if self.runs.iter().all(|r| matches!(r, SealedRun::Mem(_))) {
+            // Pure in-memory path, unchanged from PR 8.
+            let slices: Vec<&[(u32, u32)]> = self
+                .runs
+                .iter()
+                .map(|r| match r {
+                    SealedRun::Mem(v) => v.as_slice(),
+                    SealedRun::File(_) => unreachable!(),
+                })
+                .collect();
+            return merge_sorted_runs(&slices);
+        }
+        merge_sealed_runs(&self.runs)
     }
 }
 
@@ -218,6 +479,160 @@ pub fn merge_sorted_runs(runs: &[&[(u32, u32)]]) -> Vec<(u32, u32)> {
     let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
     for p in parts {
         out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// Merge sealed runs of any representation (memory and/or spilled) into
+/// the sorted duplicate-free set union — the out-of-core counterpart of
+/// [`merge_sorted_runs`], sharing its key-space partitioning scheme so
+/// the output is bit-identical to what the in-memory merge produces for
+/// the same union, at any thread count. File runs are streamed through
+/// bounded buffers ([`FILE_BUF_PAIRS`] pairs per cursor); per-record
+/// random access happens only in the O(k · log) splitter search.
+fn merge_sealed_runs(runs: &[SealedRun]) -> Vec<(u32, u32)> {
+    let live: Vec<&SealedRun> = runs.iter().filter(|r| r.len() > 0).collect();
+    match live.len() {
+        0 => return Vec::new(),
+        1 => {
+            return match live[0] {
+                SealedRun::Mem(v) => v.clone(),
+                SealedRun::File(f) => f.to_vec(),
+            }
+        }
+        _ => {}
+    }
+    let total: usize = live.iter().map(|r| r.len()).sum();
+    let nthreads = rayon::current_num_threads();
+    if nthreads <= 1 || total < MIN_PARALLEL_MERGE {
+        let cursors = live.iter().map(|r| RunCursor::new(r, 0, r.len())).collect();
+        return merge_cursors(cursors, total);
+    }
+
+    // Same splitter scheme as merge_sorted_runs: quantiles of the largest
+    // run partition the key space; every run is cut at each splitter.
+    let nchunks = (nthreads * 4).min(total / (MIN_PARALLEL_MERGE / 4)).max(1);
+    let largest = live.iter().max_by_key(|r| r.len()).unwrap();
+    let mut splitters: Vec<(u32, u32)> = (1..nchunks)
+        .map(|c| largest.get(c * largest.len() / nchunks))
+        .collect();
+    splitters.dedup();
+    let cuts: Vec<Vec<usize>> = live
+        .iter()
+        .map(|r| {
+            let mut c = Vec::with_capacity(splitters.len() + 2);
+            c.push(0);
+            for &s in &splitters {
+                c.push(r.lower_bound(s));
+            }
+            c.push(r.len());
+            c
+        })
+        .collect();
+    let nchunks = splitters.len() + 1;
+
+    let parts: Vec<Vec<(u32, u32)>> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let mut size = 0usize;
+            let cursors: Vec<RunCursor> = live
+                .iter()
+                .zip(&cuts)
+                .filter(|(_, cut)| cut[c] < cut[c + 1])
+                .map(|(r, cut)| {
+                    size += cut[c + 1] - cut[c];
+                    RunCursor::new(r, cut[c], cut[c + 1])
+                })
+                .collect();
+            merge_cursors(cursors, size)
+        })
+        .collect();
+    let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
+}
+
+/// Streaming cursor over a `[start, end)` range of a sealed run: memory
+/// ranges borrow the slice, file ranges refill a bounded buffer.
+struct RunCursor<'a> {
+    run: &'a SealedRun,
+    /// Next absolute index to buffer from (file runs).
+    next: usize,
+    end: usize,
+    /// Buffered window (file runs; memory runs use the slice directly).
+    buf: Vec<(u32, u32)>,
+    /// Position within `buf` / within the memory slice.
+    pos: usize,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(run: &'a SealedRun, start: usize, end: usize) -> Self {
+        let mut c = RunCursor {
+            run,
+            next: start,
+            end,
+            buf: Vec::new(),
+            pos: start,
+        };
+        if let SealedRun::File(_) = run {
+            c.pos = 0;
+            c.refill();
+        }
+        c
+    }
+
+    fn refill(&mut self) {
+        if let SealedRun::File(f) = self.run {
+            self.buf.clear();
+            self.pos = 0;
+            let upto = self.end.min(self.next + FILE_BUF_PAIRS);
+            if self.next < upto {
+                f.read_range_into(self.next, upto, &mut self.buf);
+                self.next = upto;
+            }
+        }
+    }
+
+    /// The current head edge, or `None` when the range is exhausted.
+    fn head(&self) -> Option<(u32, u32)> {
+        match self.run {
+            SealedRun::Mem(v) => (self.pos < self.end).then(|| v[self.pos]),
+            SealedRun::File(_) => self.buf.get(self.pos).copied(),
+        }
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+        if let SealedRun::File(_) = self.run {
+            if self.pos >= self.buf.len() && self.next < self.end {
+                self.refill();
+            }
+        }
+    }
+}
+
+/// K-way tournament over cursors with streamwise dedup — the same merge
+/// order (heap keyed on head edge, ties by cursor index) as
+/// [`merge_range`], so the output is the identical sorted set union.
+fn merge_cursors(mut cursors: Vec<RunCursor>, size_hint: usize) -> Vec<(u32, u32)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut out = Vec::with_capacity(size_hint);
+    let mut heap: BinaryHeap<Reverse<((u32, u32), usize)>> = cursors
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.head().map(|e| Reverse((e, i))))
+        .collect();
+    while let Some(Reverse((e, i))) = heap.pop() {
+        if out.last() != Some(&e) {
+            out.push(e);
+        }
+        cursors[i].advance();
+        if let Some(next) = cursors[i].head() {
+            heap.push(Reverse((next, i)));
+        }
     }
     out
 }

@@ -195,11 +195,11 @@ where
     });
     pram.charge(items.len(), 4); // Lemma D.2: placement in O(1) charged time
     let out: Vec<T> = {
-        let fl = pram.slice(flags);
+        let fl = pram.view(flags);
         items
             .iter()
-            .zip(fl)
-            .filter(|&(_, &f)| f != 0)
+            .zip(fl.iter())
+            .filter(|&(_, f)| f != 0)
             .map(|(&it, _)| it)
             .collect()
     };

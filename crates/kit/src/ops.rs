@@ -213,7 +213,7 @@ impl Flag {
 /// Host-side count of cells satisfying `pred` (controller bookkeeping,
 /// no simulated time charged).
 pub fn host_count(pram: &Pram, h: Handle, pred: impl Fn(u64) -> bool) -> usize {
-    pram.slice(h).iter().filter(|&&x| pred(x)).count()
+    pram.view(h).iter().filter(|&x| pred(x)).count()
 }
 
 #[cfg(test)]

@@ -5,23 +5,92 @@
 //! Reads go straight to the frozen pre-step memory image; writes are
 //! buffered (sharded by address so the commit phase can run in parallel on
 //! disjoint address sets) and committed by the machine when the step ends.
+//!
+//! Write records carry no precomputed priority: the seeded-arbitrary
+//! policies derive the winner from `(seed, addr, value)` at commit time
+//! and the processor-priority policies from the record's processor id, so
+//! a buffered write is 16 bytes — and only 8 under narrow cells with a
+//! value-resolved policy (see `NarrowRec` in this module).
 
-use crate::mem::Handle;
-use crate::resolve::WritePolicy;
+use crate::mem::{narrow_encode, CellsRef, Handle, NARROW_ESC};
 use crate::splitmix64;
 
-/// One buffered write.
+/// One buffered write (full-width record).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct WriteRec {
     pub(crate) addr: u32,
+    /// The writing processor id (resolution input for the
+    /// processor-priority policies; ignored otherwise). Steps are capped
+    /// at 2^32 processors, see `Pram::step_charged`.
+    pub(crate) aux: u32,
     pub(crate) val: u64,
-    /// Resolution priority (larger wins); 0 under the racy policy.
-    pub(crate) prio: u64,
+}
+
+/// One buffered write in narrow-cell encoding: 8 bytes. `val` is the
+/// narrow encoding of the written value; a [`NARROW_ESC`] value means the
+/// actual 64-bit value is the next unconsumed entry of the shard's `wide`
+/// side list (records are committed strictly in push order per shard, so
+/// a single cursor recovers the pairing).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NarrowRec {
+    pub(crate) addr: u32,
+    pub(crate) val: u32,
+}
+
+/// One shard's buffered writes.
+pub(crate) enum ShardBuf {
+    /// Full-width records (any policy, any cell width).
+    Wide(Vec<WriteRec>),
+    /// Narrow records + escape side list (narrow cells with a policy that
+    /// resolves from the value, i.e. everything but `Priority*`).
+    Narrow {
+        recs: Vec<NarrowRec>,
+        wide: Vec<u64>,
+    },
+}
+
+impl ShardBuf {
+    pub(crate) fn clear(&mut self) {
+        match self {
+            ShardBuf::Wide(v) => v.clear(),
+            ShardBuf::Narrow { recs, wide } => {
+                recs.clear();
+                wide.clear();
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            ShardBuf::Wide(v) => v.is_empty(),
+            ShardBuf::Narrow { recs, wide } => recs.is_empty() && wide.is_empty(),
+        }
+    }
+}
+
+/// Record layout a machine's steps buffer writes in (fixed per machine:
+/// chosen from the policy and cell width at construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RecLayout {
+    Wide,
+    Narrow,
+}
+
+impl RecLayout {
+    pub(crate) fn empty_shard(self) -> ShardBuf {
+        match self {
+            RecLayout::Wide => ShardBuf::Wide(Vec::new()),
+            RecLayout::Narrow => ShardBuf::Narrow {
+                recs: Vec::new(),
+                wide: Vec::new(),
+            },
+        }
+    }
 }
 
 /// The write buffers produced by one fold segment of a step.
 pub(crate) struct CtxOut {
-    pub(crate) shards: Vec<Vec<WriteRec>>,
+    pub(crate) shards: Vec<ShardBuf>,
     pub(crate) reads: u64,
     pub(crate) writes: u64,
     pub(crate) max_ops: u32,
@@ -33,10 +102,9 @@ pub(crate) struct CtxOut {
 /// audited so that "each processor does O(1) work per step" is a measured
 /// property, not an assumption (see `Stats::max_ops_per_proc`).
 pub struct Ctx<'a> {
-    words: &'a [u64],
-    policy: WritePolicy,
+    mem: CellsRef<'a>,
     shard_mask: u32,
-    shards: Vec<Vec<WriteRec>>,
+    shards: Vec<ShardBuf>,
     step_seed: u64,
     proc: u64,
     ops_this_proc: u32,
@@ -49,37 +117,31 @@ impl<'a> Ctx<'a> {
     /// Fresh-buffer constructor (tests; the machine recycles via
     /// [`Ctx::new_in`]).
     #[cfg(test)]
-    pub(crate) fn new(
-        words: &'a [u64],
-        policy: WritePolicy,
-        shard_count: u32,
-        step_seed: u64,
-    ) -> Self {
+    pub(crate) fn new(words: &'a [u64], shard_count: u32, step_seed: u64) -> Self {
+        let layout = RecLayout::Wide;
         Self::new_in(
-            words,
-            policy,
+            CellsRef::W64(words),
             shard_count,
             step_seed,
-            (0..shard_count).map(|_| Vec::new()).collect(),
+            (0..shard_count).map(|_| layout.empty_shard()).collect(),
         )
     }
 
-    /// Like [`Ctx::new`] but reusing `shards` buffers recycled from an
-    /// earlier step (must be empty, `shard_count` of them; their capacity
-    /// is the point — steady-state steps allocate nothing).
+    /// Like [`Ctx::new`] but over any cell representation and reusing
+    /// `shards` buffers recycled from an earlier step (must be empty,
+    /// `shard_count` of them, in the machine's record layout; their
+    /// capacity is the point — steady-state steps allocate nothing).
     pub(crate) fn new_in(
-        words: &'a [u64],
-        policy: WritePolicy,
+        mem: CellsRef<'a>,
         shard_count: u32,
         step_seed: u64,
-        shards: Vec<Vec<WriteRec>>,
+        shards: Vec<ShardBuf>,
     ) -> Self {
         debug_assert!(shard_count.is_power_of_two());
         debug_assert_eq!(shards.len(), shard_count as usize);
-        debug_assert!(shards.iter().all(Vec::is_empty));
+        debug_assert!(shards.iter().all(ShardBuf::is_empty));
         Ctx {
-            words,
-            policy,
+            mem,
             shard_mask: shard_count - 1,
             shards,
             step_seed,
@@ -122,19 +184,34 @@ impl<'a> Ctx<'a> {
     pub fn read(&mut self, h: Handle, i: usize) -> u64 {
         self.reads += 1;
         self.ops_this_proc += 1;
-        self.words[h.addr(i) as usize]
+        self.mem.get(h.addr(i) as usize)
     }
 
     /// Write `val` into cell `i` of block `h` (committed at end of step;
-    /// concurrent writes resolved by the machine's [`WritePolicy`]).
+    /// concurrent writes resolved by the machine's [`crate::WritePolicy`]).
     #[inline]
     pub fn write(&mut self, h: Handle, i: usize, val: u64) {
         self.writes += 1;
         self.ops_this_proc += 1;
         let addr = h.addr(i);
-        let prio = self.policy.priority(addr, self.proc, val);
         let shard = (addr & self.shard_mask) as usize;
-        self.shards[shard].push(WriteRec { addr, val, prio });
+        match &mut self.shards[shard] {
+            ShardBuf::Wide(recs) => recs.push(WriteRec {
+                addr,
+                aux: self.proc as u32,
+                val,
+            }),
+            ShardBuf::Narrow { recs, wide } => match narrow_encode(val) {
+                Some(x) => recs.push(NarrowRec { addr, val: x }),
+                None => {
+                    recs.push(NarrowRec {
+                        addr,
+                        val: NARROW_ESC,
+                    });
+                    wide.push(val);
+                }
+            },
+        }
     }
 
     /// Read cell `i` of a generation-stamped block: the stored value if
@@ -201,7 +278,7 @@ mod tests {
     #[test]
     fn writes_are_sharded_by_address() {
         let words = vec![0u64; 64];
-        let mut ctx = Ctx::new(&words, WritePolicy::PriorityMax, 4, 0);
+        let mut ctx = Ctx::new(&words, 4, 0);
         ctx.begin_proc(1);
         let h = Handle { base: 0, len: 64 };
         for i in 0..16 {
@@ -211,18 +288,48 @@ mod tests {
         let out = ctx.finish();
         assert_eq!(out.writes, 16);
         for (s, shard) in out.shards.iter().enumerate() {
-            assert_eq!(shard.len(), 4);
-            for rec in shard {
+            let ShardBuf::Wide(recs) = shard else {
+                panic!("expected wide layout")
+            };
+            assert_eq!(recs.len(), 4);
+            for rec in recs {
                 assert_eq!((rec.addr & 3) as usize, s);
+                assert_eq!(rec.aux, 1);
             }
         }
         assert_eq!(out.max_ops, 16);
     }
 
     #[test]
+    fn narrow_layout_escapes_oversized_values() {
+        let cells = vec![0u32; 8];
+        let wide = crate::mem::WideTable::new();
+        let mem = CellsRef::W32 {
+            cells: &cells,
+            wide: &wide,
+        };
+        let mut ctx = Ctx::new_in(mem, 1, 0, vec![RecLayout::Narrow.empty_shard()]);
+        ctx.begin_proc(0);
+        let h = Handle { base: 0, len: 8 };
+        ctx.write(h, 0, 5);
+        ctx.write(h, 1, crate::NULL);
+        ctx.write(h, 2, 1 << 40);
+        ctx.end_proc();
+        let out = ctx.finish();
+        let ShardBuf::Narrow { recs, wide } = &out.shards[0] else {
+            panic!("expected narrow layout")
+        };
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].val, 5);
+        assert_eq!(recs[1].val, u32::MAX);
+        assert_eq!(recs[2].val, NARROW_ESC);
+        assert_eq!(wide.as_slice(), &[1u64 << 40]);
+    }
+
+    #[test]
     fn rand_depends_on_proc_and_tag() {
         let words = vec![0u64; 1];
-        let mut ctx = Ctx::new(&words, WritePolicy::Racy, 1, 7);
+        let mut ctx = Ctx::new(&words, 1, 7);
         ctx.begin_proc(0);
         let a = ctx.rand(0);
         let b = ctx.rand(1);
@@ -238,7 +345,7 @@ mod tests {
     #[test]
     fn coin_matches_probability_roughly() {
         let words = vec![0u64; 1];
-        let mut ctx = Ctx::new(&words, WritePolicy::Racy, 1, 99);
+        let mut ctx = Ctx::new(&words, 1, 99);
         let mut hits = 0;
         let trials = 20_000;
         for p in 0..trials {

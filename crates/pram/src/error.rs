@@ -1,0 +1,63 @@
+//! Typed errors for the simulator's host-facing API.
+
+/// Errors the machine can report to host code.
+///
+/// Most simulator misuse (out-of-bounds cell access, zero-length
+/// allocations) stays a panic — those are driver bugs. Arena exhaustion is
+/// different: it is a *capacity* condition a scale-sweeping driver may want
+/// to detect and react to (shrink the input, switch representation), so it
+/// gets a typed error via [`crate::Pram::try_alloc`]. The panicking
+/// allocation paths format this same error, so the 2^32-word limit is
+/// always named in the message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PramError {
+    /// An allocation would push the arena past its word-address space.
+    ///
+    /// [`crate::Handle`] stores `u32` base addresses, so the arena is hard
+    /// capped at 2^32 words; allocation past that limit fails loudly here
+    /// instead of wrapping addresses.
+    ArenaExhausted {
+        /// Rounded block size (words) the failing allocation needed.
+        requested: usize,
+        /// Words already handed out (after size-class rounding).
+        live: usize,
+        /// The arena capacity in words (2^32 unless narrowed for tests).
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for PramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PramError::ArenaExhausted {
+                requested,
+                live,
+                limit,
+            } => write!(
+                f,
+                "arena exhausted: allocation of {requested} words does not fit \
+                 ({live} words live, limit {limit}); the word address space is \
+                 capped at 2^32 words because Handle addresses are u32"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_address_space_limit() {
+        let e = PramError::ArenaExhausted {
+            requested: 8,
+            live: 4,
+            limit: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("2^32"), "{s}");
+        assert!(s.contains("8 words"), "{s}");
+    }
+}

@@ -60,14 +60,16 @@
 #![warn(missing_docs)]
 
 pub mod ctx;
+pub mod error;
 pub mod machine;
 pub mod mem;
 pub mod resolve;
 pub mod stats;
 
 pub use ctx::Ctx;
+pub use error::PramError;
 pub use machine::{Pram, Stamped};
-pub use mem::{Handle, NULL};
+pub use mem::{CellWidth, Handle, MemView, NULL};
 pub use resolve::{CombineOp, WritePolicy};
 pub use stats::Stats;
 

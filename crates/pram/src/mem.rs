@@ -1,16 +1,247 @@
-//! Shared-memory arena with size-class reuse and space accounting.
+//! Shared-memory arena with size-class reuse, space accounting, and a
+//! selectable cell width.
 //!
-//! The paper's algorithms repeatedly allocate *blocks* (of size `b_ℓ`,
-//! always rounded here to a power of two) and the analysis bounds the total
-//! space by `O(m)`. To make that measurable, allocation goes through an
-//! arena that (a) rounds requests to power-of-two size classes, (b) reuses
-//! freed blocks, and (c) tracks the live-word count and its high-water mark.
+//! The paper's algorithms repeatedly allocate *blocks* (of size `b_ℓ`)
+//! and the analysis bounds the total space by `O(m)`. To make that
+//! measurable, allocation goes through an arena that (a) rounds requests
+//! to size classes, (b) reuses freed blocks, and (c) tracks the live-word
+//! count and its high-water mark.
+//!
+//! # Memory image
+//!
+//! Per simulated word the arena stores:
+//!
+//! * the cell itself — 8 bytes under [`CellWidth::W64`], 4 bytes under
+//!   [`CellWidth::W32`] (values that do not fit a narrow cell escape to a
+//!   striped side table, see below);
+//! * a 4-byte *stamp* (id of the last step that wrote the cell), which is
+//!   how the commit phase detects "first write of this step" without
+//!   clearing any per-step structure;
+//! * and — **only when the write policy resolves by processor id**
+//!   (`PriorityMin`/`PriorityMax`) — an 8-byte priority sidecar. The
+//!   default `ArbitrarySeeded`/`CrewChecked` policies recompute the
+//!   winning priority from the *stored value* at commit time (the
+//!   priority is a hash of `(seed, addr, value)`), so they never pay for
+//!   this array.
+//!
+//! That makes the footprint 12 bytes/word for the default policy at full
+//! width, and 8 bytes/word narrow — down from the historical 20.
+//!
+//! # Narrow cells
+//!
+//! Under [`CellWidth::W32`] a cell holds `u32`; two encodings are
+//! reserved: `0xFFFF_FFFF` represents [`NULL`] (`u64::MAX`), and
+//! `0xFFFF_FFFE` marks an *escaped* cell whose actual 64-bit value lives
+//! in a mutex-striped side table keyed by address. Any `u64` value is
+//! therefore representable at any width — narrow mode is purely a
+//! memory/performance choice, never a semantic one — but drivers should
+//! pick `W32` only when almost all stored values fit 32 bits (vertex ids,
+//! parents, offsets and generation stamps all do for `n < 2^31`).
+//!
+//! # Size classes
+//!
+//! Block sizes of ≤ 16 words round to powers of two; larger requests
+//! round up to a quarter-power-of-two granule (`{4,5,6,7} · 2^k`), so the
+//! worst-case rounding waste is 25% instead of the ~100% a pure
+//! power-of-two ladder can hit. This matters at the top of the address
+//! space: the arena is capped at 2^32 words (`Handle` addresses are
+//! `u32`, see [`crate::PramError::ArenaExhausted`]), and `n = 1e8` runs
+//! only fit under the finer rounding.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// The canonical "empty cell" sentinel.
 ///
 /// Vertex ids, parent pointers and table cells use `NULL` for "no value".
 /// It is `u64::MAX`, which no vertex id or packed value ever equals.
 pub const NULL: u64 = u64::MAX;
+
+/// Cell representation of a machine's shared memory (chosen at
+/// [`crate::Pram::with_width`]; the plain constructor defaults to `W64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellWidth {
+    /// 8-byte cells: every value is stored directly.
+    W64,
+    /// 4-byte cells with an escape table for values that need 64 bits
+    /// (see the module docs). Right when the driver's working values —
+    /// vertex ids, parents, offsets — fit `u32`.
+    W32,
+}
+
+impl CellWidth {
+    /// The natural width for a driver whose ordinary (non-`NULL`) values
+    /// are bounded by `max_value`: `W32` when they all fit a narrow cell
+    /// directly, else `W64`. Purely advisory — either width is always
+    /// correct.
+    pub fn for_max_value(max_value: u64) -> CellWidth {
+        if max_value < NARROW_ESC as u64 {
+            CellWidth::W32
+        } else {
+            CellWidth::W64
+        }
+    }
+
+    /// Bytes of backing store per simulated word for the cell itself
+    /// (excludes the stamp and any priority sidecar).
+    pub fn cell_bytes(self) -> usize {
+        match self {
+            CellWidth::W64 => 8,
+            CellWidth::W32 => 4,
+        }
+    }
+}
+
+/// Narrow encoding of [`NULL`].
+pub(crate) const NARROW_NULL: u32 = u32::MAX;
+/// Narrow marker for "value lives in the wide side table".
+pub(crate) const NARROW_ESC: u32 = u32::MAX - 1;
+
+/// Encode a value for a narrow cell: `Some(cell)` when it is directly
+/// representable, `None` when it must escape to the wide table.
+#[inline]
+pub(crate) fn narrow_encode(v: u64) -> Option<u32> {
+    if v == NULL {
+        Some(NARROW_NULL)
+    } else if v < NARROW_ESC as u64 {
+        Some(v as u32)
+    } else {
+        None
+    }
+}
+
+/// Side table for escaped narrow-cell values, striped by address so the
+/// sharded commit (which partitions addresses) almost never contends.
+///
+/// Entries are only meaningful while the owning cell still carries the
+/// [`NARROW_ESC`] marker; a cell overwritten with a directly-representable
+/// value simply orphans its entry (bounded by the number of escaped
+/// writes ever performed, which for the intended drivers is ~0).
+pub(crate) struct WideTable {
+    stripes: Box<[Mutex<HashMap<u32, u64>>]>,
+}
+
+const WIDE_STRIPES: usize = 64;
+
+impl WideTable {
+    pub(crate) fn new() -> Self {
+        WideTable {
+            stripes: (0..WIDE_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn stripe(&self, addr: u32) -> &Mutex<HashMap<u32, u64>> {
+        &self.stripes[(addr as usize) & (WIDE_STRIPES - 1)]
+    }
+
+    /// The 64-bit value behind an escaped cell. Panics if the entry is
+    /// missing — that would mean a cell carries the escape marker without
+    /// a matching store, i.e. an arena bug.
+    #[inline]
+    pub(crate) fn get(&self, addr: u32) -> u64 {
+        *self
+            .stripe(addr)
+            .lock()
+            .unwrap()
+            .get(&addr)
+            .expect("escaped cell has no wide-table entry")
+    }
+
+    #[inline]
+    pub(crate) fn set(&self, addr: u32, v: u64) {
+        self.stripe(addr).lock().unwrap().insert(addr, v);
+    }
+
+    fn clear(&self) {
+        for s in self.stripes.iter() {
+            s.lock().unwrap().clear();
+        }
+    }
+
+    fn entries(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// Read-only view of the cell store, shared with step contexts while a
+/// step runs (reads see the frozen pre-step image).
+#[derive(Clone, Copy)]
+pub(crate) enum CellsRef<'a> {
+    W64(&'a [u64]),
+    W32 {
+        cells: &'a [u32],
+        wide: &'a WideTable,
+    },
+}
+
+impl CellsRef<'_> {
+    /// Decode the word at absolute address `a`.
+    #[inline]
+    pub(crate) fn get(self, a: usize) -> u64 {
+        match self {
+            CellsRef::W64(w) => w[a],
+            CellsRef::W32 { cells, wide } => match cells[a] {
+                NARROW_NULL => NULL,
+                NARROW_ESC => wide.get(a as u32),
+                x => x as u64,
+            },
+        }
+    }
+}
+
+/// Host-side read view of one block, valid at either cell width.
+///
+/// The width-agnostic replacement for borrowing a raw `&[u64]`: every
+/// controller-side scan in the drivers goes through `get`/`iter`, which
+/// decode narrow cells transparently. Obtained from [`crate::Pram::view`].
+#[derive(Clone, Copy)]
+pub struct MemView<'a> {
+    cells: CellsRef<'a>,
+    base: usize,
+    len: usize,
+}
+
+impl<'a> MemView<'a> {
+    pub(crate) fn new(cells: CellsRef<'a>, base: usize, len: usize) -> Self {
+        MemView { cells, base, len }
+    }
+
+    /// Number of words in the viewed block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the viewed block is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value of cell `i` (bounds-checked against the block).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        assert!(
+            i < self.len,
+            "index {i} out of bounds for view of len {}",
+            self.len
+        );
+        self.cells.get(self.base + i)
+    }
+
+    /// Iterate the block's values in order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len).map(move |i| self.cells.get(self.base + i))
+    }
+
+    /// Copy the block out as a `Vec<u64>`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+}
 
 /// A handle to a contiguous block of shared-memory words.
 ///
@@ -67,67 +298,371 @@ impl Handle {
     }
 }
 
+/// Mutable raw pointer to the cell store, for the sharded parallel
+/// commit (addresses are partitioned across threads by the caller).
+#[derive(Clone, Copy)]
+pub(crate) enum CellsPtr {
+    W64(*mut u64),
+    W32(*mut u32),
+}
+
+/// Backing store of the cells at the machine's width.
+pub(crate) enum Cells {
+    W64(Vec<u64>),
+    W32(Vec<u32>),
+}
+
+impl Cells {
+    fn len(&self) -> usize {
+        match self {
+            Cells::W64(w) => w.len(),
+            Cells::W32(c) => c.len(),
+        }
+    }
+
+    fn capacity_bytes(&self) -> usize {
+        match self {
+            Cells::W64(w) => w.capacity() * 8,
+            Cells::W32(c) => c.capacity() * 4,
+        }
+    }
+}
+
+/// Hard cap of the word address space: [`Handle`] bases are `u32`.
+pub(crate) const MAX_WORDS: usize = u32::MAX as usize;
+
+/// Round a request up to its size class (see the module docs): powers of
+/// two through 16 words, quarter-power granules above.
+#[inline]
+fn block_size(len: usize) -> usize {
+    if len <= 16 {
+        len.next_power_of_two()
+    } else {
+        let b = usize::BITS as usize - 1 - len.leading_zeros() as usize;
+        let unit = 1usize << (b - 2);
+        len.div_ceil(unit) * unit
+    }
+}
+
 /// Size-class arena backing the shared memory.
 pub(crate) struct Arena {
-    /// The memory words themselves.
-    pub(crate) words: Vec<u64>,
-    /// Per-word stamp: the id of the last step that wrote the cell. Used by
-    /// the commit phase to detect "first write of this step" without
-    /// clearing any per-step structure.
+    /// The memory words themselves, at the machine's cell width.
+    cells: Cells,
+    /// Per-word stamp: the id of the last step that wrote the cell.
     pub(crate) stamp: Vec<u32>,
-    /// Per-word priority of the winning write in the current step
-    /// (only meaningful where `stamp == current step`).
-    pub(crate) prio: Vec<u64>,
-    /// Free lists indexed by size class (block length = `1 << class`).
-    free: Vec<Vec<u32>>,
+    /// Per-word priority of the winning write in the current step — only
+    /// allocated for processor-priority policies (see the module docs).
+    prio: Option<Vec<u64>>,
+    /// Escaped narrow-cell values (unused, and empty, at `W64`).
+    pub(crate) wide: WideTable,
+    /// Free lists keyed by exact block size in words.
+    free: HashMap<usize, Vec<u32>>,
     /// Currently live words (counting size-class rounding).
     live: usize,
     /// High-water mark of `live`.
     peak: usize,
-}
-
-const MAX_CLASS: usize = 40;
-
-#[inline]
-fn class_of(len: usize) -> usize {
-    len.next_power_of_two().trailing_zeros() as usize
+    /// Address-space cap in words (`MAX_WORDS` outside capacity tests).
+    cap_words: usize,
 }
 
 impl Arena {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(width: CellWidth, track_prio: bool) -> Self {
         Arena {
-            words: Vec::new(),
+            cells: match width {
+                CellWidth::W64 => Cells::W64(Vec::new()),
+                CellWidth::W32 => Cells::W32(Vec::new()),
+            },
             stamp: Vec::new(),
-            prio: Vec::new(),
-            free: (0..=MAX_CLASS).map(|_| Vec::new()).collect(),
+            prio: track_prio.then(Vec::new),
+            wide: WideTable::new(),
+            free: HashMap::new(),
             live: 0,
             peak: 0,
+            cap_words: MAX_WORDS,
+        }
+    }
+
+    pub(crate) fn width(&self) -> CellWidth {
+        match self.cells {
+            Cells::W64(_) => CellWidth::W64,
+            Cells::W32(_) => CellWidth::W32,
+        }
+    }
+
+    /// Narrow the address-space cap (capacity-boundary tests only).
+    #[cfg(test)]
+    pub(crate) fn set_cap_words(&mut self, cap: usize) {
+        self.cap_words = cap;
+    }
+
+    /// Allocate a block of at least `len` words, filled with `fill`;
+    /// panics (naming the 2^32-word limit) on exhaustion.
+    pub(crate) fn alloc(&mut self, len: usize, fill: u64) -> Handle {
+        match self.try_alloc(len, fill) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Allocate a block of at least `len` words, filled with `fill`.
-    pub(crate) fn alloc(&mut self, len: usize, fill: u64) -> Handle {
+    pub(crate) fn try_alloc(&mut self, len: usize, fill: u64) -> Result<Handle, crate::PramError> {
         assert!(len > 0, "zero-length allocation");
-        let class = class_of(len);
-        assert!(class <= MAX_CLASS, "allocation of {len} words too large");
-        let size = 1usize << class;
-        let base = if let Some(base) = self.free[class].pop() {
-            self.words[base as usize..base as usize + size].fill(fill);
+        let size = block_size(len);
+        // Reuse-before-grow: exact-class pop, then best-fit split of a
+        // larger free block, and only then new backing. Growing first
+        // looks cheaper per call but strands every freed block whose
+        // class never recurs; on a path/1e8 Theorem-3 run that pushes
+        // backing to the 2^32-word cap with ~2e9 words sitting unusable
+        // in the free lists (interleaved with live blocks too finely for
+        // even coalescing to recover a large span). Reusing first keeps
+        // backing tracking *live peak* instead, which is what the
+        // words/vertex budget is measured against.
+        let reuse = self
+            .free
+            .get_mut(&size)
+            .and_then(Vec::pop)
+            .or_else(|| self.split_reuse(size));
+        let base = if let Some(base) = reuse {
+            self.fill_words(base as usize, size, fill);
             base
         } else {
-            let base = self.words.len();
-            assert!(base + size <= u32::MAX as usize, "arena exceeds 2^32 words");
-            self.words.resize(base + size, fill);
-            self.stamp.resize(base + size, 0);
-            self.prio.resize(base + size, 0);
-            base as u32
+            let grown = self.cells.len();
+            if grown + size <= self.cap_words {
+                self.grow(size, fill);
+                grown as u32
+            } else if let Some(base) = {
+                self.coalesce_free();
+                self.free
+                    .get_mut(&size)
+                    .and_then(Vec::pop)
+                    .or_else(|| self.split_reuse(size))
+            } {
+                self.fill_words(base as usize, size, fill);
+                base
+            } else {
+                return Err(crate::PramError::ArenaExhausted {
+                    requested: size,
+                    live: self.live,
+                    limit: self.cap_words,
+                });
+            }
         };
         self.live += size;
         self.peak = self.peak.max(self.live);
-        Handle {
+        Ok(Handle {
             base,
             len: len as u32,
+        })
+    }
+
+    /// Largest size class ≤ `r` (see [`block_size`]): powers of two below
+    /// 16, quarter-power granules above. Used to decompose a split
+    /// block's remainder into exact classes, so no words ever leak out
+    /// of the free lists.
+    fn largest_class_at_most(r: usize) -> usize {
+        debug_assert!(r > 0);
+        let b = usize::BITS as usize - 1 - r.leading_zeros() as usize;
+        if r < 16 {
+            1 << b
+        } else {
+            (r >> (b - 2)) << (b - 2)
         }
+    }
+
+    /// Best-fit split: serve `size` by splitting the smallest free block
+    /// large enough to hold it, pushing the remainder back onto the free
+    /// lists as exact size classes (no words ever leak — remainder
+    /// pieces stay available, including to later splits). Tried on
+    /// every allocation whose exact class misses, *before* growing the
+    /// backing: growth-first strands every freed block whose class never
+    /// recurs, and a path/1e8 Theorem-3 run dies that way at ≈ 2.3e9
+    /// live words with ≈ 2e9 stranded. Deterministic across processes
+    /// and thread counts: the donor is chosen by block size, never by
+    /// map iteration order.
+    fn split_reuse(&mut self, size: usize) -> Option<u32> {
+        let donor = self
+            .free
+            .iter()
+            .filter(|(sz, blocks)| **sz > size && !blocks.is_empty())
+            .map(|(sz, _)| *sz)
+            .min()?;
+        let base = self.free.get_mut(&donor)?.pop()?;
+        let mut rem_base = base as usize + size;
+        let mut rem = donor - size;
+        while rem > 0 {
+            let piece = Self::largest_class_at_most(rem);
+            self.free.entry(piece).or_default().push(rem_base as u32);
+            rem_base += piece;
+            rem -= piece;
+        }
+        Some(base)
+    }
+
+    /// Defragment the free lists: merge address-adjacent free blocks into
+    /// maximal spans and re-bucket each span as exact size classes.
+    /// Per-round table clusters are allocated at consecutive addresses
+    /// and freed together, so when a run strands its free words in many
+    /// *small* classes (no single block can serve a large request even
+    /// after [`Self::split_reuse`]), merging rebuilds the large
+    /// contiguous spans those rounds occupied. Only called when the
+    /// backing cannot grow; the cost is `O(F log F)` in the number of
+    /// free blocks, and each pass restocks the split-reuse donor pool so
+    /// passes stay rare. Deterministic: spans are sorted by base address
+    /// before merging, never visited in map order.
+    fn coalesce_free(&mut self) {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (&sz, blocks) in &self.free {
+            for &b in blocks {
+                spans.push((b as usize, sz));
+            }
+        }
+        spans.sort_unstable();
+        for list in self.free.values_mut() {
+            list.clear();
+        }
+        let mut merged: Vec<(usize, usize)> = Vec::with_capacity(spans.len());
+        for (b, s) in spans {
+            match merged.last_mut() {
+                Some((mb, ms)) if *mb + *ms == b => *ms += s,
+                _ => merged.push((b, s)),
+            }
+        }
+        for (mut b, mut s) in merged {
+            while s > 0 {
+                let piece = Self::largest_class_at_most(s);
+                self.free.entry(piece).or_default().push(b as u32);
+                b += piece;
+                s -= piece;
+            }
+        }
+    }
+
+    fn grow(&mut self, size: usize, fill: u64) {
+        if size >= (1 << 18) && std::env::var_os("LOGDIAM_ARENA_TRACE").is_some() {
+            let backing = self.cells.len();
+            let largest = self
+                .free
+                .iter()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(s, _)| *s)
+                .max()
+                .unwrap_or(0);
+            eprintln!(
+                "arena-trace grow size={size} backing={backing} live={} stranded={} largest_free={largest}",
+                self.live,
+                backing - self.live,
+            );
+        }
+        let new_len = self.cells.len() + size;
+        match &mut self.cells {
+            Cells::W64(w) => w.resize(new_len, fill),
+            Cells::W32(c) => match narrow_encode(fill) {
+                Some(x) => c.resize(new_len, x),
+                None => {
+                    let start = c.len();
+                    c.resize(new_len, NARROW_ESC);
+                    for a in start..new_len {
+                        self.wide.set(a as u32, fill);
+                    }
+                }
+            },
+        }
+        self.stamp.resize(new_len, 0);
+        if let Some(prio) = &mut self.prio {
+            prio.resize(new_len, 0);
+        }
+    }
+
+    /// Fill `len` words starting at absolute address `start` with `v`.
+    pub(crate) fn fill_words(&mut self, start: usize, len: usize, v: u64) {
+        match &mut self.cells {
+            Cells::W64(w) => w[start..start + len].fill(v),
+            Cells::W32(c) => match narrow_encode(v) {
+                Some(x) => c[start..start + len].fill(x),
+                None => {
+                    c[start..start + len].fill(NARROW_ESC);
+                    for a in start..start + len {
+                        self.wide.set(a as u32, v);
+                    }
+                }
+            },
+        }
+    }
+
+    /// Decode the word at absolute address `a`.
+    #[inline]
+    pub(crate) fn load(&self, a: usize) -> u64 {
+        self.cells_ref().get(a)
+    }
+
+    /// Store `v` at absolute address `a`.
+    #[inline]
+    pub(crate) fn store(&mut self, a: usize, v: u64) {
+        match &mut self.cells {
+            Cells::W64(w) => w[a] = v,
+            Cells::W32(c) => match narrow_encode(v) {
+                Some(x) => c[a] = x,
+                None => {
+                    self.wide.set(a as u32, v);
+                    c[a] = NARROW_ESC;
+                }
+            },
+        }
+    }
+
+    /// Copy `len` words from absolute address `s` to `d` (ranges may
+    /// overlap, like `copy_within`).
+    pub(crate) fn copy_words(&mut self, s: usize, d: usize, len: usize) {
+        match &mut self.cells {
+            Cells::W64(w) => w.copy_within(s..s + len, d),
+            Cells::W32(c) => {
+                c.copy_within(s..s + len, d);
+                // Escaped markers moved, but the wide table is keyed by
+                // address: re-key the copied escapes. Source entries are
+                // still present (the cells copy never touches the table).
+                for i in 0..len {
+                    if c[d + i] == NARROW_ESC {
+                        let v = self.wide.get((s + i) as u32);
+                        self.wide.set((d + i) as u32, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct `&[u64]` access (W64 only — callers that must work at any
+    /// width go through [`CellsRef`]/[`MemView`]).
+    pub(crate) fn words_u64(&self, base: usize, len: usize) -> &[u64] {
+        match &self.cells {
+            Cells::W64(w) => &w[base..base + len],
+            Cells::W32(_) => panic!(
+                "Pram::slice requires CellWidth::W64; use Pram::view for width-agnostic access"
+            ),
+        }
+    }
+
+    pub(crate) fn cells_ref(&self) -> CellsRef<'_> {
+        match &self.cells {
+            Cells::W64(w) => CellsRef::W64(w),
+            Cells::W32(c) => CellsRef::W32 {
+                cells: c,
+                wide: &self.wide,
+            },
+        }
+    }
+
+    /// Raw commit pointers (see `machine::ShardedMem`).
+    pub(crate) fn commit_ptrs(&mut self) -> (CellsPtr, *mut u32, *mut u64) {
+        let cells = match &mut self.cells {
+            Cells::W64(w) => CellsPtr::W64(w.as_mut_ptr()),
+            Cells::W32(c) => CellsPtr::W32(c.as_mut_ptr()),
+        };
+        let prio = self
+            .prio
+            .as_mut()
+            .map(|p| p.as_mut_ptr())
+            .unwrap_or(std::ptr::null_mut());
+        (cells, self.stamp.as_mut_ptr(), prio)
     }
 
     /// Return a block to its size-class free list.
@@ -135,9 +670,31 @@ impl Arena {
         if h.len == 0 {
             return;
         }
-        let class = class_of(h.len as usize);
-        self.free[class].push(h.base);
-        self.live -= 1usize << class;
+        let size = block_size(h.len as usize);
+        self.free.entry(size).or_default().push(h.base);
+        self.live -= size;
+    }
+
+    /// Drop all allocations and free lists but keep the backing capacity
+    /// (cell/stamp/prio buffers, free-list vectors), so the next run
+    /// re-grows into already-mapped memory. After a reset the arena is
+    /// observationally identical to a fresh one: the same allocation
+    /// sequence yields the same addresses and the same initial contents.
+    pub(crate) fn reset_keep_capacity(&mut self) {
+        match &mut self.cells {
+            Cells::W64(w) => w.clear(),
+            Cells::W32(c) => c.clear(),
+        }
+        self.stamp.clear();
+        if let Some(prio) = &mut self.prio {
+            prio.clear();
+        }
+        self.wide.clear();
+        for list in self.free.values_mut() {
+            list.clear();
+        }
+        self.live = 0;
+        self.peak = 0;
     }
 
     #[inline]
@@ -150,9 +707,21 @@ impl Arena {
         self.peak
     }
 
+    /// Words currently backed by the cell store (≥ live, the grow
+    /// high-water of this run).
     #[cfg(test)]
-    pub(crate) fn capacity_words(&self) -> usize {
-        self.words.len()
+    pub(crate) fn len_words(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Actual heap bytes behind the arena's per-word arrays (cells +
+    /// stamps + priority sidecar if present), by capacity. The footprint
+    /// measure the bytes/word acceptance tests pin.
+    pub(crate) fn backing_bytes(&self) -> usize {
+        self.cells.capacity_bytes()
+            + self.stamp.capacity() * 4
+            + self.prio.as_ref().map_or(0, |p| p.capacity() * 8)
+            + self.wide.entries() * 16
     }
 }
 
@@ -160,10 +729,14 @@ impl Arena {
 mod tests {
     use super::*;
 
+    fn arena() -> Arena {
+        Arena::new(CellWidth::W64, false)
+    }
+
     #[test]
     fn alloc_rounds_to_size_class_and_reuses() {
-        let mut a = Arena::new();
-        let h1 = a.alloc(5, 0); // class 3 => 8 words
+        let mut a = arena();
+        let h1 = a.alloc(5, 0); // class => 8 words
         assert_eq!(a.live_words(), 8);
         let h2 = a.alloc(8, 0);
         assert_eq!(a.live_words(), 16);
@@ -175,14 +748,33 @@ mod tests {
         assert_eq!(a.peak_words(), 16);
         // Reused block is re-filled.
         for i in 0..6 {
-            assert_eq!(a.words[h3.base as usize + i], 7);
+            assert_eq!(a.load(h3.base as usize + i), 7);
         }
         let _ = h2;
     }
 
     #[test]
+    fn quarter_classes_bound_rounding_waste() {
+        // Above 16 words, rounding goes to {4,5,6,7}·2^k granules.
+        assert_eq!(block_size(16), 16);
+        assert_eq!(block_size(17), 20);
+        assert_eq!(block_size(31), 32);
+        assert_eq!(block_size(32), 32);
+        assert_eq!(block_size(1000), 1024);
+        assert_eq!(block_size(200_000_000), 201_326_592); // 6 · 2^25
+        for len in [1usize, 2, 3, 9, 17, 33, 100, 5000, 1 << 20] {
+            let s = block_size(len);
+            assert!(s >= len);
+            assert!(s < len * 2, "waste over 2x at {len}");
+            if len > 16 {
+                assert!(s as f64 <= len as f64 * 1.25, "waste over 25% at {len}");
+            }
+        }
+    }
+
+    #[test]
     fn peak_tracks_high_water() {
-        let mut a = Arena::new();
+        let mut a = arena();
         let hs: Vec<_> = (0..10).map(|_| a.alloc(16, 0)).collect();
         assert_eq!(a.peak_words(), 160);
         for h in hs {
@@ -192,12 +784,155 @@ mod tests {
         assert_eq!(a.peak_words(), 160);
         let _ = a.alloc(16, 0);
         // No growth: reused freed block.
-        assert_eq!(a.capacity_words(), 160);
+        assert_eq!(a.len_words(), 160);
+    }
+
+    #[test]
+    fn capacity_boundary_is_a_typed_error() {
+        let mut a = arena();
+        a.set_cap_words(32);
+        let h = a.alloc(16, 0); // fits
+        let err = a.try_alloc(32, 0).unwrap_err();
+        match err {
+            crate::PramError::ArenaExhausted {
+                requested, limit, ..
+            } => {
+                assert_eq!(requested, 32);
+                assert_eq!(limit, 32);
+            }
+        }
+        // Freed space is reusable at the boundary.
+        a.dealloc(h);
+        assert!(a.try_alloc(16, 0).is_ok());
+    }
+
+    #[test]
+    fn split_reuse_serves_other_classes_at_the_address_cap() {
+        let mut a = arena();
+        a.set_cap_words(1 << 12);
+        let big = a.alloc(3000, 0); // class 3072
+        let keep = a.alloc(1000, 0); // class 1024 → backing at the 4096 cap
+        a.dealloc(big);
+        // Class 2048 is empty and growth would cross the cap: the freed
+        // 3072-word block must be split instead of erroring out.
+        let h = a.alloc(2000, 7);
+        assert_eq!(h.base, 0);
+        assert_eq!(a.load(h.base as usize), 7);
+        // The 1024-word remainder landed back on its exact class list
+        // and serves the next request without growth.
+        let h2 = a.alloc(900, 9);
+        assert_eq!(h2.base, 2048);
+        assert_eq!(a.load(h2.base as usize), 9);
+        // Genuine exhaustion (nothing big enough anywhere) still errors.
+        assert!(a.try_alloc(2000, 0).is_err());
+        let _ = keep;
+    }
+
+    #[test]
+    fn coalescing_merges_adjacent_small_blocks_at_the_address_cap() {
+        let mut a = arena();
+        a.set_cap_words(1 << 12);
+        // Four adjacent 1024-class blocks fill the backing to the cap.
+        let hs: Vec<_> = (0..4).map(|i| a.alloc(1000, i)).collect();
+        for h in hs {
+            a.dealloc(h);
+        }
+        // Class 4096 is empty, growth would cross the cap, and no single
+        // free block exceeds 4096 — split_reuse alone cannot serve this.
+        // Coalescing must merge the four neighbours into one 4096 span.
+        let h = a.alloc(4000, 7);
+        assert_eq!(h.base, 0);
+        assert_eq!(a.load(h.base as usize), 7);
+        assert_eq!(a.load(h.base as usize + 3999), 7);
+        // Everything is live again: any further request is exhaustion.
+        assert!(a.try_alloc(1, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "2^32")]
+    fn exhaustion_panic_names_the_limit() {
+        let mut a = arena();
+        a.set_cap_words(8);
+        let _ = a.alloc(16, 0);
+    }
+
+    #[test]
+    fn reset_keep_capacity_restores_fresh_addressing() {
+        let mut a = arena();
+        let h1 = a.alloc(100, 3);
+        let h2 = a.alloc(8, 9);
+        a.dealloc(h1);
+        a.reset_keep_capacity();
+        assert_eq!(a.live_words(), 0);
+        assert_eq!(a.peak_words(), 0);
+        // Same allocation sequence gives the same addresses and contents
+        // as a brand-new arena.
+        let h1b = a.alloc(100, 3);
+        let h2b = a.alloc(8, 9);
+        assert_eq!((h1b.base, h1b.len), (h1.base, h1.len));
+        assert_eq!((h2b.base, h2b.len), (h2.base, h2.len));
+        assert_eq!(a.load(h2b.base as usize), 9);
+        assert_eq!(a.load(h1b.base as usize + 99), 3);
+    }
+
+    #[test]
+    fn narrow_cells_roundtrip_all_value_ranges() {
+        let mut a = Arena::new(CellWidth::W32, false);
+        let h = a.alloc(8, NULL);
+        for i in 0..8 {
+            assert_eq!(a.load(h.base as usize + i), NULL);
+        }
+        let base = h.base as usize;
+        a.store(base, 7);
+        a.store(base + 1, NARROW_ESC as u64 - 1); // largest direct
+        a.store(base + 2, NARROW_ESC as u64); // escapes
+        a.store(base + 3, u32::MAX as u64); // escapes (collides with NULL marker otherwise)
+        a.store(base + 4, 0xDEAD_BEEF_0000_0001); // escapes
+        a.store(base + 5, NULL);
+        assert_eq!(a.load(base), 7);
+        assert_eq!(a.load(base + 1), NARROW_ESC as u64 - 1);
+        assert_eq!(a.load(base + 2), NARROW_ESC as u64);
+        assert_eq!(a.load(base + 3), u32::MAX as u64);
+        assert_eq!(a.load(base + 4), 0xDEAD_BEEF_0000_0001);
+        assert_eq!(a.load(base + 5), NULL);
+        // Overwriting an escaped cell with a direct value sticks.
+        a.store(base + 4, 12);
+        assert_eq!(a.load(base + 4), 12);
+    }
+
+    #[test]
+    fn narrow_copy_rekeys_escaped_entries() {
+        let mut a = Arena::new(CellWidth::W32, false);
+        let h = a.alloc(16, 0);
+        let b = h.base as usize;
+        a.store(b, 0xFFFF_FFFF_FF00); // escaped
+        a.store(b + 1, 42);
+        a.copy_words(b, b + 8, 2);
+        assert_eq!(a.load(b + 8), 0xFFFF_FFFF_FF00);
+        assert_eq!(a.load(b + 9), 42);
+        // Source unchanged.
+        assert_eq!(a.load(b), 0xFFFF_FFFF_FF00);
+    }
+
+    #[test]
+    fn prio_sidecar_only_allocated_when_tracked() {
+        // Footprint per word: cells + stamp (+ prio only when tracked).
+        let mut plain = Arena::new(CellWidth::W64, false);
+        let mut prio = Arena::new(CellWidth::W64, true);
+        let mut narrow = Arena::new(CellWidth::W32, false);
+        for a in [&mut plain, &mut prio, &mut narrow] {
+            let _ = a.alloc(1 << 16, 0);
+        }
+        let per_word = |a: &Arena| a.backing_bytes() as f64 / a.len_words() as f64;
+        assert!(per_word(&plain) <= 12.0, "plain {}", per_word(&plain));
+        assert!(per_word(&narrow) <= 8.0, "narrow {}", per_word(&narrow));
+        assert!(per_word(&prio) <= 20.0, "prio {}", per_word(&prio));
+        assert!(per_word(&prio) > 12.0, "sidecar missing");
     }
 
     #[test]
     fn sub_blocks_are_bounds_checked() {
-        let mut a = Arena::new();
+        let mut a = arena();
         let h = a.alloc(16, 0);
         let t = h.sub(4, 4);
         assert_eq!(t.len(), 4);
@@ -207,7 +942,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn sub_block_overflow_panics() {
-        let mut a = Arena::new();
+        let mut a = arena();
         let h = a.alloc(16, 0);
         let _ = h.sub(10, 10);
     }
@@ -215,7 +950,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn handle_index_out_of_bounds_panics() {
-        let mut a = Arena::new();
+        let mut a = arena();
         let h = a.alloc(4, 0);
         let _ = h.addr(4);
     }

@@ -11,11 +11,14 @@ use crate::splitmix64;
 /// How concurrent writes to the same cell within one step are resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WritePolicy {
-    /// A deterministic pseudo-random winner: the write with the largest
-    /// `splitmix64(seed ⊕ f(addr, proc, value))` wins. Order-independent, so
-    /// runs are reproducible regardless of host-thread scheduling. This is
-    /// the default policy; two different seeds are two different (legal)
-    /// ARBITRARY machines.
+    /// A deterministic pseudo-random winner: the write whose *value*
+    /// hashes highest under `splitmix64(seed ⊕ f(addr, value))` wins
+    /// (ties broken toward the larger value). Order-independent, so runs
+    /// are reproducible regardless of host-thread scheduling, and —
+    /// because the winner is a function of the stored value — the commit
+    /// phase can re-derive the incumbent's priority from the cell itself,
+    /// with no per-word priority sidecar. This is the default policy; two
+    /// different seeds are two different (legal) ARBITRARY machines.
     ArbitrarySeeded(u64),
     /// PRIORITY CRCW with smallest processor id winning.
     PriorityMin,
@@ -34,29 +37,49 @@ pub enum WritePolicy {
     CrewChecked(u64),
 }
 
+/// The commit-phase resolution rule, precomputed from the policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Resolution {
+    /// Host execution order wins (no comparison at all).
+    Racy,
+    /// Value-hash priority (`ArbitrarySeeded`/`CrewChecked`): the winner
+    /// is recomputable from `(seed, addr, stored value)`.
+    Hashed(u64),
+    /// Smallest processor id wins (needs the per-word priority sidecar).
+    ProcMin,
+    /// Largest processor id wins (needs the per-word priority sidecar).
+    ProcMax,
+}
+
+/// The value-hash priority of a write under the seeded policies. Larger
+/// wins; ties broken by the larger value (see `Resolution::Hashed`).
+/// Deliberately a function of `(seed, addr, value)` only — never the
+/// processor — so the incumbent's priority can be recomputed from the
+/// committed cell.
+#[inline]
+pub(crate) fn hashed_prio(seed: u64, addr: u32, value: u64) -> u64 {
+    splitmix64(seed ^ (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ value.rotate_left(17))
+}
+
 impl WritePolicy {
-    /// The priority value of a write under this policy. Larger wins.
-    ///
-    /// For [`WritePolicy::Racy`] the value is unused.
+    /// The commit resolution rule for this policy.
     #[inline]
-    pub(crate) fn priority(&self, addr: u32, proc: u64, value: u64) -> u64 {
+    pub(crate) fn resolution(&self) -> Resolution {
         match *self {
-            WritePolicy::ArbitrarySeeded(seed) | WritePolicy::CrewChecked(seed) => splitmix64(
-                seed ^ (addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    ^ proc.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
-                    ^ value.rotate_left(17),
-            ),
-            // Min processor id wins => invert so that larger is better.
-            WritePolicy::PriorityMin => u64::MAX - proc,
-            WritePolicy::PriorityMax => proc,
-            WritePolicy::Racy => 0,
+            WritePolicy::ArbitrarySeeded(seed) | WritePolicy::CrewChecked(seed) => {
+                Resolution::Hashed(seed)
+            }
+            WritePolicy::PriorityMin => Resolution::ProcMin,
+            WritePolicy::PriorityMax => Resolution::ProcMax,
+            WritePolicy::Racy => Resolution::Racy,
         }
     }
 
-    /// Whether commit must honour priorities (false for racy commits).
+    /// Whether resolution compares processor ids — the only case that
+    /// needs the per-word priority sidecar in the arena.
     #[inline]
-    pub(crate) fn uses_priority(&self) -> bool {
-        !matches!(self, WritePolicy::Racy)
+    pub(crate) fn needs_prio_sidecar(&self) -> bool {
+        matches!(self, WritePolicy::PriorityMin | WritePolicy::PriorityMax)
     }
 
     /// Whether write conflicts should be counted (CREW checking).
@@ -114,23 +137,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn priority_min_prefers_small_proc() {
-        let p = WritePolicy::PriorityMin;
-        assert!(p.priority(0, 3, 9) > p.priority(0, 7, 9));
+    fn hashed_prio_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hashed_prio(1, 5, 7), hashed_prio(1, 5, 7));
+        assert_ne!(hashed_prio(1, 5, 7), hashed_prio(2, 5, 7));
+        assert_ne!(hashed_prio(1, 5, 7), hashed_prio(1, 6, 7));
+        assert_ne!(hashed_prio(1, 5, 7), hashed_prio(1, 5, 8));
     }
 
     #[test]
-    fn priority_max_prefers_large_proc() {
-        let p = WritePolicy::PriorityMax;
-        assert!(p.priority(0, 7, 9) > p.priority(0, 3, 9));
-    }
-
-    #[test]
-    fn seeded_priority_is_deterministic_and_seed_sensitive() {
-        let a = WritePolicy::ArbitrarySeeded(1);
-        let b = WritePolicy::ArbitrarySeeded(2);
-        assert_eq!(a.priority(5, 6, 7), a.priority(5, 6, 7));
-        assert_ne!(a.priority(5, 6, 7), b.priority(5, 6, 7));
+    fn resolutions_match_policies() {
+        assert_eq!(
+            WritePolicy::ArbitrarySeeded(9).resolution(),
+            Resolution::Hashed(9)
+        );
+        assert_eq!(
+            WritePolicy::CrewChecked(9).resolution(),
+            Resolution::Hashed(9)
+        );
+        assert_eq!(WritePolicy::PriorityMin.resolution(), Resolution::ProcMin);
+        assert_eq!(WritePolicy::PriorityMax.resolution(), Resolution::ProcMax);
+        assert_eq!(WritePolicy::Racy.resolution(), Resolution::Racy);
+        assert!(WritePolicy::PriorityMin.needs_prio_sidecar());
+        assert!(WritePolicy::PriorityMax.needs_prio_sidecar());
+        assert!(!WritePolicy::ArbitrarySeeded(0).needs_prio_sidecar());
+        assert!(!WritePolicy::CrewChecked(0).needs_prio_sidecar());
+        assert!(!WritePolicy::Racy.needs_prio_sidecar());
     }
 
     #[test]

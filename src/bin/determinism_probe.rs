@@ -15,7 +15,21 @@
 //! sharded-commit design).
 
 use logdiam::graph::{gen, Graph};
-use logdiam::pram::{Pram, WritePolicy};
+use logdiam::pram::{CellWidth, Pram, WritePolicy};
+
+/// Machine constructor honoring `LOGDIAM_CELL_WIDTH` (`32` or `64`,
+/// default 64). The determinism suite compares probe runs across the two
+/// settings: narrow cells are a pure representation change, so every
+/// fingerprint — labels, full memory image, traffic counters — must be
+/// byte-identical to the full-width machine's.
+fn make_pram(policy: WritePolicy) -> Pram {
+    let width = match std::env::var("LOGDIAM_CELL_WIDTH").as_deref() {
+        Ok("32") => CellWidth::W32,
+        Ok("64") | Err(_) => CellWidth::W64,
+        Ok(other) => panic!("LOGDIAM_CELL_WIDTH must be 32 or 64, got {other}"),
+    };
+    Pram::with_width(policy, width)
+}
 
 /// FNV-1a over a `u32` stream: tiny, dependency-free, and order-sensitive
 /// (a permuted labeling fingerprints differently).
@@ -57,7 +71,7 @@ fn main() {
     // `pram_stress` needs no graph: it hammers one machine with
     // conflicting writes and fingerprints everything observable.
     if algo == "pram_stress" {
-        let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+        let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
         let xs = pram.alloc(n);
         for round in 0..8u64 {
             pram.step(8 * n, |p, ctx| {
@@ -133,11 +147,22 @@ fn main() {
         return;
     }
 
+    // `graph_build` fingerprints the built graph itself (the canonical
+    // edge list), no CC run attached: the spill arm of the determinism
+    // suite compares this with `LOGDIAM_RUN_SPILL` set and unset — an
+    // out-of-core build must produce the byte-identical CSR.
+    if algo == "graph_build" {
+        let g = graph_for(family, n, seed);
+        let fp = fnv1a(g.edges().iter().flat_map(|&(u, v)| [u, v]));
+        println!("{fp:016x} n={} m={}", g.n(), g.m());
+        return;
+    }
+
     let g = graph_for(family, n, seed);
     let labels: Vec<u32> = match algo.as_str() {
         // --- simulated (logdiam-cc); all on seeded-ARBITRARY machines ---
         "theorem1" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::theorem1::connected_components(
                 &mut pram,
                 &g,
@@ -147,7 +172,7 @@ fn main() {
             .labels
         }
         "theorem2" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::theorem2::spanning_forest(
                 &mut pram,
                 &g,
@@ -157,7 +182,7 @@ fn main() {
             .labels
         }
         "theorem3" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::theorem3::faster_cc(
                 &mut pram,
                 &g,
@@ -171,7 +196,7 @@ fn main() {
         // allocations instead of generation stamps): a distinct scheduling
         // of the same algorithm, equally thread-count invariant.
         "theorem1_nostamp" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::theorem1::connected_components(
                 &mut pram,
                 &g,
@@ -187,7 +212,7 @@ fn main() {
         // n-cell candidate array are a distinct scheduling of the same
         // algorithm and must be just as thread-count invariant.
         "theorem3_nostamp" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::theorem3::faster_cc(
                 &mut pram,
                 &g,
@@ -201,15 +226,15 @@ fn main() {
             .labels
         }
         "vanilla" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::vanilla::vanilla(&mut pram, &g, seed).labels
         }
         "awerbuch_shiloach" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::baselines::awerbuch_shiloach(&mut pram, &g).labels
         }
         "labelprop_sim" => {
-            let mut pram = Pram::new(WritePolicy::ArbitrarySeeded(seed));
+            let mut pram = make_pram(WritePolicy::ArbitrarySeeded(seed));
             logdiam::algorithms::baselines::labelprop(&mut pram, &g).labels
         }
         // --- practical shared-memory ports (logdiam-par) ---

@@ -171,6 +171,63 @@ proptest! {
         }
     }
 
+    /// Narrow (32-bit) cells are a pure representation change: the same
+    /// run on a `LOGDIAM_CELL_WIDTH=32` machine — values that overflow a
+    /// narrow cell escape to the side table, and `pram_stress` writes
+    /// full-width random values so it escapes constantly — must
+    /// fingerprint byte-identically to the full-width machine at 1, 2,
+    /// and 8 threads: same labels, same memory image, same counters.
+    #[test]
+    fn narrow_cells_fingerprint_identically_to_full_width(
+        family in family_strategy(),
+        n in 24usize..120,
+        seed in 0u64..1000,
+    ) {
+        for algo in ["theorem3", "theorem1", "pram_stress"] {
+            let (family, n) = if algo == "pram_stress" { ("path", n + 2048) } else { (family, n) };
+            for threads in THREAD_COUNTS {
+                let wide = probe_env(threads, algo, family, n, seed, &[("LOGDIAM_CELL_WIDTH", "64")]);
+                let narrow = probe_env(threads, algo, family, n, seed, &[("LOGDIAM_CELL_WIDTH", "32")]);
+                assert_eq!(
+                    wide, narrow,
+                    "{algo} on {family}(n={n}, seed={seed}) at {threads} threads \
+                     differs between 64-bit and 32-bit cells"
+                );
+            }
+        }
+    }
+
+    /// Out-of-core edge runs are invisible to every consumer: building a
+    /// graph with `LOGDIAM_RUN_SPILL` pointed at a temp dir — and a tiny
+    /// `LOGDIAM_RUN_EDGES` cap so many runs genuinely round-trip through
+    /// spill files — must fingerprint byte-identically to the all-in-memory
+    /// build at every thread count.
+    #[test]
+    fn spilled_graph_builds_fingerprint_identically(
+        family in family_strategy(),
+        n in 256usize..2048,
+        seed in 0u64..1000,
+    ) {
+        let spill_dir = std::env::temp_dir();
+        let spill_dir = spill_dir.to_str().expect("temp dir path is not UTF-8");
+        for threads in THREAD_COUNTS {
+            let mem = probe(threads, "graph_build", family, n, seed);
+            let spilled = probe_env(
+                threads,
+                "graph_build",
+                family,
+                n,
+                seed,
+                &[("LOGDIAM_RUN_SPILL", spill_dir), ("LOGDIAM_RUN_EDGES", "512")],
+            );
+            assert_eq!(
+                mem, spilled,
+                "graph_build on {family}(n={n}, seed={seed}) at {threads} threads \
+                 differs between in-memory and spilled edge runs"
+            );
+        }
+    }
+
     /// Seeded ARBITRARY PRAM runs are bit-identical across thread counts:
     /// the probe fingerprints the full memory image plus traffic counters
     /// after rounds of deliberately conflicting writes. `n` is large
